@@ -1,0 +1,118 @@
+//! Table III bench: per-block latency of the functional (reduced-scale)
+//! DVB-S2 implementation — this crate's own profiling table.
+
+use amp_dvbs2::bch::Bch;
+use amp_dvbs2::channel::Channel;
+use amp_dvbs2::filter::RrcFilter;
+use amp_dvbs2::framer::{BlockInterleaver, PlHeader};
+use amp_dvbs2::ldpc::Ldpc;
+use amp_dvbs2::modem::QpskModem;
+use amp_dvbs2::scrambler::{BinaryScrambler, SymbolScrambler};
+use amp_dvbs2::txrx::LinkContext;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    let ctx = LinkContext::reduced();
+    let bits = ctx.reference_bits(1);
+    let bch = Bch::reduced();
+    let ldpc = Ldpc::reduced();
+
+    group.bench_function("bch_encode", |b| b.iter(|| black_box(bch.encode(&bits))));
+    let bch_cw = bch.encode(&bits);
+    group.bench_function("bch_decode_clean", |b| {
+        b.iter(|| {
+            let mut cw = bch_cw.clone();
+            black_box(bch.decode(&mut cw))
+        })
+    });
+    let mut corrupted = bch_cw.clone();
+    corrupted[3] ^= 1;
+    corrupted[700] ^= 1;
+    corrupted[1500] ^= 1;
+    group.bench_function("bch_decode_3_errors", |b| {
+        b.iter(|| {
+            let mut cw = corrupted.clone();
+            black_box(bch.decode(&mut cw))
+        })
+    });
+
+    group.bench_function("ldpc_encode", |b| {
+        b.iter(|| black_box(ldpc.encode(&bch_cw)))
+    });
+    let ldpc_cw = ldpc.encode(&bch_cw);
+    let clean_llr: Vec<f32> = ldpc_cw
+        .iter()
+        .map(|&x| if x == 0 { 6.0 } else { -6.0 })
+        .collect();
+    group.bench_function("ldpc_decode_clean", |b| {
+        b.iter(|| black_box(ldpc.decode(&clean_llr)))
+    });
+    let mut noisy_llr = clean_llr.clone();
+    for (i, l) in noisy_llr.iter_mut().enumerate() {
+        if i % 37 == 0 {
+            *l = -*l * 0.2; // scattered unreliable flips
+        }
+    }
+    group.bench_function("ldpc_decode_noisy", |b| {
+        b.iter(|| black_box(ldpc.decode(&noisy_llr)))
+    });
+
+    let interleaved = BlockInterleaver::new(8).interleave(&ldpc_cw);
+    let symbols = QpskModem::modulate(&interleaved);
+    group.bench_function("qpsk_modulate", |b| {
+        b.iter(|| black_box(QpskModem::modulate(&interleaved)))
+    });
+    group.bench_function("qpsk_demodulate", |b| {
+        b.iter(|| black_box(QpskModem::demodulate(&symbols, 0.1)))
+    });
+
+    let rrc = RrcFilter::reduced();
+    let framed = PlHeader::new(90).insert(&symbols);
+    let shaped = rrc.shape(&framed);
+    group.bench_function("rrc_shape", |b| b.iter(|| black_box(rrc.shape(&framed))));
+    group.bench_function("rrc_matched_filter", |b| {
+        b.iter(|| black_box(rrc.filter_block(&shaped)))
+    });
+
+    group.bench_function("binary_scrambler", |b| {
+        b.iter(|| {
+            let mut x = bits.clone();
+            BinaryScrambler::apply(&mut x);
+            black_box(x)
+        })
+    });
+    let sc = SymbolScrambler::new(1);
+    group.bench_function("symbol_scrambler", |b| {
+        b.iter(|| {
+            let mut s = symbols.clone();
+            sc.scramble(&mut s);
+            black_box(s)
+        })
+    });
+
+    group.bench_function("plh_correlate", |b| {
+        let plh = PlHeader::new(90);
+        b.iter(|| black_box(plh.correlate(&framed[..300])))
+    });
+
+    group.bench_function("awgn_channel", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(0.1, 0.0, 0.0, 3);
+            black_box(ch.transmit(&shaped))
+        })
+    });
+
+    group.bench_function("full_tx_frame", |b| b.iter(|| black_box(ctx.tx_frame(9))));
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table II bench: scheduling the 23-task DVB-S2 receiver profile on the
+//! four platform configurations, per strategy.
+
+use amp_core::sched::{Fertac, Herad, Otac, Scheduler, Twocatac};
+use amp_dvbs2::{profiled_chain, table2_configs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let strategies: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Herad::new()),
+        Box::new(Twocatac::new()),
+        Box::new(Fertac),
+        Box::new(Otac::big()),
+        Box::new(Otac::little()),
+    ];
+    for cfg in table2_configs() {
+        let chain = profiled_chain(cfg.platform);
+        for s in &strategies {
+            let label = format!("{} {}", cfg.platform.name(), cfg.resources);
+            group.bench_with_input(BenchmarkId::new(s.name(), label), &chain, |b, chain| {
+                b.iter(|| black_box(s.schedule(chain, cfg.resources)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

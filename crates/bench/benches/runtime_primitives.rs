@@ -1,0 +1,69 @@
+//! Runtime-substrate benches: the order-preserving adaptor and the
+//! calibrated spin primitives underpinning the threaded StreamPU-style
+//! runtime.
+
+use amp_runtime::{OrderedRing, SpinCalibration};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn adaptor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    // Single-threaded push/pop cost.
+    let frames = 1024u64;
+    group.throughput(Throughput::Elements(frames));
+    group.bench_function("ring_push_pop_inorder", |b| {
+        b.iter(|| {
+            let ring = OrderedRing::new(64);
+            for chunk in 0..(frames / 64) {
+                for seq in chunk * 64..(chunk + 1) * 64 {
+                    ring.push(seq, seq);
+                }
+                for seq in chunk * 64..(chunk + 1) * 64 {
+                    black_box(ring.pop(seq));
+                }
+            }
+        })
+    });
+
+    // Cross-thread 1 -> 1 handoff.
+    group.bench_function("ring_cross_thread", |b| {
+        b.iter(|| {
+            let ring: Arc<OrderedRing<u64>> = Arc::new(OrderedRing::new(16));
+            let r = ring.clone();
+            let producer = thread::spawn(move || {
+                for seq in 0..frames {
+                    r.push(seq, seq);
+                }
+                r.close(frames);
+            });
+            let mut acc = 0u64;
+            let mut seq = 0;
+            while let Some(v) = ring.pop(seq) {
+                acc ^= v;
+                seq += 1;
+            }
+            producer.join().unwrap();
+            black_box(acc)
+        })
+    });
+
+    // Spin accuracy/cost at task-sized granularities.
+    let cal = SpinCalibration::global();
+    for us in [10u64, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("spin", us), &us, |b, &us| {
+            b.iter(|| black_box(cal.spin(us as f64, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adaptor);
+criterion_main!(benches);

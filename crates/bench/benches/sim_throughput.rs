@@ -1,0 +1,55 @@
+//! Fig. 5 bench: the discrete-event simulation that produces the
+//! achieved-throughput columns — simulation cost per frame for the DVB-S2
+//! schedules, with and without latency noise.
+
+use amp_core::sched::{Herad, Scheduler};
+use amp_dvbs2::{profiled_chain, Platform};
+use amp_sim::{simulate, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    let frames = 2000u64;
+    group.throughput(Throughput::Elements(frames));
+    for platform in [Platform::MacStudio, Platform::X7Ti] {
+        let chain = profiled_chain(platform);
+        let solution = Herad::new()
+            .schedule(&chain, platform.full_resources())
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("ideal", platform.name()),
+            &solution,
+            |b, solution| {
+                b.iter(|| black_box(simulate(&chain, solution, &SimConfig::with_frames(frames))))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("noisy", platform.name()),
+            &solution,
+            |b, solution| {
+                b.iter(|| {
+                    black_box(simulate(
+                        &chain,
+                        solution,
+                        &SimConfig {
+                            frames,
+                            noise: Some(0.08),
+                            seed: 7,
+                            ..SimConfig::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Fig. 3 / Fig. 4 / Table I benches: strategy scheduling time at
+//! representative sweep points (the full parameter sweeps are the
+//! `fig3`/`fig4` binaries of `amp-experiments`).
+
+use amp_bench::fixtures;
+use amp_core::sched::{Fertac, Herad, Otac, Scheduler, Twocatac};
+use amp_core::Resources;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn strategies() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Herad::new()),
+        Box::new(Twocatac::new()),
+        Box::new(Fertac),
+        Box::new(Otac::big()),
+        Box::new(Otac::little()),
+    ]
+}
+
+/// Fig. 3 shape: time vs number of tasks at R = (20, 20).
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let resources = Resources::new(20, 20);
+    for n in [20usize, 40, 60] {
+        let chain = fixtures::chain_with(n);
+        for s in strategies() {
+            // 2CATAC beyond 60 tasks is skipped in the paper too.
+            if s.name() == "2CATAC" && n > 60 {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(s.name(), n), &chain, |b, chain| {
+                b.iter(|| black_box(s.schedule(chain, resources)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 4 shape: time vs resource count at 40 tasks.
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let chain = fixtures::chain_with(40);
+    for cores in [20u64, 60, 100] {
+        let resources = Resources::new(cores, cores);
+        for s in strategies() {
+            group.bench_with_input(BenchmarkId::new(s.name(), cores), &chain, |b, chain| {
+                b.iter(|| black_box(s.schedule(chain, resources)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Table I shape: the paper's 20-task chains on its three resource pairs.
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let chain = fixtures::paper_chain();
+    for resources in fixtures::table1_resources() {
+        for s in strategies() {
+            group.bench_with_input(BenchmarkId::new(s.name(), resources), &chain, |b, chain| {
+                b.iter(|| black_box(s.schedule(chain, resources)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3, fig4, table1);
+criterion_main!(benches);

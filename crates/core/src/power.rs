@@ -1,0 +1,166 @@
+//! Power estimation for schedules — quantifying the paper's secondary
+//! objective.
+//!
+//! The paper uses "as many little cores as necessary" as a proxy for power
+//! because per-task power measurements were unavailable; it lists direct
+//! power models as future work. This module provides the simplest such
+//! model — a fixed power draw per active core of each type — so that the
+//! big→little exchange preference can be evaluated in watts and schedules
+//! compared on a period/power Pareto front.
+
+use crate::chain::TaskChain;
+use crate::resources::CoreType;
+use crate::solution::Solution;
+use serde::{Deserialize, Serialize};
+
+/// Fixed power draw per active core, by type.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Watts drawn by one busy big core.
+    pub big_watts: f64,
+    /// Watts drawn by one busy little core.
+    pub little_watts: f64,
+    /// Watts drawn by an idle-but-reserved core, as a fraction of busy
+    /// draw (cores assigned to a stage idle whenever the stage is not the
+    /// bottleneck).
+    pub idle_fraction: f64,
+}
+
+impl PowerModel {
+    /// A ratio typical of published big.LITTLE measurements: big cores
+    /// draw ~4x a little core at full tilt, idling at 20%.
+    #[must_use]
+    pub fn typical() -> Self {
+        PowerModel {
+            big_watts: 4.0,
+            little_watts: 1.0,
+            idle_fraction: 0.2,
+        }
+    }
+
+    /// Power if every assigned core were busy full-time (the upper bound,
+    /// and the model implied by the paper's core-counting proxy).
+    #[must_use]
+    pub fn peak_power(&self, solution: &Solution) -> f64 {
+        let used = solution.used_cores();
+        used.big as f64 * self.big_watts + used.little as f64 * self.little_watts
+    }
+
+    /// Expected steady-state power: each stage's cores are busy for its
+    /// weight out of every period, idle (at `idle_fraction`) otherwise.
+    #[must_use]
+    pub fn steady_power(&self, chain: &TaskChain, solution: &Solution) -> f64 {
+        let period = solution.period(chain);
+        if period.is_infinite() || period.is_zero() {
+            return 0.0;
+        }
+        let p = period.to_f64();
+        solution
+            .stages()
+            .iter()
+            .map(|s| {
+                let busy = s.weight(chain).to_f64() / p; // utilization in [0, 1]
+                let per_core = match s.core_type {
+                    CoreType::Big => self.big_watts,
+                    CoreType::Little => self.little_watts,
+                };
+                s.cores as f64 * per_core * (busy + (1.0 - busy) * self.idle_fraction)
+            })
+            .sum()
+    }
+
+    /// Energy per frame in joules (steady power × period, with the period
+    /// in seconds given `unit_seconds` per weight unit).
+    #[must_use]
+    pub fn energy_per_frame(
+        &self,
+        chain: &TaskChain,
+        solution: &Solution,
+        unit_seconds: f64,
+    ) -> f64 {
+        self.steady_power(chain, solution) * solution.period(chain).to_f64() * unit_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Task;
+    use crate::resources::Resources;
+    use crate::sched::{Herad, Otac, Scheduler};
+    use crate::solution::Stage;
+
+    fn chain() -> TaskChain {
+        TaskChain::new(vec![
+            Task::new(4, 8, false),
+            Task::new(6, 12, true),
+            Task::new(2, 4, false),
+        ])
+    }
+
+    #[test]
+    fn peak_power_counts_cores_by_type() {
+        let m = PowerModel::typical();
+        let s = Solution::new(vec![
+            Stage::new(0, 0, 1, CoreType::Big),
+            Stage::new(1, 1, 2, CoreType::Little),
+            Stage::new(2, 2, 1, CoreType::Big),
+        ]);
+        assert!((m.peak_power(&s) - (2.0 * 4.0 + 2.0 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_power_is_below_peak_and_above_idle() {
+        let c = chain();
+        let m = PowerModel::typical();
+        let s = Herad::new().schedule(&c, Resources::new(2, 2)).unwrap();
+        let peak = m.peak_power(&s);
+        let steady = m.steady_power(&c, &s);
+        let idle = peak * m.idle_fraction;
+        assert!(steady <= peak + 1e-12, "steady {steady} peak {peak}");
+        assert!(steady >= idle - 1e-12, "steady {steady} idle floor {idle}");
+    }
+
+    #[test]
+    fn bottleneck_stage_contributes_full_power() {
+        // Single-stage solution: utilization 1 -> steady == peak.
+        let c = chain();
+        let m = PowerModel::typical();
+        let s = Solution::new(vec![Stage::new(0, 2, 1, CoreType::Big)]);
+        assert!((m.steady_power(&c, &s) - m.peak_power(&s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn little_heavy_schedules_draw_less_peak_power() {
+        // The paper's secondary objective in watts: when big and little
+        // cores give the same period, HeRAD's tie-break toward little cores
+        // draws less peak power than the big-only baseline.
+        let c = TaskChain::new(vec![Task::new(10, 10, false)]);
+        let r = Resources::new(1, 1);
+        let m = PowerModel::typical();
+        let herad = Herad::new().schedule(&c, r).unwrap();
+        let otac_b = Otac::big().schedule(&c, r).unwrap();
+        assert_eq!(herad.period(&c), otac_b.period(&c));
+        assert!(m.peak_power(&herad) < m.peak_power(&otac_b));
+    }
+
+    #[test]
+    fn energy_per_frame_scales_with_period() {
+        let c = chain();
+        let m = PowerModel::typical();
+        let fast = Herad::new().schedule(&c, Resources::new(3, 3)).unwrap();
+        let slow = Solution::new(vec![Stage::new(0, 2, 1, CoreType::Little)]);
+        // Energy/frame of the single-little-core schedule equals its full
+        // busy draw times its (long) period.
+        let e_slow = m.energy_per_frame(&c, &slow, 1e-6);
+        assert!((e_slow - 1.0 * 24.0 * 1e-6).abs() < 1e-12);
+        assert!(m.energy_per_frame(&c, &fast, 1e-6) > 0.0);
+    }
+
+    #[test]
+    fn empty_solution_draws_nothing() {
+        let c = chain();
+        let m = PowerModel::typical();
+        assert_eq!(m.steady_power(&c, &Solution::empty()), 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Exhaustive search over all interval mappings — an oracle for testing
+//! HeRAD's optimality on tiny instances.
+//!
+//! Enumerates every composition of the chain into contiguous stages and,
+//! for each stage, every core count of each type; infeasible only beyond a
+//! few tasks/cores, which is exactly where HeRAD takes over.
+
+use crate::chain::TaskChain;
+use crate::ratio::Ratio;
+use crate::resources::{CoreType, Resources};
+use crate::sched::Scheduler;
+use crate::solution::{Solution, Stage};
+
+/// Exhaustive optimal scheduler for tiny instances (tests only, O(exp)).
+///
+/// Among all minimum-period solutions it returns one whose core usage is
+/// Pareto-minimal (no same-period solution uses fewer big cores without
+/// using more little cores, and vice versa), breaking remaining ties toward
+/// fewer big cores then fewer total cores — consistent with the paper's
+/// secondary objective.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BruteForce;
+
+impl Scheduler for BruteForce {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+
+    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution> {
+        let mut best: Option<(Ratio, Resources, Solution)> = None;
+        let mut stages = Vec::new();
+        explore(chain, 0, resources, Ratio::ZERO, &mut stages, &mut best);
+        best.map(|(_, _, s)| s)
+    }
+}
+
+/// All minimum-period solutions of the instance (used to verify that
+/// HeRAD's core usage is Pareto-optimal among them).
+#[must_use]
+pub fn all_optimal_solutions(chain: &TaskChain, resources: Resources) -> Vec<Solution> {
+    let mut all: Vec<(Ratio, Solution)> = Vec::new();
+    let mut stages = Vec::new();
+    collect(chain, 0, resources, Ratio::ZERO, &mut stages, &mut all);
+    let best = match all.iter().map(|(p, _)| *p).min() {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    all.into_iter()
+        .filter(|(p, _)| *p == best)
+        .map(|(_, s)| s)
+        .collect()
+}
+
+fn explore(
+    chain: &TaskChain,
+    start: usize,
+    left: Resources,
+    period_so_far: Ratio,
+    stages: &mut Vec<Stage>,
+    best: &mut Option<(Ratio, Resources, Solution)>,
+) {
+    let n = chain.len();
+    if start == n {
+        let solution = Solution::new(stages.clone());
+        let used = solution.used_cores();
+        let better = match best {
+            None => true,
+            Some((bp, bu, _)) => {
+                period_so_far < *bp
+                    || (period_so_far == *bp
+                        && (used.big < bu.big || (used.big == bu.big && used.little < bu.little)))
+            }
+        };
+        if better {
+            *best = Some((period_so_far, used, solution));
+        }
+        return;
+    }
+    // Bound: a completed prefix already worse than the best can be cut.
+    if let Some((bp, _, _)) = best {
+        if period_so_far > *bp {
+            return;
+        }
+    }
+    for end in start..n {
+        for v in CoreType::BOTH {
+            let rep = chain.is_replicable(start, end);
+            let max_r = if rep { left.of(v) } else { left.of(v).min(1) };
+            for r in 1..=max_r {
+                let w = chain.stage_weight(start, end, r, v);
+                stages.push(Stage::new(start, end, r, v));
+                explore(
+                    chain,
+                    end + 1,
+                    left.minus(v, r),
+                    period_so_far.max(w),
+                    stages,
+                    best,
+                );
+                stages.pop();
+            }
+        }
+    }
+}
+
+fn collect(
+    chain: &TaskChain,
+    start: usize,
+    left: Resources,
+    period_so_far: Ratio,
+    stages: &mut Vec<Stage>,
+    all: &mut Vec<(Ratio, Solution)>,
+) {
+    let n = chain.len();
+    if start == n {
+        all.push((period_so_far, Solution::new(stages.clone())));
+        return;
+    }
+    for end in start..n {
+        for v in CoreType::BOTH {
+            let rep = chain.is_replicable(start, end);
+            let max_r = if rep { left.of(v) } else { left.of(v).min(1) };
+            for r in 1..=max_r {
+                let w = chain.stage_weight(start, end, r, v);
+                stages.push(Stage::new(start, end, r, v));
+                collect(
+                    chain,
+                    end + 1,
+                    left.minus(v, r),
+                    period_so_far.max(w),
+                    stages,
+                    all,
+                );
+                stages.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Task;
+
+    #[test]
+    fn finds_the_known_optimum() {
+        let c = TaskChain::new(vec![
+            Task::new(3, 6, false),
+            Task::new(2, 4, true),
+            Task::new(4, 8, true),
+        ]);
+        let s = BruteForce.schedule(&c, Resources::new(2, 1)).unwrap();
+        assert!(s.validate(&c).is_ok());
+        // stages {0} B (3) and {1,2} B (6) -> 6; or {0}B, {1}?, ...
+        // best: {0}B=3, {1..2} on 1B = 6 -> 6; with the little core helping:
+        // {0}B=3, {1}L=4, {2}B=4 -> 4.
+        assert_eq!(s.period(&c), crate::ratio::Ratio::from_int(4));
+    }
+
+    #[test]
+    fn no_solution_without_cores() {
+        let c = TaskChain::new(vec![Task::new(1, 1, true)]);
+        assert!(BruteForce.schedule(&c, Resources::new(0, 0)).is_none());
+        assert!(all_optimal_solutions(&c, Resources::new(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn all_optimal_solutions_share_the_best_period() {
+        let c = TaskChain::new(vec![Task::new(2, 3, true), Task::new(2, 3, false)]);
+        let r = Resources::new(1, 1);
+        let best = BruteForce.schedule(&c, r).unwrap().period(&c);
+        let all = all_optimal_solutions(&c, r);
+        assert!(!all.is_empty());
+        for s in &all {
+            assert_eq!(s.period(&c), best);
+            assert!(s.validate(&c).is_ok());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! FERTAC — *First Efficient Resources for TAsk Chains* (Section IV-A,
+//! Algorithm 4): a greedy heuristic that builds each stage with little
+//! cores first and falls back to big cores only when the target period
+//! cannot be respected otherwise.
+
+use crate::chain::TaskChain;
+use crate::ratio::Ratio;
+use crate::resources::{CoreType, Resources};
+use crate::sched::binary_search::schedule_binary_search;
+use crate::sched::support::{compute_stage, stage_fits};
+use crate::sched::Scheduler;
+use crate::solution::{Solution, Stage};
+
+/// The FERTAC scheduler. Stateless; construct freely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fertac;
+
+impl Scheduler for Fertac {
+    fn name(&self) -> &'static str {
+        "FERTAC"
+    }
+
+    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution> {
+        schedule_binary_search(chain, resources, |c, r, p| compute_solution(c, 0, r, p))
+    }
+}
+
+/// `ComputeSolution` for FERTAC (Algorithm 4): builds the stage starting at
+/// `start` with little cores, retries with big cores if that fails, then
+/// recurses on the remaining tasks. Returns the empty solution on failure.
+fn compute_solution(
+    chain: &TaskChain,
+    start: usize,
+    resources: Resources,
+    target: Ratio,
+) -> Solution {
+    let n = chain.len();
+    // Little cores first; big cores only when the little stage is invalid.
+    let mut stage = try_stage(chain, start, resources, CoreType::Little, target);
+    if stage.is_none() {
+        stage = try_stage(chain, start, resources, CoreType::Big, target);
+    }
+    let Some(stage) = stage else {
+        return Solution::empty();
+    };
+    if stage.end == n - 1 {
+        return Solution::new(vec![stage]);
+    }
+    let remaining = resources.minus(stage.core_type, stage.cores);
+    let mut rest = compute_solution(chain, stage.end + 1, remaining, target);
+    if rest.is_valid(chain, remaining, target) {
+        rest.prepend(stage);
+        rest
+    } else {
+        Solution::empty()
+    }
+}
+
+/// Builds one stage with cores of type `v`, returning it only when valid.
+fn try_stage(
+    chain: &TaskChain,
+    start: usize,
+    resources: Resources,
+    v: CoreType,
+    target: Ratio,
+) -> Option<Stage> {
+    let available = resources.of(v);
+    let (end, used) = compute_stage(chain, start, available, v, target);
+    stage_fits(chain, start, end, used, available, v, target)
+        .then(|| Stage::new(start, end, used, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Task;
+
+    fn chain() -> TaskChain {
+        // big:    3S 2R 4R 6R 1S
+        // little: 6S 4R 8R 12R 2S
+        TaskChain::new(vec![
+            Task::new(3, 6, false),
+            Task::new(2, 4, true),
+            Task::new(4, 8, true),
+            Task::new(6, 12, true),
+            Task::new(1, 2, false),
+        ])
+    }
+
+    #[test]
+    fn produces_structurally_valid_schedules() {
+        let c = chain();
+        for (b, l) in [(1, 0), (0, 1), (2, 2), (4, 4), (1, 7), (7, 1)] {
+            let r = Resources::new(b, l);
+            let s = Fertac.schedule(&c, r).unwrap();
+            assert!(s.validate(&c).is_ok(), "invalid for {r}: {s}");
+            let used = s.used_cores();
+            assert!(used.big <= b && used.little <= l, "overuse for {r}: {s}");
+        }
+    }
+
+    #[test]
+    fn no_cores_means_no_schedule() {
+        assert!(Fertac.schedule(&chain(), Resources::new(0, 0)).is_none());
+    }
+
+    #[test]
+    fn single_big_core_packs_everything() {
+        let c = chain();
+        let s = Fertac.schedule(&c, Resources::new(1, 0)).unwrap();
+        assert_eq!(s.num_stages(), 1);
+        assert_eq!(s.period(&c), Ratio::from_int(16));
+        assert_eq!(s.stages()[0].core_type, CoreType::Big);
+    }
+
+    #[test]
+    fn prefers_little_cores_when_they_suffice() {
+        // One replicable task with equal weight on both types: at the final
+        // period target both types fit, and FERTAC builds with little first.
+        let c = TaskChain::new(vec![Task::new(4, 4, true)]);
+        let s = Fertac.schedule(&c, Resources::new(2, 2)).unwrap();
+        assert!(s.validate(&c).is_ok());
+        assert_eq!(s.period(&c), Ratio::from_int(2));
+        let used = s.used_cores();
+        assert_eq!(
+            (used.big, used.little),
+            (0, 2),
+            "little cores should be used: {s}"
+        );
+    }
+
+    #[test]
+    fn uses_big_cores_for_heavy_sequential_tasks() {
+        // A sequential task that only fits the target on a big core.
+        let c = TaskChain::new(vec![Task::new(10, 50, false), Task::new(2, 4, true)]);
+        let s = Fertac.schedule(&c, Resources::new(1, 1)).unwrap();
+        assert!(s.validate(&c).is_ok());
+        assert_eq!(s.stages()[0].core_type, CoreType::Big);
+        assert_eq!(s.period(&c), Ratio::from_int(10));
+    }
+
+    #[test]
+    fn respects_replication_limits() {
+        // All tasks replicable: the whole chain should collapse into few
+        // stages replicated across the cores.
+        let c = TaskChain::new(vec![
+            Task::new(10, 20, true),
+            Task::new(10, 20, true),
+            Task::new(10, 20, true),
+            Task::new(10, 20, true),
+        ]);
+        let s = Fertac.schedule(&c, Resources::new(4, 0)).unwrap();
+        assert!(s.validate(&c).is_ok());
+        assert_eq!(s.period(&c), Ratio::from_int(10));
+        assert_eq!(s.num_stages(), 1);
+        assert_eq!(s.stages()[0].cores, 4);
+    }
+}

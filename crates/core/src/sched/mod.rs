@@ -1,0 +1,57 @@
+//! The scheduling strategies of the paper: the greedy heuristics FERTAC and
+//! 2CATAC (Section IV), the optimal dynamic program HeRAD (Section V), the
+//! homogeneous baseline OTAC, and an exhaustive oracle for tests.
+
+pub mod binary_search;
+pub mod brute;
+pub mod fertac;
+pub mod herad;
+pub mod otac;
+pub mod support;
+pub mod twocatac;
+
+use crate::chain::TaskChain;
+use crate::resources::Resources;
+use crate::solution::Solution;
+
+pub use binary_search::{schedule_binary_search, PeriodBounds};
+pub use brute::BruteForce;
+pub use fertac::Fertac;
+pub use herad::{Herad, Pruning};
+pub use otac::Otac;
+pub use twocatac::Twocatac;
+
+/// A scheduling strategy: maps a task chain and a resource pool to a
+/// pipelined/replicated solution (or `None` when no valid mapping exists,
+/// e.g. without cores).
+pub trait Scheduler {
+    /// Display name, matching the paper's tables (`HeRAD`, `2CATAC`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Computes a schedule for `chain` on `resources`.
+    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution>;
+}
+
+/// The paper's five evaluated strategies, in Table I order, as trait
+/// objects for sweeps.
+#[must_use]
+pub fn paper_strategies() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Herad::new()),
+        Box::new(Twocatac::new()),
+        Box::new(Fertac),
+        Box::new(Otac::big()),
+        Box::new(Otac::little()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_strategies_have_table_names() {
+        let names: Vec<&str> = paper_strategies().iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["HeRAD", "2CATAC", "FERTAC", "OTAC (B)", "OTAC (L)"]);
+    }
+}

@@ -1,0 +1,136 @@
+//! OTAC restricted to one core type — the homogeneous baseline of the
+//! paper's evaluation (`OTAC (B)` and `OTAC (L)`).
+//!
+//! OTAC (Orhan et al., 2023) is optimal for partially-replicable task
+//! chains on homogeneous resources; its building blocks (binary search on
+//! the period + greedy maximal packing per stage) are exactly the common
+//! methods of Algorithms 1–3, so the single-type specialization of the
+//! FERTAC recursion *is* OTAC.
+
+use crate::chain::TaskChain;
+use crate::ratio::Ratio;
+use crate::resources::{CoreType, Resources};
+use crate::sched::binary_search::schedule_binary_search;
+use crate::sched::support::{compute_stage, stage_fits};
+use crate::sched::Scheduler;
+use crate::solution::{Solution, Stage};
+
+/// OTAC on a single core type. `Otac::big()` ignores little cores;
+/// `Otac::little()` ignores big ones.
+#[derive(Clone, Copy, Debug)]
+pub struct Otac {
+    core_type: CoreType,
+}
+
+impl Otac {
+    /// OTAC using only the big cores of the resource pool.
+    #[must_use]
+    pub fn big() -> Self {
+        Otac {
+            core_type: CoreType::Big,
+        }
+    }
+
+    /// OTAC using only the little cores of the resource pool.
+    #[must_use]
+    pub fn little() -> Self {
+        Otac {
+            core_type: CoreType::Little,
+        }
+    }
+
+    /// The core type this instance schedules on.
+    #[must_use]
+    pub fn core_type(&self) -> CoreType {
+        self.core_type
+    }
+}
+
+impl Scheduler for Otac {
+    fn name(&self) -> &'static str {
+        match self.core_type {
+            CoreType::Big => "OTAC (B)",
+            CoreType::Little => "OTAC (L)",
+        }
+    }
+
+    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution> {
+        let v = self.core_type;
+        let masked = match v {
+            CoreType::Big => Resources::new(resources.big, 0),
+            CoreType::Little => Resources::new(0, resources.little),
+        };
+        schedule_binary_search(chain, masked, |c, r, p| greedy(c, r, v, p))
+    }
+}
+
+/// Greedy stage construction over a single core type (OTAC's
+/// ComputeSolution).
+fn greedy(chain: &TaskChain, resources: Resources, v: CoreType, target: Ratio) -> Solution {
+    let n = chain.len();
+    let mut stages = Vec::new();
+    let mut left = resources.of(v);
+    let mut start = 0;
+    while start < n {
+        let (end, used) = compute_stage(chain, start, left, v, target);
+        if !stage_fits(chain, start, end, used, left, v, target) {
+            return Solution::empty();
+        }
+        stages.push(Stage::new(start, end, used, v));
+        left -= used;
+        start = end + 1;
+    }
+    Solution::new(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Task;
+
+    fn chain() -> TaskChain {
+        TaskChain::new(vec![
+            Task::new(3, 6, false),
+            Task::new(2, 4, true),
+            Task::new(4, 8, true),
+            Task::new(6, 12, true),
+            Task::new(1, 2, false),
+        ])
+    }
+
+    #[test]
+    fn big_variant_never_touches_little_cores() {
+        let c = chain();
+        let s = Otac::big().schedule(&c, Resources::new(3, 8)).unwrap();
+        assert!(s.validate(&c).is_ok());
+        assert_eq!(s.used_cores().little, 0);
+        assert_eq!(s.period(&c), Ratio::from_int(7));
+    }
+
+    #[test]
+    fn little_variant_never_touches_big_cores() {
+        let c = chain();
+        let s = Otac::little().schedule(&c, Resources::new(8, 3)).unwrap();
+        assert!(s.validate(&c).is_ok());
+        assert_eq!(s.used_cores().big, 0);
+        // little weights [6,4,8,12,2]: optimum with 3 cores is 14
+        // ([0,1] = 10 | [2] = 8 | [3,4] = 14).
+        assert_eq!(s.period(&c), Ratio::from_int(14));
+    }
+
+    #[test]
+    fn none_when_its_type_is_absent() {
+        let c = chain();
+        assert!(Otac::big().schedule(&c, Resources::new(0, 8)).is_none());
+        assert!(Otac::little().schedule(&c, Resources::new(8, 0)).is_none());
+    }
+
+    #[test]
+    fn replicates_fully_replicable_chains_across_all_cores() {
+        let c = TaskChain::new(vec![Task::new(5, 10, true), Task::new(5, 10, true)]);
+        let s = Otac::big().schedule(&c, Resources::new(5, 0)).unwrap();
+        assert_eq!(s.num_stages(), 1);
+        assert_eq!(s.period(&c), Ratio::from_int(2));
+        assert_eq!(s.stages()[0].cores, 5);
+    }
+}

@@ -1,0 +1,345 @@
+//! Pipelined and replicated solutions `S = (s, r, v)`.
+
+use crate::chain::TaskChain;
+use crate::ratio::Ratio;
+use crate::resources::{CoreType, Resources};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One pipeline stage: a contiguous interval of tasks mapped to `cores`
+/// cores of one type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Stage {
+    /// 0-based index of the first task of the stage.
+    pub start: usize,
+    /// 0-based index of the last task of the stage (inclusive).
+    pub end: usize,
+    /// Number of cores assigned (`r_i`); > 1 only for replicable stages.
+    pub cores: u64,
+    /// Core type (`v_i`).
+    pub core_type: CoreType,
+}
+
+impl Stage {
+    /// Builds a stage covering tasks `[start, end]`.
+    #[must_use]
+    pub fn new(start: usize, end: usize, cores: u64, core_type: CoreType) -> Self {
+        debug_assert!(start <= end);
+        Stage {
+            start,
+            end,
+            cores,
+            core_type,
+        }
+    }
+
+    /// Number of tasks in the stage.
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Weight of the stage on its assigned resources (Eq. (1)).
+    #[must_use]
+    pub fn weight(&self, chain: &TaskChain) -> Ratio {
+        chain.stage_weight(self.start, self.end, self.cores, self.core_type)
+    }
+}
+
+/// A complete pipelined/replicated mapping of a task chain.
+///
+/// Invariants (checked by [`Solution::validate`]): stages are contiguous,
+/// cover `0..n`, every stage has at least one core, and stages with more
+/// than one core are replicable.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Solution {
+    stages: Vec<Stage>,
+}
+
+impl Solution {
+    /// Builds a solution from stages; no checking (see [`Solution::validate`]).
+    #[must_use]
+    pub fn new(stages: Vec<Stage>) -> Self {
+        Solution { stages }
+    }
+
+    /// The empty (invalid) solution `(∅, ∅, ∅)`.
+    #[must_use]
+    pub fn empty() -> Self {
+        Solution { stages: Vec::new() }
+    }
+
+    /// The stages, in chain order.
+    #[must_use]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of stages `|s|`.
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the solution has no stages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Prepends a stage (the `·` concatenation of Algorithms 4 and 5).
+    pub fn prepend(&mut self, stage: Stage) {
+        self.stages.insert(0, stage);
+    }
+
+    /// The period `P(s, r, v)` (Eq. (2)): the largest stage weight. The empty
+    /// solution has an infinite period.
+    #[must_use]
+    pub fn period(&self, chain: &TaskChain) -> Ratio {
+        self.stages
+            .iter()
+            .map(|s| s.weight(chain))
+            .max()
+            .unwrap_or(Ratio::INFINITY)
+    }
+
+    /// Steady-state throughput in frames per time unit (`1 / P`).
+    #[must_use]
+    pub fn throughput(&self, chain: &TaskChain) -> f64 {
+        let p = self.period(chain);
+        if p.is_infinite() || p.is_zero() {
+            0.0
+        } else {
+            p.denom() as f64 / p.numer() as f64
+        }
+    }
+
+    /// Cores used per type `(Σ_{v_i=B} r_i, Σ_{v_i=L} r_i)`.
+    #[must_use]
+    pub fn used_cores(&self) -> Resources {
+        let mut used = Resources::new(0, 0);
+        for s in &self.stages {
+            match s.core_type {
+                CoreType::Big => used.big += s.cores,
+                CoreType::Little => used.little += s.cores,
+            }
+        }
+        used
+    }
+
+    /// `IsValid` (Algorithm 3): non-empty, period within `target`, and the
+    /// resource constraints of Eq. (3).
+    #[must_use]
+    pub fn is_valid(&self, chain: &TaskChain, resources: Resources, target: Ratio) -> bool {
+        if self.stages.is_empty() {
+            return false;
+        }
+        let used = self.used_cores();
+        used.big <= resources.big && used.little <= resources.little && self.period(chain) <= target
+    }
+
+    /// Full structural check: contiguous coverage of the whole chain,
+    /// positive core counts, and no replication of sequential stages.
+    /// Returns a description of the first violation, if any.
+    pub fn validate(&self, chain: &TaskChain) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("solution has no stages".into());
+        }
+        let mut expected_start = 0usize;
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.start != expected_start {
+                return Err(format!(
+                    "stage {i} starts at task {} but task {} expected",
+                    s.start, expected_start
+                ));
+            }
+            if s.end < s.start || s.end >= chain.len() {
+                return Err(format!("stage {i} has invalid end {}", s.end));
+            }
+            if s.cores == 0 {
+                return Err(format!("stage {i} has zero cores"));
+            }
+            if s.cores > 1 && !chain.is_replicable(s.start, s.end) {
+                return Err(format!(
+                    "stage {i} replicates a sequential interval [{}..{}]",
+                    s.start, s.end
+                ));
+            }
+            expected_start = s.end + 1;
+        }
+        if expected_start != chain.len() {
+            return Err(format!(
+                "stages cover only {expected_start} of {} tasks",
+                chain.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Merges consecutive replicable stages that use the same core type
+    /// (HeRAD's post-processing step). Never increases the period: the
+    /// merged weight is the mediant of the originals, which lies between
+    /// them.
+    #[must_use]
+    pub fn merged_replicable_stages(&self, chain: &TaskChain) -> Solution {
+        let mut out: Vec<Stage> = Vec::with_capacity(self.stages.len());
+        for &s in &self.stages {
+            if let Some(prev) = out.last_mut() {
+                if prev.core_type == s.core_type
+                    && chain.is_replicable(prev.start, prev.end)
+                    && chain.is_replicable(s.start, s.end)
+                {
+                    prev.end = s.end;
+                    prev.cores += s.cores;
+                    continue;
+                }
+            }
+            out.push(s);
+        }
+        Solution::new(out)
+    }
+
+    /// The paper's compact decomposition notation, e.g. `(5,1B),(4,5B),(4,1L)`
+    /// (task count and replication per stage, as in Table II).
+    #[must_use]
+    pub fn decomposition(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| format!("({},{}{})", s.num_tasks(), s.cores, s.core_type.letter()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.stages.is_empty() {
+            write!(f, "(empty)")
+        } else {
+            write!(f, "{}", self.decomposition())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Task;
+
+    fn chain() -> TaskChain {
+        TaskChain::new(vec![
+            Task::new(4, 8, false),
+            Task::new(2, 6, true),
+            Task::new(3, 9, true),
+            Task::new(5, 10, false),
+            Task::new(1, 2, true),
+        ])
+    }
+
+    fn solution() -> Solution {
+        Solution::new(vec![
+            Stage::new(0, 0, 1, CoreType::Big),
+            Stage::new(1, 2, 2, CoreType::Little),
+            Stage::new(3, 4, 1, CoreType::Big),
+        ])
+    }
+
+    #[test]
+    fn period_is_max_stage_weight() {
+        let c = chain();
+        let s = solution();
+        // stage weights: 4, 15/2, 6 -> period 15/2
+        assert_eq!(s.period(&c), Ratio::new(15, 2));
+        assert!((s.throughput(&c) - 2.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn used_cores_by_type() {
+        assert_eq!(solution().used_cores(), Resources::new(2, 2));
+    }
+
+    #[test]
+    fn validity_checks_resources_and_period() {
+        let c = chain();
+        let s = solution();
+        assert!(s.is_valid(&c, Resources::new(2, 2), Ratio::new(15, 2)));
+        assert!(!s.is_valid(&c, Resources::new(1, 2), Ratio::new(15, 2)));
+        assert!(!s.is_valid(&c, Resources::new(2, 2), Ratio::from_int(7)));
+        assert!(!Solution::empty().is_valid(&c, Resources::new(9, 9), Ratio::INFINITY));
+    }
+
+    #[test]
+    fn validate_rejects_gaps_overlaps_and_bad_replication() {
+        let c = chain();
+        assert!(solution().validate(&c).is_ok());
+        // gap: second stage starts at 2
+        let bad = Solution::new(vec![
+            Stage::new(0, 0, 1, CoreType::Big),
+            Stage::new(2, 4, 1, CoreType::Big),
+        ]);
+        assert!(bad.validate(&c).is_err());
+        // missing tail
+        let bad = Solution::new(vec![Stage::new(0, 2, 1, CoreType::Big)]);
+        assert!(bad.validate(&c).unwrap_err().contains("cover only"));
+        // replicated sequential stage
+        let bad = Solution::new(vec![
+            Stage::new(0, 2, 2, CoreType::Big),
+            Stage::new(3, 4, 1, CoreType::Big),
+        ]);
+        assert!(bad.validate(&c).unwrap_err().contains("replicates"));
+        // zero cores
+        let bad = Solution::new(vec![Stage::new(0, 4, 0, CoreType::Big)]);
+        assert!(bad.validate(&c).unwrap_err().contains("zero cores"));
+        assert!(Solution::empty().validate(&c).is_err());
+    }
+
+    #[test]
+    fn merge_joins_consecutive_replicable_same_type() {
+        let c = TaskChain::new(vec![
+            Task::new(4, 8, true),
+            Task::new(2, 6, true),
+            Task::new(3, 9, true),
+        ]);
+        let s = Solution::new(vec![
+            Stage::new(0, 0, 1, CoreType::Big),
+            Stage::new(1, 1, 2, CoreType::Big),
+            Stage::new(2, 2, 1, CoreType::Little),
+        ]);
+        let m = s.merged_replicable_stages(&c);
+        assert_eq!(m.num_stages(), 2);
+        assert_eq!(m.stages()[0], Stage::new(0, 1, 3, CoreType::Big));
+        // merging never increases the period
+        assert!(m.period(&c) <= s.period(&c));
+        assert!(m.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn merge_keeps_sequential_and_cross_type_boundaries() {
+        let c = chain();
+        let s = Solution::new(vec![
+            Stage::new(0, 0, 1, CoreType::Big),
+            Stage::new(1, 1, 1, CoreType::Big),
+            Stage::new(2, 2, 1, CoreType::Little),
+            Stage::new(3, 4, 1, CoreType::Little),
+        ]);
+        let m = s.merged_replicable_stages(&c);
+        // [1,1] is replicable but [0,0] is sequential; [2,2] and [3,4] use
+        // the same type but [3,4] is sequential -> nothing merges.
+        assert_eq!(m.num_stages(), 4);
+    }
+
+    #[test]
+    fn decomposition_matches_paper_format() {
+        assert_eq!(solution().decomposition(), "(1,1B),(2,2L),(2,1B)");
+        assert_eq!(Solution::empty().to_string(), "(empty)");
+    }
+
+    #[test]
+    fn prepend_builds_in_chain_order() {
+        let mut s = Solution::empty();
+        s.prepend(Stage::new(3, 4, 1, CoreType::Big));
+        s.prepend(Stage::new(0, 2, 1, CoreType::Little));
+        assert_eq!(s.stages()[0].start, 0);
+        assert_eq!(s.stages()[1].start, 3);
+    }
+}

@@ -1,0 +1,258 @@
+//! Property-based tests for the scheduling strategies.
+//!
+//! The central oracle is exhaustive search on tiny instances: HeRAD must
+//! match its period exactly (Theorem 1), and its core usage must be
+//! Pareto-optimal among all minimum-period solutions (the secondary
+//! objective). The heuristics must always produce valid schedules with
+//! periods no better than optimal.
+
+use amp_core::sched::{
+    brute::all_optimal_solutions, BruteForce, Fertac, Herad, Otac, Pruning, Scheduler, Twocatac,
+};
+use amp_core::{Ratio, Resources, Task, TaskChain};
+use proptest::prelude::*;
+
+/// A tiny random instance: up to 6 tasks, weights like the paper's
+/// synthetic generator (big uniform, little = big × slowdown).
+fn tiny_instance() -> impl Strategy<Value = (TaskChain, Resources)> {
+    let task = (1u64..=20, 1u64..=5, any::<bool>())
+        .prop_map(|(wb, slow, rep)| Task::new(wb, wb * slow, rep));
+    (prop::collection::vec(task, 1..=6), 0u64..=3, 0u64..=3)
+        .prop_filter("need at least one core", |(_, b, l)| b + l > 0)
+        .prop_map(|(tasks, b, l)| (TaskChain::new(tasks), Resources::new(b, l)))
+}
+
+/// A mid-size random instance for heuristic validity (no brute force).
+fn mid_instance() -> impl Strategy<Value = (TaskChain, Resources)> {
+    let task = (1u64..=100, 1u64..=5, any::<bool>())
+        .prop_map(|(wb, slow, rep)| Task::new(wb, wb * slow, rep));
+    (prop::collection::vec(task, 1..=20), 0u64..=8, 0u64..=8)
+        .prop_filter("need at least one core", |(_, b, l)| b + l > 0)
+        .prop_map(|(tasks, b, l)| (TaskChain::new(tasks), Resources::new(b, l)))
+}
+
+proptest! {
+    /// Theorem 1, primary objective: HeRAD's period equals the exhaustive
+    /// optimum.
+    #[test]
+    fn herad_period_is_optimal((chain, res) in tiny_instance()) {
+        let brute = BruteForce.schedule(&chain, res).unwrap();
+        let herad = Herad::new().schedule(&chain, res).unwrap();
+        prop_assert!(herad.validate(&chain).is_ok(), "{herad}");
+        prop_assert_eq!(
+            herad.period(&chain),
+            brute.period(&chain),
+            "HeRAD {} vs brute {}", herad, brute
+        );
+    }
+
+    /// Theorem 1, secondary objective: no minimum-period solution strictly
+    /// dominates HeRAD's core usage (fewer of one type, no more of the
+    /// other).
+    #[test]
+    fn herad_core_usage_is_pareto_optimal((chain, res) in tiny_instance()) {
+        let herad = Herad::new().schedule(&chain, res).unwrap();
+        let hu = herad.used_cores();
+        for other in all_optimal_solutions(&chain, res) {
+            if other.period(&chain) != herad.period(&chain) {
+                continue;
+            }
+            let ou = other.used_cores();
+            let dominates = (ou.big < hu.big && ou.little <= hu.little)
+                || (ou.big <= hu.big && ou.little < hu.little);
+            prop_assert!(
+                !dominates,
+                "{} ({}B,{}L) dominated by {} ({}B,{}L)",
+                herad, hu.big, hu.little, other, ou.big, ou.little
+            );
+        }
+    }
+
+    /// The lossless pruning is bit-for-bit identical to the unpruned DP
+    /// (period and tie-broken core usage); the aggressive pruning keeps the
+    /// period optimal.
+    #[test]
+    fn herad_prunings_agree((chain, res) in tiny_instance()) {
+        let none = Herad::with_pruning(Pruning::None).schedule(&chain, res).unwrap();
+        let lossless = Herad::with_pruning(Pruning::Lossless).schedule(&chain, res).unwrap();
+        let aggressive = Herad::with_pruning(Pruning::Aggressive).schedule(&chain, res).unwrap();
+        prop_assert_eq!(none.period(&chain), lossless.period(&chain));
+        prop_assert_eq!(none.used_cores(), lossless.used_cores());
+        prop_assert_eq!(none.period(&chain), aggressive.period(&chain));
+    }
+
+    /// Heuristics always produce structurally valid schedules within the
+    /// resource budget, never beating the optimal period.
+    #[test]
+    fn heuristics_are_valid_and_never_beat_herad((chain, res) in mid_instance()) {
+        let opt = Herad::new().optimal_period(&chain, res).unwrap();
+        for sched in [&Fertac as &dyn Scheduler, &Twocatac::new()] {
+            let s = sched.schedule(&chain, res).unwrap();
+            prop_assert!(s.validate(&chain).is_ok(), "{}: {}", sched.name(), s);
+            let used = s.used_cores();
+            prop_assert!(used.big <= res.big && used.little <= res.little);
+            prop_assert!(
+                s.period(&chain) >= opt,
+                "{} period {} beats optimal {}", sched.name(), s.period(&chain), opt
+            );
+        }
+    }
+
+    /// OTAC restricted to one core type matches HeRAD on a pool that only
+    /// has that type (both are optimal on homogeneous resources).
+    #[test]
+    fn otac_is_optimal_on_homogeneous_pools((chain, res) in mid_instance()) {
+        if res.big > 0 {
+            let otac = Otac::big().schedule(&chain, res).unwrap();
+            let opt = Herad::new()
+                .optimal_period(&chain, Resources::new(res.big, 0))
+                .unwrap();
+            prop_assert_eq!(otac.period(&chain), opt, "OTAC(B) {} at {}", otac, res);
+        }
+        if res.little > 0 {
+            let otac = Otac::little().schedule(&chain, res).unwrap();
+            let opt = Herad::new()
+                .optimal_period(&chain, Resources::new(0, res.little))
+                .unwrap();
+            prop_assert_eq!(otac.period(&chain), opt, "OTAC(L) {} at {}", otac, res);
+        }
+    }
+
+    /// Merging consecutive replicable same-type stages never increases the
+    /// period and preserves validity.
+    #[test]
+    fn merging_preserves_validity_and_period((chain, res) in mid_instance()) {
+        for sched in [&Fertac as &dyn Scheduler, &Twocatac::new()] {
+            let s = sched.schedule(&chain, res).unwrap();
+            let m = s.merged_replicable_stages(&chain);
+            prop_assert!(m.validate(&chain).is_ok());
+            prop_assert!(m.period(&chain) <= s.period(&chain));
+            prop_assert_eq!(m.used_cores(), s.used_cores());
+        }
+    }
+
+    /// Periods are invariant under weight scaling (rationals are exact).
+    #[test]
+    fn period_scales_linearly((chain, res) in tiny_instance(), k in 1u64..=7) {
+        let scaled = TaskChain::new(
+            chain
+                .tasks()
+                .iter()
+                .map(|t| Task::new(t.weight_big * k, t.weight_little * k, t.replicable))
+                .collect(),
+        );
+        let p1 = Herad::new().optimal_period(&chain, res).unwrap();
+        let p2 = Herad::new().optimal_period(&scaled, res).unwrap();
+        prop_assert_eq!(
+            Ratio::new(p1.numer() * u128::from(k), p1.denom()),
+            p2
+        );
+    }
+
+    /// Adding resources never makes the optimal period worse.
+    #[test]
+    fn more_resources_never_hurt((chain, res) in tiny_instance()) {
+        let p = Herad::new().optimal_period(&chain, res).unwrap();
+        let pb = Herad::new()
+            .optimal_period(&chain, Resources::new(res.big + 1, res.little))
+            .unwrap();
+        let pl = Herad::new()
+            .optimal_period(&chain, Resources::new(res.big, res.little + 1))
+            .unwrap();
+        prop_assert!(pb <= p);
+        prop_assert!(pl <= p);
+    }
+
+    /// The optimal period is bounded below by the work/cores bound and the
+    /// heaviest sequential task on its fastest core.
+    #[test]
+    fn optimal_period_respects_lower_bounds((chain, res) in tiny_instance()) {
+        let p = Herad::new().optimal_period(&chain, res).unwrap();
+        let mut sum_best = 0u128;
+        let mut max_seq = 0u64;
+        for t in chain.tasks() {
+            let w = match (res.big > 0, res.little > 0) {
+                (true, true) => t.weight_big.min(t.weight_little),
+                (true, false) => t.weight_big,
+                (false, _) => t.weight_little,
+            };
+            sum_best += u128::from(w);
+            if !t.replicable {
+                max_seq = max_seq.max(w);
+            }
+        }
+        prop_assert!(p >= Ratio::new(sum_best, u128::from(res.total())));
+        prop_assert!(p >= Ratio::from_int(max_seq));
+    }
+
+    /// Every stage of a HeRAD schedule is weight-bounded by the period and
+    /// replicated stages only appear on replicable intervals.
+    #[test]
+    fn herad_stages_are_consistent((chain, res) in mid_instance()) {
+        let s = Herad::new().schedule(&chain, res).unwrap();
+        let p = s.period(&chain);
+        for st in s.stages() {
+            prop_assert!(st.weight(&chain) <= p);
+            if st.cores > 1 {
+                prop_assert!(chain.is_replicable(st.start, st.end));
+                prop_assert_eq!(st.core_type, st.core_type);
+            }
+        }
+    }
+}
+
+/// Deterministic regression instances distilled from early proptest runs
+/// and paper examples.
+#[test]
+fn regression_known_instances() {
+    // Fully sequential chain: pipeline stages are forced to single cores.
+    let c = TaskChain::new(vec![
+        Task::new(5, 10, false),
+        Task::new(5, 10, false),
+        Task::new(5, 10, false),
+    ]);
+    let s = Herad::new().schedule(&c, Resources::new(3, 3)).unwrap();
+    assert_eq!(s.period(&c), Ratio::from_int(5));
+    assert_eq!(s.used_cores().big, 3);
+
+    // Fully replicable chain on mixed resources: the optimum splits the
+    // chain between core types in proportion to their speed.
+    let c = TaskChain::new(vec![Task::new(6, 12, true), Task::new(6, 12, true)]);
+    let s = Herad::new().schedule(&c, Resources::new(1, 2)).unwrap();
+    // 12 units of big-work; with 1 big and 2 little: give tasks to big at
+    // weight w_b = x/1 and little w_l = (24 - 2x)/2 ... exhaustively the
+    // optimum is 8: big stage [0,0] (6) and little stage [1,1] on 2 cores
+    // (12/2 = 6) -> period 6.
+    assert_eq!(s.period(&c), Ratio::from_int(6));
+
+    // One-task chain, one little core.
+    let c = TaskChain::new(vec![Task::new(7, 9, false)]);
+    let s = Herad::new().schedule(&c, Resources::new(0, 1)).unwrap();
+    assert_eq!(s.period(&c), Ratio::from_int(9));
+    assert_eq!(s.num_stages(), 1);
+}
+
+/// HeRAD against brute force on an exhaustive grid of small instances —
+/// deterministic complement to the random property tests.
+#[test]
+fn herad_matches_brute_force_on_grid() {
+    // All replicability patterns of a 4-task chain with fixed weights.
+    let wb = [3u64, 7, 2, 5];
+    let wl = [6u64, 14, 10, 5];
+    for mask in 0u32..16 {
+        let tasks: Vec<Task> = (0..4)
+            .map(|i| Task::new(wb[i], wl[i], mask & (1 << i) != 0))
+            .collect();
+        let chain = TaskChain::new(tasks);
+        for (b, l) in [(1, 1), (2, 1), (1, 2), (2, 2), (3, 0), (0, 3)] {
+            let res = Resources::new(b, l);
+            let brute = BruteForce.schedule(&chain, res).unwrap();
+            let herad = Herad::new().schedule(&chain, res).unwrap();
+            assert_eq!(
+                herad.period(&chain),
+                brute.period(&chain),
+                "mask {mask:04b} at {res}: HeRAD {herad} vs brute {brute}"
+            );
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Shortened binary BCH codec (the outer FEC of DVB-S2, τ19 in the chain).
+//!
+//! DVB-S2 uses t = 8/10/12 BCH over GF(2^14)/GF(2^16); the reduced chain
+//! uses t = 3 over GF(2^11), shortened from (2047, 2014) to (1600, 1567) —
+//! same encoder (systematic LFSR division by the generator polynomial) and
+//! same decoder (syndromes → Berlekamp–Massey → Chien search) as the full
+//! code, just smaller tables.
+
+use crate::galois::GaloisField;
+
+/// A t-error-correcting binary BCH code of length `n ≤ 2^m - 1` (shortened
+/// when `n < 2^m - 1`), with message length `k = n - deg(g)`.
+pub struct Bch {
+    gf: GaloisField,
+    t: usize,
+    n: usize,
+    k: usize,
+    /// Generator polynomial coefficients over GF(2), low-order first.
+    generator: Vec<u8>,
+}
+
+impl Bch {
+    /// Builds the code. `n` is the shortened codeword length.
+    ///
+    /// # Panics
+    /// Panics if the generator degree does not leave room for a message
+    /// (`n <= deg(g)`).
+    #[must_use]
+    pub fn new(gf: GaloisField, t: usize, n: usize) -> Self {
+        // g(x) = lcm of minimal polynomials of α, α^3, ..., α^(2t-1).
+        let mut generator = vec![1u16];
+        let mut used: Vec<Vec<u16>> = Vec::new();
+        for i in (1..2 * t).step_by(2) {
+            let mp = gf.minimal_poly(i);
+            if used.contains(&mp) {
+                continue;
+            }
+            generator = gf.poly_mul(&generator, &mp);
+            used.push(mp);
+        }
+        let generator: Vec<u8> = generator.iter().map(|&c| c as u8).collect();
+        let deg = generator.len() - 1;
+        assert!(n > deg, "codeword too short for the generator (deg {deg})");
+        assert!(n <= gf.order(), "codeword longer than the field order");
+        Bch {
+            t,
+            n,
+            k: n - deg,
+            gf,
+            generator,
+        }
+    }
+
+    /// The reduced-chain code: t = 3 over GF(2^11), (1600, 1567).
+    #[must_use]
+    pub fn reduced() -> Self {
+        Bch::new(GaloisField::gf2_11(), 3, 1600)
+    }
+
+    /// Codeword length `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Message length `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Correctable errors `t`.
+    #[must_use]
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Systematic encode: returns `message || parity` (bits as 0/1 bytes).
+    ///
+    /// # Panics
+    /// Panics if `message.len() != k`.
+    #[must_use]
+    pub fn encode(&self, message: &[u8]) -> Vec<u8> {
+        assert_eq!(message.len(), self.k, "message must have k bits");
+        let deg = self.generator.len() - 1;
+        // LFSR division of message(x) · x^deg by g(x).
+        let mut reg = vec![0u8; deg];
+        for &bit in message {
+            let feedback = bit ^ reg[deg - 1];
+            for i in (1..deg).rev() {
+                reg[i] = reg[i - 1] ^ (self.generator[i] & feedback);
+            }
+            reg[0] = self.generator[0] & feedback;
+        }
+        let mut out = Vec::with_capacity(self.n);
+        out.extend_from_slice(message);
+        // Parity bits, high-order first so the codeword is message||parity.
+        out.extend(reg.iter().rev().copied());
+        out
+    }
+
+    /// Decodes in place, correcting up to `t` bit errors. Returns the
+    /// number of corrected bits, or `None` when decoding fails (more than
+    /// `t` errors detected).
+    pub fn decode(&self, codeword: &mut [u8]) -> Option<usize> {
+        assert_eq!(codeword.len(), self.n, "codeword must have n bits");
+        let gf = &self.gf;
+        // Syndromes S_1 .. S_2t: the codeword polynomial has its highest-
+        // order coefficient first (bit 0 of the message is the x^{n-1}
+        // coefficient after shortening).
+        let mut syndromes = vec![0u16; 2 * self.t];
+        let mut all_zero = true;
+        for (j, s) in syndromes.iter_mut().enumerate() {
+            let mut acc = 0u16;
+            for (pos, &bit) in codeword.iter().enumerate() {
+                if bit != 0 {
+                    let power = (self.n - 1 - pos) * (j + 1);
+                    acc ^= gf.alpha_pow(power);
+                }
+            }
+            *s = acc;
+            all_zero &= acc == 0;
+        }
+        if all_zero {
+            return Some(0);
+        }
+
+        // Berlekamp–Massey: error locator polynomial sigma (low-order 1st).
+        let mut sigma = vec![1u16];
+        let mut prev_sigma = vec![1u16];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u16;
+        for n_iter in 0..2 * self.t {
+            let mut d = syndromes[n_iter];
+            for i in 1..=l.min(sigma.len() - 1) {
+                d ^= gf.mul(sigma[i], syndromes[n_iter - i]);
+            }
+            if d == 0 {
+                m += 1;
+            } else if 2 * l <= n_iter {
+                let temp = sigma.clone();
+                let coef = gf.div(d, b);
+                let mut shifted = vec![0u16; m];
+                shifted.extend(prev_sigma.iter().map(|&c| gf.mul(c, coef)));
+                if shifted.len() > sigma.len() {
+                    sigma.resize(shifted.len(), 0);
+                }
+                for (s, sh) in sigma.iter_mut().zip(&shifted) {
+                    *s ^= sh;
+                }
+                l = n_iter + 1 - l;
+                prev_sigma = temp;
+                b = d;
+                m = 1;
+            } else {
+                let coef = gf.div(d, b);
+                let mut shifted = vec![0u16; m];
+                shifted.extend(prev_sigma.iter().map(|&c| gf.mul(c, coef)));
+                if shifted.len() > sigma.len() {
+                    sigma.resize(shifted.len(), 0);
+                }
+                for (s, sh) in sigma.iter_mut().zip(&shifted) {
+                    *s ^= sh;
+                }
+                m += 1;
+            }
+        }
+        if l > self.t {
+            return None; // more errors than the code can correct
+        }
+
+        // Chien search over the shortened positions.
+        let mut corrected = 0usize;
+        for (pos, bit) in codeword.iter_mut().enumerate() {
+            // Position pos corresponds to locator X = α^{n-1-pos}; roots of
+            // sigma are X^{-1}.
+            let x_inv = gf.alpha_pow(gf.order() - ((self.n - 1 - pos) % gf.order()));
+            if gf.poly_eval(&sigma, x_inv) == 0 {
+                *bit ^= 1;
+                corrected += 1;
+            }
+        }
+        if corrected != l {
+            return None; // locator degree and root count disagree: fail
+        }
+        // Verify: recompute first syndrome.
+        let mut s1 = 0u16;
+        for (pos, &bit) in codeword.iter().enumerate() {
+            if bit != 0 {
+                s1 ^= gf.alpha_pow(self.n - 1 - pos);
+            }
+        }
+        if s1 != 0 {
+            return None;
+        }
+        Some(corrected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small() -> Bch {
+        // (15, 5) t=3 BCH over GF(2^4) — a classic testable code.
+        Bch::new(GaloisField::new(4, 0x13), 3, 15)
+    }
+
+    #[test]
+    fn generator_gives_expected_k() {
+        let code = small();
+        assert_eq!(code.n(), 15);
+        assert_eq!(code.k(), 5);
+        let code = Bch::reduced();
+        assert_eq!(code.n(), 1600);
+        assert_eq!(code.k(), 1567);
+        assert_eq!(code.t(), 3);
+    }
+
+    #[test]
+    fn roundtrip_without_errors() {
+        let code = small();
+        let msg = vec![1, 0, 1, 1, 0];
+        let mut cw = code.encode(&msg);
+        assert_eq!(cw.len(), 15);
+        assert_eq!(&cw[..5], &msg[..]);
+        assert_eq!(code.decode(&mut cw), Some(0));
+        assert_eq!(&cw[..5], &msg[..]);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_everywhere() {
+        let code = small();
+        let msg = vec![1, 1, 0, 1, 0];
+        let clean = code.encode(&msg);
+        let mut rng = StdRng::seed_from_u64(11);
+        for errs in 1..=3 {
+            for _ in 0..50 {
+                let mut cw = clean.clone();
+                let mut flipped = std::collections::BTreeSet::new();
+                while flipped.len() < errs {
+                    flipped.insert(rng.gen_range(0..15));
+                }
+                for &p in &flipped {
+                    cw[p] ^= 1;
+                }
+                assert_eq!(code.decode(&mut cw), Some(errs), "errs={errs} {flipped:?}");
+                assert_eq!(cw, clean);
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_code_roundtrip_and_correction() {
+        let code = Bch::reduced();
+        let mut rng = StdRng::seed_from_u64(5);
+        let msg: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..2u8)).collect();
+        let clean = code.encode(&msg);
+        assert_eq!(clean.len(), 1600);
+        // no errors
+        let mut cw = clean.clone();
+        assert_eq!(code.decode(&mut cw), Some(0));
+        // exactly t errors at random positions
+        let mut cw = clean.clone();
+        let mut pos = std::collections::BTreeSet::new();
+        while pos.len() < 3 {
+            pos.insert(rng.gen_range(0..1600));
+        }
+        for &p in &pos {
+            cw[p] ^= 1;
+        }
+        assert_eq!(code.decode(&mut cw), Some(3));
+        assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn detects_uncorrectable_patterns() {
+        let code = small();
+        let msg = vec![0, 0, 0, 0, 0];
+        let clean = code.encode(&msg);
+        // 4+ scattered errors usually exceed t=3: decode must not silently
+        // "correct" to the original codeword.
+        let mut cw = clean.clone();
+        for p in [0, 4, 8, 12] {
+            cw[p] ^= 1;
+        }
+        match code.decode(&mut cw) {
+            None => {} // detected failure: fine
+            Some(_) => assert_ne!(cw, clean, "must not claim to restore the original"),
+        }
+    }
+
+    #[test]
+    fn codewords_are_multiples_of_the_generator() {
+        // Structural check: every syndrome of a fresh codeword is zero.
+        let code = small();
+        let gf = GaloisField::new(4, 0x13);
+        for mval in 0..32u32 {
+            let msg: Vec<u8> = (0..5).map(|i| ((mval >> i) & 1) as u8).collect();
+            let cw = code.encode(&msg);
+            for j in 1..=6 {
+                let mut s = 0u16;
+                for (pos, &bit) in cw.iter().enumerate() {
+                    if bit != 0 {
+                        s ^= gf.alpha_pow((code.n() - 1 - pos) * j);
+                    }
+                }
+                assert_eq!(s, 0, "syndrome {j} for message {mval}");
+            }
+        }
+    }
+}

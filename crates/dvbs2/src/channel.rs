@@ -1,0 +1,114 @@
+//! Transmission channel model: AWGN plus optional carrier offset —
+//! the stand-in for the paper's radio front end (τ1 receives from it).
+
+use crate::complex::C32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An AWGN channel with optional carrier frequency/phase offset.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    /// Per-component noise standard deviation.
+    pub sigma: f32,
+    /// Carrier frequency offset in radians per sample.
+    pub freq_offset: f32,
+    /// Carrier phase offset in radians.
+    pub phase_offset: f32,
+    rng: StdRng,
+}
+
+impl Channel {
+    /// Builds a channel with the given noise level and impairments.
+    #[must_use]
+    pub fn new(sigma: f32, freq_offset: f32, phase_offset: f32, seed: u64) -> Self {
+        Channel {
+            sigma,
+            freq_offset,
+            phase_offset,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A clean channel (no noise, no offsets) for bit-exact tests.
+    #[must_use]
+    pub fn clean() -> Self {
+        Channel::new(0.0, 0.0, 0.0, 0)
+    }
+
+    /// Channel with noise set from Es/N0 in dB (unit-energy symbols,
+    /// per-component variance `sigma² = 1 / (2·Es/N0)`).
+    #[must_use]
+    pub fn with_es_n0_db(es_n0_db: f32, seed: u64) -> Self {
+        let es_n0 = 10.0f32.powf(es_n0_db / 10.0);
+        Channel::new((1.0 / (2.0 * es_n0)).sqrt(), 0.0, 0.0, seed)
+    }
+
+    fn gaussian(&mut self) -> f32 {
+        // Box–Muller.
+        let u1: f32 = self.rng.gen_range(1e-12..1.0f32);
+        let u2: f32 = self.rng.gen_range(0.0..1.0f32);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Applies the channel to a sample block.
+    #[must_use]
+    pub fn transmit(&mut self, samples: &[C32]) -> Vec<C32> {
+        samples
+            .iter()
+            .enumerate()
+            .map(|(n, s)| {
+                let rotated = *s * C32::from_angle(self.freq_offset * n as f32 + self.phase_offset);
+                rotated + C32::new(self.gaussian() * self.sigma, self.gaussian() * self.sigma)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_is_identity() {
+        let mut ch = Channel::clean();
+        let block: Vec<C32> = (0..64).map(|i| C32::from_angle(i as f32 * 0.2)).collect();
+        let out = ch.transmit(&block);
+        for (a, b) in out.iter().zip(&block) {
+            assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn noise_power_matches_sigma() {
+        let mut ch = Channel::new(0.3, 0.0, 0.0, 1);
+        let block = vec![C32::ZERO; 20_000];
+        let out = ch.transmit(&block);
+        let p: f32 = out.iter().map(|s| s.norm_sq()).sum::<f32>() / out.len() as f32;
+        // Per-component sigma^2 = 0.09 -> complex power 0.18
+        assert!((p - 0.18).abs() < 0.02, "noise power {p}");
+    }
+
+    #[test]
+    fn frequency_offset_rotates() {
+        let mut ch = Channel::new(0.0, 0.01, 0.0, 2);
+        let block = vec![C32::new(1.0, 0.0); 256];
+        let out = ch.transmit(&block);
+        let est = crate::sync::coarse_freq_estimate(&out);
+        assert!((est - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn es_n0_conversion() {
+        let ch = Channel::with_es_n0_db(10.0, 0);
+        // Es/N0 = 10 -> sigma^2 = 1/20
+        assert!((ch.sigma * ch.sigma - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seeded_channels_are_reproducible() {
+        let block: Vec<C32> = (0..32).map(|i| C32::from_angle(i as f32)).collect();
+        let a = Channel::new(0.5, 0.0, 0.0, 7).transmit(&block);
+        let b = Channel::new(0.5, 0.0, 0.0, 7).transmit(&block);
+        assert_eq!(a, b);
+    }
+}

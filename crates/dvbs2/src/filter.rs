@@ -1,0 +1,206 @@
+//! Root-raised-cosine pulse shaping and matched filtering (τ4/τ5).
+//!
+//! DVB-S2 shapes with an RRC of rolloff 0.2/0.25/0.35; the receiver's
+//! matched filter is the same RRC. The paper splits the matched filter in
+//! two pipeline tasks (part 1 / part 2); here the split is by half the
+//! output block, which is exactly how a linear FIR can be partitioned.
+
+use crate::complex::C32;
+
+/// A root-raised-cosine FIR filter.
+#[derive(Clone, Debug)]
+pub struct RrcFilter {
+    taps: Vec<f32>,
+    sps: usize,
+}
+
+impl RrcFilter {
+    /// Designs an RRC with the given rolloff, `span` symbols of support and
+    /// `sps` samples per symbol (odd tap count `span*sps + 1`).
+    ///
+    /// # Panics
+    /// Panics on a degenerate design (`rolloff` outside (0,1], zero span or
+    /// sps).
+    #[must_use]
+    pub fn new(rolloff: f32, span: usize, sps: usize) -> Self {
+        assert!(rolloff > 0.0 && rolloff <= 1.0, "rolloff in (0, 1]");
+        assert!(span > 0 && sps > 0, "span and sps must be positive");
+        let n = span * sps + 1;
+        let mut taps = Vec::with_capacity(n);
+        let beta = rolloff;
+        for i in 0..n {
+            let t = (i as f32 - (n - 1) as f32 / 2.0) / sps as f32; // in symbols
+            let tap = if t.abs() < 1e-8 {
+                1.0 + beta * (4.0 / std::f32::consts::PI - 1.0)
+            } else if (t.abs() - 1.0 / (4.0 * beta)).abs() < 1e-6 {
+                let a = std::f32::consts::PI / (4.0 * beta);
+                (beta / std::f32::consts::SQRT_2)
+                    * ((1.0 + 2.0 / std::f32::consts::PI) * a.sin()
+                        + (1.0 - 2.0 / std::f32::consts::PI) * a.cos())
+            } else {
+                let pi_t = std::f32::consts::PI * t;
+                let num =
+                    (pi_t * (1.0 - beta)).sin() + 4.0 * beta * t * (pi_t * (1.0 + beta)).cos();
+                let den = pi_t * (1.0 - (4.0 * beta * t).powi(2));
+                num / den
+            };
+            taps.push(tap);
+        }
+        // Unit-energy normalization so tx RRC + rx RRC ~ unit-gain RC.
+        let energy: f32 = taps.iter().map(|t| t * t).sum();
+        let norm = energy.sqrt();
+        for t in &mut taps {
+            *t /= norm;
+        }
+        RrcFilter { taps, sps }
+    }
+
+    /// The default shaping of the reduced chain: rolloff 0.2, span 8, 2
+    /// samples per symbol.
+    #[must_use]
+    pub fn reduced() -> Self {
+        RrcFilter::new(0.2, 8, 2)
+    }
+
+    /// The filter taps.
+    #[must_use]
+    pub fn taps(&self) -> &[f32] {
+        &self.taps
+    }
+
+    /// Group delay in samples (`(taps-1)/2`).
+    #[must_use]
+    pub fn delay(&self) -> usize {
+        (self.taps.len() - 1) / 2
+    }
+
+    /// Upsamples symbols by `sps` and shapes them; output has
+    /// `symbols.len()*sps` samples, compensating the group delay (the tail
+    /// is flushed).
+    #[must_use]
+    pub fn shape(&self, symbols: &[C32]) -> Vec<C32> {
+        let n_out = symbols.len() * self.sps;
+        let delay = self.delay();
+        let mut out = vec![C32::ZERO; n_out];
+        for (k, &s) in symbols.iter().enumerate() {
+            let center = k * self.sps;
+            for (i, &tap) in self.taps.iter().enumerate() {
+                let idx = center + i;
+                if idx >= delay {
+                    let o = idx - delay;
+                    if o < n_out {
+                        out[o] += s.scale(tap);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matched-filters a sample block (same rate), delay-compensated.
+    #[must_use]
+    pub fn filter_block(&self, samples: &[C32]) -> Vec<C32> {
+        let delay = self.delay();
+        let n = samples.len();
+        let mut out = vec![C32::ZERO; n];
+        for (o, item) in out.iter_mut().enumerate() {
+            let mut acc = C32::ZERO;
+            for (i, &tap) in self.taps.iter().enumerate() {
+                // y[o] = sum_i tap[i] * x[o + delay - i]
+                let idx = o + delay;
+                if idx >= i && idx - i < n {
+                    acc += samples[idx - i].scale(tap);
+                }
+            }
+            *item = acc;
+        }
+        out
+    }
+
+    /// The matched filter as the paper's two pipeline tasks: `part` 0
+    /// computes the first half of the output block, `part` 1 the second.
+    #[must_use]
+    pub fn filter_half(&self, samples: &[C32], part: usize) -> Vec<C32> {
+        debug_assert!(part < 2);
+        let n = samples.len();
+        let half = n / 2;
+        let (lo, hi) = if part == 0 { (0, half) } else { (half, n) };
+        let delay = self.delay();
+        let mut out = vec![C32::ZERO; hi - lo];
+        for (o_rel, item) in out.iter_mut().enumerate() {
+            let o = lo + o_rel;
+            let mut acc = C32::ZERO;
+            for (i, &tap) in self.taps.iter().enumerate() {
+                let idx = o + delay;
+                if idx >= i && idx - i < n {
+                    acc += samples[idx - i].scale(tap);
+                }
+            }
+            *item = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modem::QpskModem;
+
+    #[test]
+    fn taps_are_symmetric_and_normalized() {
+        let f = RrcFilter::reduced();
+        let taps = f.taps();
+        assert_eq!(taps.len(), 17);
+        for i in 0..taps.len() {
+            assert!(
+                (taps[i] - taps[taps.len() - 1 - i]).abs() < 1e-5,
+                "tap {i} asymmetric"
+            );
+        }
+        let energy: f32 = taps.iter().map(|t| t * t).sum();
+        assert!((energy - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn shape_then_match_recovers_symbols() {
+        // RRC ∘ RRC = raised cosine: Nyquist, so symbol-spaced samples of
+        // the cascade reproduce the symbols (up to edge effects).
+        let f = RrcFilter::reduced();
+        let bits: Vec<u8> = (0..120).map(|i| ((i * 3 + 1) % 2) as u8).collect();
+        let symbols = QpskModem::modulate(&bits);
+        let shaped = f.shape(&symbols);
+        assert_eq!(shaped.len(), symbols.len() * 2);
+        let matched = f.filter_block(&shaped);
+        // Decimate at the symbol instants and compare (skip edges).
+        for k in 8..symbols.len() - 8 {
+            let s = matched[k * 2];
+            let (b0, b1) = QpskModem::hard_decision(s);
+            assert_eq!((b0, b1), (bits[2 * k], bits[2 * k + 1]), "symbol {k}");
+        }
+    }
+
+    #[test]
+    fn split_halves_equal_full_filter() {
+        let f = RrcFilter::reduced();
+        let symbols = QpskModem::modulate(&[0u8; 64]);
+        let mut samples = f.shape(&symbols);
+        // make the input asymmetric
+        for (i, s) in samples.iter_mut().enumerate() {
+            *s += C32::new((i % 7) as f32 * 0.01, 0.0);
+        }
+        let full = f.filter_block(&samples);
+        let mut halves = f.filter_half(&samples, 0);
+        halves.extend(f.filter_half(&samples, 1));
+        assert_eq!(full.len(), halves.len());
+        for (a, b) in full.iter().zip(&halves) {
+            assert!((*a - *b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rolloff")]
+    fn rejects_bad_rolloff() {
+        let _ = RrcFilter::new(0.0, 8, 2);
+    }
+}

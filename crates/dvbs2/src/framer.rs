@@ -1,0 +1,202 @@
+//! Physical-layer framing (τ14) and bit interleaving (τ17).
+
+use crate::complex::C32;
+use crate::modem::QpskModem;
+
+/// The physical-layer header: a fixed, known pilot sequence of
+/// `plh_symbols` QPSK symbols prepended to each frame. Generated from a
+/// maximal-length LFSR so it has good autocorrelation for frame sync.
+#[derive(Clone, Debug)]
+pub struct PlHeader {
+    symbols: Vec<C32>,
+}
+
+impl PlHeader {
+    /// Builds the header sequence of `len` symbols.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        // 7-bit m-sequence (x^7 + x^6 + 1), mapped to QPSK pairs.
+        let mut state: u8 = 0x5A | 1;
+        let mut bits = Vec::with_capacity(2 * len);
+        for _ in 0..2 * len {
+            let fb = ((state >> 6) ^ (state >> 5)) & 1;
+            bits.push(state & 1);
+            state = (state << 1) | fb;
+        }
+        let symbols = QpskModem::modulate(&bits);
+        PlHeader { symbols }
+    }
+
+    /// The header symbols.
+    #[must_use]
+    pub fn symbols(&self) -> &[C32] {
+        &self.symbols
+    }
+
+    /// Header length in symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Never empty for positive construction length.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Prepends the header to a frame of data symbols.
+    #[must_use]
+    pub fn insert(&self, data: &[C32]) -> Vec<C32> {
+        let mut out = Vec::with_capacity(self.len() + data.len());
+        out.extend_from_slice(&self.symbols);
+        out.extend_from_slice(data);
+        out
+    }
+
+    /// Strips the header (τ14 "Framer PLH — remove").
+    ///
+    /// # Panics
+    /// Panics if the frame is shorter than the header.
+    #[must_use]
+    pub fn remove(&self, frame: &[C32]) -> Vec<C32> {
+        assert!(frame.len() >= self.len(), "frame shorter than its header");
+        frame[self.len()..].to_vec()
+    }
+
+    /// Correlates the header against `haystack` at each offset and returns
+    /// the offset with the strongest normalized correlation (frame sync).
+    #[must_use]
+    pub fn correlate(&self, haystack: &[C32]) -> (usize, f32) {
+        let h = self.len();
+        if haystack.len() < h {
+            return (0, 0.0);
+        }
+        let mut best = (0usize, -1.0f32);
+        for off in 0..=haystack.len() - h {
+            let mut acc = C32::ZERO;
+            let mut energy = 0.0f32;
+            for (i, hs) in self.symbols.iter().enumerate() {
+                acc += haystack[off + i] * hs.conj();
+                energy += haystack[off + i].norm_sq();
+            }
+            let score = acc.abs() / energy.max(1e-12).sqrt() / (h as f32).sqrt();
+            if score > best.1 {
+                best = (off, score);
+            }
+        }
+        best
+    }
+}
+
+/// A row-column block bit interleaver (τ17 writes columns, reads rows; the
+/// deinterleaver inverts it). `rows` must divide the block length.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockInterleaver {
+    rows: usize,
+}
+
+impl BlockInterleaver {
+    /// Builds an interleaver with `rows` rows.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0`.
+    #[must_use]
+    pub fn new(rows: usize) -> Self {
+        assert!(rows > 0, "need at least one row");
+        BlockInterleaver { rows }
+    }
+
+    /// Interleaves a block (column-write, row-read).
+    ///
+    /// # Panics
+    /// Panics if `rows` does not divide the block length.
+    #[must_use]
+    pub fn interleave<T: Copy>(&self, block: &[T]) -> Vec<T> {
+        assert_eq!(block.len() % self.rows, 0, "rows must divide the block");
+        let cols = block.len() / self.rows;
+        let mut out = Vec::with_capacity(block.len());
+        for r in 0..self.rows {
+            for c in 0..cols {
+                out.push(block[c * self.rows + r]);
+            }
+        }
+        out
+    }
+
+    /// Inverts [`BlockInterleaver::interleave`].
+    #[must_use]
+    pub fn deinterleave<T: Copy + Default>(&self, block: &[T]) -> Vec<T> {
+        assert_eq!(block.len() % self.rows, 0, "rows must divide the block");
+        let cols = block.len() / self.rows;
+        let mut out = vec![T::default(); block.len()];
+        let mut it = block.iter();
+        for r in 0..self.rows {
+            for c in 0..cols {
+                out[c * self.rows + r] = *it.next().unwrap();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let plh = PlHeader::new(90);
+        assert_eq!(plh.len(), 90);
+        assert!(!plh.is_empty());
+        let data: Vec<C32> = (0..900).map(|i| C32::from_angle(i as f32)).collect();
+        let framed = plh.insert(&data);
+        assert_eq!(framed.len(), 990);
+        let back = plh.remove(&framed);
+        assert_eq!(back.len(), 900);
+        for (a, b) in back.iter().zip(&data) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn correlation_finds_the_header() {
+        let plh = PlHeader::new(90);
+        let data: Vec<C32> = (0..300)
+            .map(|i| C32::from_angle(i as f32 * 1.7).scale(0.7))
+            .collect();
+        // Bury the header at offset 123.
+        let mut stream = data.clone();
+        stream.splice(123..123, plh.symbols().iter().copied());
+        let (off, score) = plh.correlate(&stream);
+        assert_eq!(off, 123);
+        assert!(score > 0.8, "weak peak {score}");
+    }
+
+    #[test]
+    fn interleaver_roundtrip() {
+        let il = BlockInterleaver::new(8);
+        let block: Vec<u16> = (0..1800).collect();
+        let mixed = il.interleave(&block);
+        assert_ne!(mixed, block);
+        assert_eq!(il.deinterleave(&mixed), block);
+    }
+
+    #[test]
+    fn interleaver_spreads_bursts() {
+        // A burst of adjacent positions in the interleaved domain must map
+        // to spread positions in the original domain.
+        let il = BlockInterleaver::new(10);
+        let block: Vec<u32> = (0..100).collect();
+        let mixed = il.interleave(&block);
+        // First 5 interleaved entries come from stride-10 positions.
+        assert_eq!(&mixed[..5], &[0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn interleaver_rejects_ragged_blocks() {
+        let il = BlockInterleaver::new(7);
+        let _ = il.interleave(&[0u8; 10]);
+    }
+}

@@ -1,0 +1,222 @@
+//! GF(2^m) arithmetic for the BCH codec (log/antilog tables).
+
+/// A binary extension field GF(2^m), m ≤ 16, defined by a primitive
+/// polynomial. Multiplication and inversion go through log/antilog tables.
+pub struct GaloisField {
+    m: usize,
+    /// `exp[i] = α^i` for `i in 0..2^m-1` (doubled to avoid mod in mul).
+    exp: Vec<u16>,
+    /// `log[x]` for `x in 1..2^m`; `log[0]` unused.
+    log: Vec<u16>,
+}
+
+impl GaloisField {
+    /// Builds GF(2^m) from a primitive polynomial given as a bitmask with
+    /// the `x^m` bit set (e.g. `0x805` for `x^11 + x^2 + 1`).
+    ///
+    /// # Panics
+    /// Panics if the polynomial's degree is not `m` or the polynomial is
+    /// not primitive (the generated cycle does not reach full length).
+    #[must_use]
+    pub fn new(m: usize, primitive_poly: u32) -> Self {
+        assert!((2..=16).contains(&m), "m must be in 2..=16");
+        assert_eq!(
+            32 - primitive_poly.leading_zeros() as usize - 1,
+            m,
+            "polynomial degree must equal m"
+        );
+        let size = 1usize << m;
+        let order = size - 1;
+        let mut exp = vec![0u16; 2 * order];
+        let mut log = vec![0u16; size];
+        let mut x: u32 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(order) {
+            assert!(!(i > 0 && x == 1), "polynomial is not primitive");
+            *e = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= primitive_poly;
+            }
+        }
+        for i in order..2 * order {
+            exp[i] = exp[i - order];
+        }
+        GaloisField { m, exp, log }
+    }
+
+    /// The standard GF(2^11) used by the reduced BCH code.
+    #[must_use]
+    pub fn gf2_11() -> Self {
+        GaloisField::new(11, 0x805)
+    }
+
+    /// Field extension degree m.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Multiplicative group order `2^m - 1`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        (1 << self.m) - 1
+    }
+
+    /// `α^i` (exponent taken modulo the group order).
+    #[must_use]
+    pub fn alpha_pow(&self, i: usize) -> u16 {
+        self.exp[i % self.order()]
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    #[must_use]
+    pub fn inv(&self, a: u16) -> u16 {
+        assert!(a != 0, "zero has no inverse");
+        self.exp[self.order() - self.log[a as usize] as usize]
+    }
+
+    /// Field division `a / b`.
+    #[must_use]
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        if a == 0 {
+            0
+        } else {
+            self.mul(a, self.inv(b))
+        }
+    }
+
+    /// Discrete logarithm base α of a non-zero element.
+    #[must_use]
+    pub fn log_of(&self, a: u16) -> usize {
+        debug_assert!(a != 0);
+        self.log[a as usize] as usize
+    }
+
+    /// Evaluates a polynomial (coefficients low-order first) at `x`.
+    #[must_use]
+    pub fn poly_eval(&self, poly: &[u16], x: u16) -> u16 {
+        let mut acc = 0u16;
+        for &c in poly.iter().rev() {
+            acc = self.mul(acc, x) ^ c;
+        }
+        acc
+    }
+
+    /// Multiplies two polynomials over the field.
+    #[must_use]
+    pub fn poly_mul(&self, a: &[u16], b: &[u16]) -> Vec<u16> {
+        let mut out = vec![0u16; a.len() + b.len() - 1];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                out[i + j] ^= self.mul(ai, bj);
+            }
+        }
+        out
+    }
+
+    /// The minimal polynomial of `α^i` (coefficients in GF(2), low-order
+    /// first, as 0/1 values).
+    #[must_use]
+    pub fn minimal_poly(&self, i: usize) -> Vec<u16> {
+        // Collect the conjugacy class {i, 2i, 4i, ...} mod (2^m - 1).
+        let order = self.order();
+        let mut class = Vec::new();
+        let mut e = i % order;
+        loop {
+            class.push(e);
+            e = (e * 2) % order;
+            if e == i % order {
+                break;
+            }
+        }
+        // Product of (x - α^e) over the class; result has GF(2) coeffs.
+        let mut poly = vec![1u16];
+        for &e in &class {
+            poly = self.poly_mul(&poly, &[self.alpha_pow(e), 1]);
+        }
+        for &c in &poly {
+            debug_assert!(c <= 1, "minimal polynomial must have binary coefficients");
+        }
+        poly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_field_tables_are_consistent() {
+        // GF(2^4) with x^4 + x + 1
+        let gf = GaloisField::new(4, 0x13);
+        assert_eq!(gf.order(), 15);
+        // Every non-zero element has an inverse.
+        for a in 1u16..16 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a = {a}");
+        }
+        // Multiplication is commutative and distributes over xor.
+        for a in 0u16..16 {
+            for b in 0u16..16 {
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                for c in 0u16..16 {
+                    assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf2_11_is_primitive() {
+        let gf = GaloisField::gf2_11();
+        assert_eq!(gf.order(), 2047);
+        assert_eq!(gf.alpha_pow(0), 1);
+        assert_eq!(gf.alpha_pow(2047), 1); // wraps
+        assert_eq!(gf.mul(gf.alpha_pow(100), gf.alpha_pow(1947)), 1);
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let gf = GaloisField::new(4, 0x13);
+        // p(x) = 1 + x: p(α) = 1 ^ α
+        let a = gf.alpha_pow(1);
+        assert_eq!(gf.poly_eval(&[1, 1], a), 1 ^ a);
+        // root check: (x - α) evaluated at α is zero
+        assert_eq!(gf.poly_eval(&[a, 1], a), 0);
+    }
+
+    #[test]
+    fn minimal_polys_are_binary_and_annihilate() {
+        let gf = GaloisField::gf2_11();
+        for i in [1usize, 3, 5] {
+            let mp = gf.minimal_poly(i);
+            assert!(mp.iter().all(|&c| c <= 1));
+            assert_eq!(gf.poly_eval(&mp, gf.alpha_pow(i)), 0, "mp({i}) root");
+            assert_eq!(*mp.last().unwrap(), 1, "monic");
+            assert_eq!(mp.len() - 1, 11, "degree m for these classes");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "primitive")]
+    fn non_primitive_poly_is_rejected() {
+        // x^4 + x^3 + x^2 + x + 1 is irreducible but not primitive.
+        let _ = GaloisField::new(4, 0x1f);
+    }
+}

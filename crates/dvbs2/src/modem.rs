@@ -1,0 +1,101 @@
+//! QPSK modulation and soft demodulation (τ16).
+
+use crate::complex::C32;
+
+const INV_SQRT2: f32 = std::f32::consts::FRAC_1_SQRT_2;
+
+/// Gray-mapped QPSK as in DVB-S2: bit pair `(b0, b1)` selects the
+/// quadrant; unit average energy.
+#[derive(Clone, Copy, Debug)]
+pub struct QpskModem;
+
+impl QpskModem {
+    /// Maps a bit pair to a symbol.
+    #[must_use]
+    pub fn map(b0: u8, b1: u8) -> C32 {
+        let re = if b0 == 0 { INV_SQRT2 } else { -INV_SQRT2 };
+        let im = if b1 == 0 { INV_SQRT2 } else { -INV_SQRT2 };
+        C32::new(re, im)
+    }
+
+    /// Modulates a bit stream (length must be even) into symbols.
+    ///
+    /// # Panics
+    /// Panics on an odd number of bits.
+    #[must_use]
+    pub fn modulate(bits: &[u8]) -> Vec<C32> {
+        assert!(bits.len().is_multiple_of(2), "QPSK needs an even bit count");
+        bits.chunks_exact(2)
+            .map(|p| Self::map(p[0], p[1]))
+            .collect()
+    }
+
+    /// Computes per-bit LLRs from received symbols; `sigma2` is the
+    /// per-component noise variance. Positive LLR = bit 0 more likely
+    /// (matches [`crate::ldpc::Ldpc::decode`]).
+    #[must_use]
+    pub fn demodulate(symbols: &[C32], sigma2: f32) -> Vec<f32> {
+        let scale = 2.0 * std::f32::consts::SQRT_2 / sigma2.max(1e-9);
+        let mut llr = Vec::with_capacity(symbols.len() * 2);
+        for s in symbols {
+            llr.push(s.re * scale);
+            llr.push(s.im * scale);
+        }
+        llr
+    }
+
+    /// Hard decision from a symbol.
+    #[must_use]
+    pub fn hard_decision(s: C32) -> (u8, u8) {
+        (u8::from(s.re < 0.0), u8::from(s.im < 0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constellation_has_unit_energy() {
+        for b0 in 0..2u8 {
+            for b1 in 0..2u8 {
+                let s = QpskModem::map(b0, b1);
+                assert!((s.norm_sq() - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_clean_channel() {
+        let bits: Vec<u8> = (0..256).map(|i| ((i * 5 + 1) % 2) as u8).collect();
+        let sym = QpskModem::modulate(&bits);
+        assert_eq!(sym.len(), 128);
+        let llr = QpskModem::demodulate(&sym, 0.5);
+        let hard: Vec<u8> = llr.iter().map(|&l| u8::from(l < 0.0)).collect();
+        assert_eq!(hard, bits);
+    }
+
+    #[test]
+    fn llr_magnitude_scales_inversely_with_noise() {
+        let sym = vec![QpskModem::map(0, 1)];
+        let quiet = QpskModem::demodulate(&sym, 0.1);
+        let noisy = QpskModem::demodulate(&sym, 1.0);
+        assert!(quiet[0] > noisy[0] * 5.0);
+        assert!(quiet[1] < 0.0 && noisy[1] < 0.0);
+    }
+
+    #[test]
+    fn hard_decisions_match_mapping() {
+        for b0 in 0..2u8 {
+            for b1 in 0..2u8 {
+                assert_eq!(QpskModem::hard_decision(QpskModem::map(b0, b1)), (b0, b1));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even bit count")]
+    fn odd_bits_panic() {
+        let _ = QpskModem::modulate(&[1, 0, 1]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Synchronization and gain blocks of the receiver front end
+//! (τ2, τ3, τ6/τ7, τ9/τ10, τ12, τ13, τ15).
+//!
+//! Real estimators operating on the frame buffers — automatic gain
+//! control, autocorrelation-based coarse frequency estimation, a
+//! Gardner-style timing error detector with symbol extraction, fine
+//! frequency/phase estimation on the known header (Luise–Reggiannini-style
+//! and phase-fit), and a data-aided noise estimator.
+
+use crate::complex::C32;
+
+/// τ2/τ8 — AGC: scales the block to unit average power. Returns the gain
+/// applied.
+pub fn agc(samples: &mut [C32]) -> f32 {
+    let power: f32 = samples.iter().map(|s| s.norm_sq()).sum::<f32>() / samples.len().max(1) as f32;
+    let gain = if power > 1e-12 {
+        1.0 / power.sqrt()
+    } else {
+        1.0
+    };
+    for s in samples.iter_mut() {
+        *s = s.scale(gain);
+    }
+    gain
+}
+
+/// τ3 — coarse frequency estimator: mean phase increment from the lag-1
+/// autocorrelation, in radians per sample.
+#[must_use]
+pub fn coarse_freq_estimate(samples: &[C32]) -> f32 {
+    let mut acc = C32::ZERO;
+    for w in samples.windows(2) {
+        acc += w[1] * w[0].conj();
+    }
+    acc.arg()
+}
+
+/// Derotates a block by `-freq` radians per sample (used after coarse and
+/// fine estimates).
+pub fn derotate(samples: &mut [C32], freq: f32) {
+    for (n, s) in samples.iter_mut().enumerate() {
+        *s = *s * C32::from_angle(-freq * n as f32);
+    }
+}
+
+/// τ6 — Gardner timing error detector over a 2-samples-per-symbol block:
+/// the average of `re{(y[k] - y[k-1]) * conj(y[k-1/2])}` style errors.
+/// Near-zero when symbol instants align with even samples.
+#[must_use]
+pub fn gardner_timing_error(samples: &[C32]) -> f32 {
+    let mut err = 0.0f32;
+    let mut count = 0usize;
+    let mut k = 2;
+    while k + 1 < samples.len() {
+        let prev = samples[k - 2];
+        let mid = samples[k - 1];
+        let cur = samples[k];
+        let d = cur - prev;
+        err += d.re * mid.re + d.im * mid.im;
+        count += 1;
+        k += 2;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        err / count as f32
+    }
+}
+
+/// τ7 — symbol extraction: picks the on-time samples (phase 0 of 2) after
+/// timing recovery.
+#[must_use]
+pub fn extract_symbols(samples: &[C32], sps: usize) -> Vec<C32> {
+    samples.iter().step_by(sps).copied().collect()
+}
+
+/// τ12 — fine frequency estimation on the known header
+/// (Luise–Reggiannini-style): weighted autocorrelations of the derotated
+/// header at lags `1..=lmax`, in radians per symbol.
+#[must_use]
+pub fn fine_freq_lr(received_header: &[C32], known_header: &[C32]) -> f32 {
+    debug_assert_eq!(received_header.len(), known_header.len());
+    // Remove the modulation.
+    let z: Vec<C32> = received_header
+        .iter()
+        .zip(known_header)
+        .map(|(r, h)| *r * h.conj())
+        .collect();
+    let lmax = (z.len() / 2).max(1);
+    let mut acc = C32::ZERO;
+    for lag in 1..=lmax {
+        let mut r = C32::ZERO;
+        for i in lag..z.len() {
+            r += z[i] * z[i - lag].conj();
+        }
+        acc += r;
+    }
+    acc.arg() / ((lmax + 1) as f32 / 2.0)
+}
+
+/// τ13 — fine phase estimation (P/F): the residual common phase of the
+/// derotated header, in radians.
+#[must_use]
+pub fn fine_phase(received_header: &[C32], known_header: &[C32]) -> f32 {
+    debug_assert_eq!(received_header.len(), known_header.len());
+    let mut acc = C32::ZERO;
+    for (r, h) in received_header.iter().zip(known_header) {
+        acc += *r * h.conj();
+    }
+    acc.arg()
+}
+
+/// Applies a constant phase rotation.
+pub fn rotate_block(samples: &mut [C32], phase: f32) {
+    let rot = C32::from_angle(phase);
+    for s in samples.iter_mut() {
+        *s = *s * rot;
+    }
+}
+
+/// τ15 — data-aided noise variance estimator: the mean squared deviation
+/// of the received header from the known header (per complex dimension).
+#[must_use]
+pub fn noise_estimate(received_header: &[C32], known_header: &[C32]) -> f32 {
+    debug_assert_eq!(received_header.len(), known_header.len());
+    let e: f32 = received_header
+        .iter()
+        .zip(known_header)
+        .map(|(r, h)| (*r - *h).norm_sq())
+        .sum();
+    (e / (2.0 * received_header.len().max(1) as f32)).max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framer::PlHeader;
+
+    #[test]
+    fn agc_normalizes_power() {
+        let mut block: Vec<C32> = (0..256)
+            .map(|i| C32::from_angle(i as f32 * 0.3).scale(3.7))
+            .collect();
+        let gain = agc(&mut block);
+        assert!((gain - 1.0 / 3.7).abs() < 1e-3);
+        let p: f32 = block.iter().map(|s| s.norm_sq()).sum::<f32>() / 256.0;
+        assert!((p - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn coarse_freq_recovers_a_rotation() {
+        let f = 0.05f32; // rad/sample
+        let block: Vec<C32> = (0..512).map(|n| C32::from_angle(f * n as f32)).collect();
+        let est = coarse_freq_estimate(&block);
+        assert!((est - f).abs() < 1e-4, "est {est}");
+        let mut derot = block.clone();
+        derotate(&mut derot, est);
+        let residual = coarse_freq_estimate(&derot);
+        assert!(residual.abs() < 1e-4);
+    }
+
+    #[test]
+    fn gardner_error_is_small_when_aligned() {
+        // Alternating ±1 symbols at 2 sps with linear transitions: on-time
+        // samples at even indices.
+        let mut samples = Vec::new();
+        for k in 0..128 {
+            let s = if k % 2 == 0 { 1.0f32 } else { -1.0 };
+            samples.push(C32::new(s, 0.0));
+            samples.push(C32::new(0.0, 0.0)); // midpoint of a transition
+        }
+        let e = gardner_timing_error(&samples);
+        assert!(e.abs() < 1e-6, "aligned error {e}");
+    }
+
+    #[test]
+    fn extract_decimates() {
+        let samples: Vec<C32> = (0..10).map(|i| C32::new(i as f32, 0.0)).collect();
+        let sym = extract_symbols(&samples, 2);
+        assert_eq!(sym.len(), 5);
+        assert_eq!(sym[2].re, 4.0);
+    }
+
+    #[test]
+    fn fine_freq_and_phase_recover_offsets() {
+        let plh = PlHeader::new(90);
+        let known = plh.symbols().to_vec();
+        let f = 0.01f32;
+        let ph = 0.6f32;
+        let rx: Vec<C32> = known
+            .iter()
+            .enumerate()
+            .map(|(n, h)| *h * C32::from_angle(f * n as f32 + ph))
+            .collect();
+        let est_f = fine_freq_lr(&rx, &known);
+        assert!((est_f - f).abs() < 2e-3, "freq est {est_f}");
+        // Remove the frequency, then estimate the phase.
+        let derot: Vec<C32> = rx
+            .iter()
+            .enumerate()
+            .map(|(n, s)| *s * C32::from_angle(-est_f * n as f32))
+            .collect();
+        let est_p = fine_phase(&derot, &known);
+        assert!((est_p - ph).abs() < 0.05, "phase est {est_p}");
+        let mut fixed = derot;
+        rotate_block(&mut fixed, -est_p);
+        let residual = fine_phase(&fixed, &known);
+        assert!(residual.abs() < 1e-3);
+    }
+
+    #[test]
+    fn noise_estimator_tracks_sigma() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let plh = PlHeader::new(90);
+        let known = plh.symbols().to_vec();
+        let mut rng = StdRng::seed_from_u64(9);
+        let sigma = 0.2f32;
+        let mut gauss = |s: f32| {
+            let u1: f32 = rng.gen_range(1e-9..1.0f32);
+            let u2: f32 = rng.gen_range(0.0..1.0f32);
+            s * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        };
+        let rx: Vec<C32> = known
+            .iter()
+            .map(|h| *h + C32::new(gauss(sigma), gauss(sigma)))
+            .collect();
+        let est = noise_estimate(&rx, &known);
+        let rel = (est - sigma * sigma).abs() / (sigma * sigma);
+        assert!(rel < 0.35, "est {est} vs {}", sigma * sigma);
+    }
+}

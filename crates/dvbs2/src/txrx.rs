@@ -1,0 +1,135 @@
+//! The transmitter side and the shared codec context.
+//!
+//! The paper's testbed feeds the receiver from a recorded/live DVB-S2
+//! transmission; here a faithful reduced-scale transmitter generates the
+//! "air" samples: PRBS payload → BB scrambling → BCH → LDPC → bit
+//! interleaving → QPSK → PL framing → PL (symbol) scrambling of the data
+//! portion → RRC pulse shaping → AWGN channel.
+
+use crate::bch::Bch;
+use crate::channel::Channel;
+use crate::complex::C32;
+use crate::filter::RrcFilter;
+use crate::framer::{BlockInterleaver, PlHeader};
+use crate::ldpc::Ldpc;
+use crate::modem::QpskModem;
+use crate::params::FrameParams;
+use crate::scrambler::{BinaryScrambler, SymbolScrambler};
+
+/// All codecs/filters of one link configuration, shared by the
+/// transmitter and the receiver.
+pub struct LinkContext {
+    /// Frame geometry.
+    pub params: FrameParams,
+    /// Outer FEC.
+    pub bch: Bch,
+    /// Inner FEC.
+    pub ldpc: Ldpc,
+    /// Bit interleaver (8 rows, like DVB-S2 QPSK-adjacent configs).
+    pub interleaver: BlockInterleaver,
+    /// Physical-layer header.
+    pub plh: PlHeader,
+    /// Pulse shaping / matched filter pair.
+    pub rrc: RrcFilter,
+    /// Physical-layer symbol scrambler.
+    pub symbol_scrambler: SymbolScrambler,
+}
+
+impl LinkContext {
+    /// The reduced-scale context (see [`FrameParams::reduced`]).
+    ///
+    /// # Panics
+    /// Panics if the reduced parameters ever become inconsistent with the
+    /// codec sizes (checked at construction).
+    #[must_use]
+    pub fn reduced() -> Self {
+        let params = FrameParams::reduced();
+        params
+            .validate()
+            .expect("reduced parameters are consistent");
+        let bch = Bch::reduced();
+        let ldpc = Ldpc::reduced();
+        assert_eq!(bch.k(), params.k_info);
+        assert_eq!(bch.n(), params.k_ldpc);
+        assert_eq!(ldpc.k(), params.k_ldpc);
+        assert_eq!(ldpc.n(), params.n_ldpc);
+        LinkContext {
+            params,
+            bch,
+            ldpc,
+            interleaver: BlockInterleaver::new(8),
+            plh: PlHeader::new(params.plh_symbols),
+            rrc: RrcFilter::reduced(),
+            symbol_scrambler: SymbolScrambler::new(1),
+        }
+    }
+
+    /// The deterministic PRBS payload of frame `seq` (what τ22 "Source —
+    /// generate" reproduces at the receiver for the monitor).
+    #[must_use]
+    pub fn reference_bits(&self, seq: u64) -> Vec<u8> {
+        // xorshift64* keyed by the sequence number.
+        let mut x = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..self.params.k_info)
+            .map(|_| {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63) & 1) as u8
+            })
+            .collect()
+    }
+
+    /// Encodes and modulates frame `seq` into shaped baseband samples.
+    #[must_use]
+    pub fn tx_frame(&self, seq: u64) -> Vec<C32> {
+        let mut bits = self.reference_bits(seq);
+        BinaryScrambler::apply(&mut bits);
+        let bch_coded = self.bch.encode(&bits);
+        let ldpc_coded = self.ldpc.encode(&bch_coded);
+        let interleaved = self.interleaver.interleave(&ldpc_coded);
+        let mut data_symbols = QpskModem::modulate(&interleaved);
+        self.symbol_scrambler.scramble(&mut data_symbols);
+        let framed = self.plh.insert(&data_symbols);
+        self.rrc.shape(&framed)
+    }
+
+    /// Transmits frame `seq` through an AWGN channel (deterministic per
+    /// `(noise_seed, seq)`).
+    #[must_use]
+    pub fn tx_through_channel(&self, seq: u64, sigma: f32, noise_seed: u64) -> Vec<C32> {
+        let shaped = self.tx_frame(seq);
+        let mut channel = Channel::new(sigma, 0.0, 0.0, noise_seed ^ seq);
+        channel.transmit(&shaped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_frame_has_the_right_shape() {
+        let ctx = LinkContext::reduced();
+        let samples = ctx.tx_frame(0);
+        assert_eq!(samples.len(), ctx.params.frame_samples());
+    }
+
+    #[test]
+    fn reference_bits_are_deterministic_and_distinct() {
+        let ctx = LinkContext::reduced();
+        assert_eq!(ctx.reference_bits(3), ctx.reference_bits(3));
+        assert_ne!(ctx.reference_bits(3), ctx.reference_bits(4));
+        let ones: usize = ctx.reference_bits(1).iter().map(|&b| b as usize).sum();
+        let ratio = ones as f64 / ctx.params.k_info as f64;
+        assert!((0.4..=0.6).contains(&ratio), "bit balance {ratio}");
+    }
+
+    #[test]
+    fn channel_transmission_is_reproducible() {
+        let ctx = LinkContext::reduced();
+        let a = ctx.tx_through_channel(5, 0.1, 99);
+        let b = ctx.tx_through_channel(5, 0.1, 99);
+        assert_eq!(a, b);
+    }
+}

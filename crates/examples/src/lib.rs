@@ -1,0 +1,4 @@
+//! Host package for the workspace examples; see `/examples/*.rs`.
+//!
+//! Run them with, e.g., `cargo run --release -p amp-examples --example
+//! quickstart`.

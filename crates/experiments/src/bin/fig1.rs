@@ -1,0 +1,72 @@
+//! Reproduces **Fig. 1**: cumulative distributions of slowdown ratios
+//! (vs HeRAD) per strategy.
+//!
+//! * default / `--zoom`: Fig. 1a — the slowdown interval [1, 1.5] for all
+//!   three resource pairs and all three stateless ratios;
+//! * `--full`: Fig. 1b — the full slowdown range for R = (10, 10).
+//!
+//! Emits one CSV block per (R, SR) panel: `slowdown,<one column per
+//! strategy>` with cumulative fractions.
+
+use amp_experiments::{cdf_points, run_campaign, CampaignConfig};
+use amp_workload::{table1_resources, PAPER_STATELESS_RATIOS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let chains = args
+        .iter()
+        .position(|a| a == "--chains")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--chains takes a number"))
+        .unwrap_or(1000);
+
+    let resource_sets = if full {
+        vec![amp_core::Resources::new(10, 10)]
+    } else {
+        table1_resources().to_vec()
+    };
+
+    for resources in resource_sets {
+        for sr in PAPER_STATELESS_RATIOS {
+            let mut config = CampaignConfig::paper(resources, sr);
+            config.chains = chains;
+            let outcome = run_campaign(&config);
+
+            // Build the grid: zoomed [1, 1.5] at 0.01 steps, or the full
+            // observed range at 201 points.
+            let grid: Vec<f64> = if full {
+                let max = outcome
+                    .strategies
+                    .iter()
+                    .flat_map(|s| s.slowdowns.iter().cloned())
+                    .filter(|x| x.is_finite())
+                    .fold(1.0f64, f64::max);
+                (0..=200)
+                    .map(|i| 1.0 + (max - 1.0) * i as f64 / 200.0)
+                    .collect()
+            } else {
+                (0..=50).map(|i| 1.0 + 0.01 * i as f64).collect()
+            };
+
+            println!(
+                "# Fig 1{} panel R={} SR={}",
+                if full { "b" } else { "a" },
+                resources,
+                sr
+            );
+            let names: Vec<&str> = outcome.strategies.iter().map(|s| s.name.as_str()).collect();
+            println!("slowdown,{}", names.join(","));
+            let cdfs: Vec<Vec<(f64, f64)>> = outcome
+                .strategies
+                .iter()
+                .map(|s| cdf_points(&s.slowdowns, &grid))
+                .collect();
+            for (gi, &g) in grid.iter().enumerate() {
+                let row: Vec<String> = cdfs.iter().map(|c| format!("{:.4}", c[gi].1)).collect();
+                println!("{g:.3},{}", row.join(","));
+            }
+            println!();
+        }
+    }
+}

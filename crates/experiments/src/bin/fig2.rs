@@ -1,0 +1,82 @@
+//! Reproduces **Fig. 2**: heatmaps of the core-usage differences between
+//! FERTAC and HeRAD for R = (10, 10) and SR = 0.5 — (a) over all results,
+//! (b) over the results where FERTAC reaches the optimal period.
+//!
+//! Each heatmap cell is the percentage of chains with the given
+//! (Δ little, Δ big) = (FERTAC − HeRAD) core usage.
+
+use amp_experiments::{run_campaign, CampaignConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let chains = args
+        .iter()
+        .position(|a| a == "--chains")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--chains takes a number"))
+        .unwrap_or(1000);
+
+    let mut config = CampaignConfig::paper(amp_core::Resources::new(10, 10), 0.5);
+    config.chains = chains;
+    let outcome = run_campaign(&config);
+    let deltas = outcome.fertac_vs_herad_core_deltas();
+
+    print_heatmap("Fig 2a: all results", &deltas, |_| true);
+    print_heatmap("Fig 2b: only optimal periods", &deltas, |opt| opt);
+
+    // The headline percentages the paper quotes: at most 1 / 2 extra cores.
+    for (label, filter) in [("all", false), ("optimal-period", true)] {
+        let subset: Vec<_> = deltas
+            .iter()
+            .filter(|(_, _, opt)| !filter || *opt)
+            .collect();
+        let within = |k: i64| {
+            subset.iter().filter(|(db, dl, _)| db + dl <= k).count() as f64
+                / subset.len().max(1) as f64
+                * 100.0
+        };
+        println!(
+            "{label}: at most 1 extra core {:.1}% of the time, at most 2 extra {:.1}%",
+            within(1),
+            within(2)
+        );
+    }
+}
+
+fn print_heatmap(title: &str, deltas: &[(i64, i64, bool)], keep: impl Fn(bool) -> bool) {
+    let mut counts: BTreeMap<(i64, i64), usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for &(db, dl, opt) in deltas {
+        if keep(opt) {
+            *counts.entry((db, dl)).or_default() += 1;
+            total += 1;
+        }
+    }
+    let (mut min_b, mut max_b, mut min_l, mut max_l) = (0i64, 0i64, 0i64, 0i64);
+    for &(db, dl) in counts.keys() {
+        min_b = min_b.min(db);
+        max_b = max_b.max(db);
+        min_l = min_l.min(dl);
+        max_l = max_l.max(dl);
+    }
+    println!("{title} ({total} chains)");
+    print!("{:>8}", "Δb \\ Δl");
+    for dl in min_l..=max_l {
+        print!("{dl:>8}");
+    }
+    println!();
+    for db in min_b..=max_b {
+        print!("{db:>8}");
+        for dl in min_l..=max_l {
+            let pct = *counts.get(&(db, dl)).unwrap_or(&0) as f64 / total.max(1) as f64 * 100.0;
+            if pct == 0.0 {
+                print!("{:>8}", "-");
+            } else {
+                print!("{pct:>7.1}%");
+            }
+        }
+        println!();
+    }
+    println!();
+}

@@ -1,0 +1,46 @@
+//! Reproduces **Fig. 3**: average strategy execution times (µs) as a
+//! function of the number of tasks (20..160), for fixed resources
+//! R = (20, 20) (Fig. 3a) and R = (100, 100) (Fig. 3b), per stateless
+//! ratio. 2CATAC stops at 60 tasks, as in the paper.
+//!
+//! Usage: `fig3 [--chains N] [--quick]` — `--quick` drops to 5 chains per
+//! point and caps HeRAD on the largest grid so the sweep finishes fast.
+
+use amp_core::Resources;
+use amp_experiments::{time_strategies, TimingConfig};
+use amp_workload::{fig3_task_counts, PAPER_STATELESS_RATIOS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let chains = args
+        .iter()
+        .position(|a| a == "--chains")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--chains takes a number"))
+        .unwrap_or(if quick { 5 } else { 50 });
+
+    for resources in [Resources::new(20, 20), Resources::new(100, 100)] {
+        println!(
+            "# Fig 3{}: strategy times, R={resources}, mean of {chains} chains",
+            if resources.big == 20 { 'a' } else { 'b' }
+        );
+        println!("sr,tasks,strategy,mean_us");
+        for sr in PAPER_STATELESS_RATIOS {
+            for n in fig3_task_counts() {
+                let mut config = TimingConfig::paper(n, resources, sr);
+                config.chains = chains;
+                if quick {
+                    config.herad_cell_limit = 160 * 40; // skip HeRAD on the 200-core grid beyond 32 tasks
+                }
+                for t in time_strategies(&config) {
+                    match t.mean_us {
+                        Some(us) => println!("{sr},{n},{},{us:.1}", t.name),
+                        None => println!("{sr},{n},{},skipped", t.name),
+                    }
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,41 @@
+//! Reproduces **Fig. 4**: average strategy execution times (µs) as a
+//! function of the resources R = (20i, 20i), i in 1..8, for fixed numbers
+//! of tasks (40 for Fig. 4a's style panel, matching the paper's fixed-task
+//! sweep), per stateless ratio.
+//!
+//! Usage: `fig4 [--chains N] [--tasks N] [--quick]`.
+
+use amp_experiments::{time_strategies, TimingConfig};
+use amp_workload::{fig4_resources, PAPER_STATELESS_RATIOS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let chains = flag(&args, "--chains").unwrap_or(if quick { 5 } else { 50 });
+    let tasks = flag(&args, "--tasks").unwrap_or(40);
+
+    println!("# Fig 4: strategy times vs resources, {tasks} tasks, mean of {chains} chains");
+    println!("sr,cores_per_type,strategy,mean_us");
+    for sr in PAPER_STATELESS_RATIOS {
+        for resources in fig4_resources() {
+            let mut config = TimingConfig::paper(tasks, resources, sr);
+            config.chains = chains;
+            if quick && resources.big > 100 {
+                config.herad_cell_limit = 0; // skip HeRAD on the largest grids
+            }
+            for t in time_strategies(&config) {
+                match t.mean_us {
+                    Some(us) => println!("{sr},{},{},{us:.1}", resources.big, t.name),
+                    None => println!("{sr},{},{},skipped", resources.big, t.name),
+                }
+            }
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("flag takes a number"))
+}

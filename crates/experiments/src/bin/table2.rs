@@ -1,0 +1,122 @@
+//! Reproduces **Table II** (and **Fig. 5** with `--fig5`): the DVB-S2
+//! receiver schedules per platform and core budget — pipeline
+//! decomposition, cores used, expected period, and throughput (frames/s
+//! and information Mb/s).
+//!
+//! Columns:
+//! * `Sim.` — the analytic expectation `interframe / P(S)` (the paper's
+//!   "Sim." column, which it derives from the same period model);
+//! * `Real` — the discrete-event simulation of the schedule with
+//!   per-task latency noise and bounded adaptors, the stand-in for the
+//!   paper's StreamPU-on-hardware measurement (this host has one CPU, so
+//!   wall-clock parallel execution cannot be measured; see DESIGN.md).
+
+use amp_core::sched::paper_strategies;
+use amp_dvbs2::{profile::WEIGHT_UNIT_US, profiled_chain, table2_configs};
+use amp_sim::{simulate, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fig5 = args.iter().any(|a| a == "--fig5");
+    let noise = args
+        .iter()
+        .position(|a| a == "--noise")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--noise takes a fraction"))
+        .unwrap_or(0.30);
+    let capacity = args
+        .iter()
+        .position(|a| a == "--capacity")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--capacity takes a frame count"))
+        .unwrap_or(2);
+
+    println!("Table II: DVB-S2 receiver schedules (K = 14232 info bits/frame)");
+    println!(
+        "{:<11} {:<8} {:<9} {:>3} {:>3} {:>3} {:>11} {:>9} {:>9} {:>8} {:>8} {:>6} | Decomposition",
+        "Platform",
+        "R=(b,l)",
+        "Strategy",
+        "|s|",
+        "b",
+        "l",
+        "Period(us)",
+        "SimFPS",
+        "RealFPS",
+        "SimMb/s",
+        "RealMb/s",
+        "Ratio"
+    );
+
+    let mut fig5_rows: Vec<(String, String, String, f64)> = Vec::new();
+    for cfg in table2_configs() {
+        let chain = profiled_chain(cfg.platform);
+        for strategy in paper_strategies() {
+            let Some(solution) = strategy.schedule(&chain, cfg.resources) else {
+                println!(
+                    "{:<11} {:<8} {:<9} no solution",
+                    cfg.platform.name(),
+                    cfg.resources.to_string(),
+                    strategy.name()
+                );
+                continue;
+            };
+            let period_units = solution.period(&chain).to_f64();
+            let period_us = period_units * WEIGHT_UNIT_US;
+            let sim_fps = cfg.platform.fps_for_period_units(period_units);
+            let sim_mbps = cfg.platform.mbps_for_period_units(period_units);
+
+            // "Real": event simulation with latency noise + back-pressure.
+            let report = simulate(
+                &chain,
+                &solution,
+                // The paper's "Real" column measures StreamPU on hardware;
+                // its 4-19% gap to the expected throughput comes from
+                // latency jitter interacting with bounded adaptors. The
+                // stand-in: 30% uniform jitter with 2-frame buffers.
+                &SimConfig {
+                    frames: 3000,
+                    queue_capacity: capacity,
+                    warmup_fraction: 0.2,
+                    noise: Some(noise),
+                    seed: 0xD0B5,
+                },
+            );
+            let real_fps = cfg.platform.fps_for_period_units(report.steady_period);
+            let real_mbps = cfg.platform.mbps_for_period_units(report.steady_period);
+            let used = solution.used_cores();
+            let ratio = (sim_mbps - real_mbps) / sim_mbps * 100.0;
+            println!(
+                "{:<11} {:<8} {:<9} {:>3} {:>3} {:>3} {:>11.1} {:>9.0} {:>9.0} {:>8.1} {:>8.1} {:>+5.0}% | {}",
+                cfg.platform.name(),
+                cfg.resources.to_string(),
+                strategy.name(),
+                solution.num_stages(),
+                used.big,
+                used.little,
+                period_us,
+                sim_fps,
+                real_fps,
+                sim_mbps,
+                real_mbps,
+                ratio,
+                solution.decomposition()
+            );
+            fig5_rows.push((
+                cfg.platform.name().to_string(),
+                cfg.resources.to_string(),
+                strategy.name().to_string(),
+                real_mbps,
+            ));
+        }
+        println!();
+    }
+
+    if fig5 {
+        println!("# Fig 5: achieved information throughput (Mb/s)");
+        println!("platform,resources,strategy,mbps");
+        for (p, r, s, m) in fig5_rows {
+            println!("{p},{r},{s},{m:.1}");
+        }
+    }
+}

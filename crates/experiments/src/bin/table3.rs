@@ -1,0 +1,82 @@
+//! Reproduces **Table III**: the DVB-S2 receiver's average task latencies
+//! on the two evaluation platforms (embedded from the paper's profile),
+//! and — with `--self-check` — a live profile of the functional reduced
+//! chain through `amp-runtime`'s profiler, demonstrating the measure →
+//! schedule workflow end to end.
+
+use amp_core::CoreType;
+use amp_dvbs2::{profile::WEIGHT_UNIT_US, profiled_chain, Platform};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    println!("Table III: DVB-S2 receiver average task latency (µs)");
+    println!(
+        "{:<4} {:<38} {:<5} {:>9} {:>9} {:>9} {:>9}",
+        "Id", "Name", "Rep.", "Mac B", "Mac L", "X7 B", "X7 L"
+    );
+    let mac = profiled_chain(Platform::MacStudio);
+    let x7 = profiled_chain(Platform::X7Ti);
+    for i in 0..mac.len() {
+        let m = mac.task(i);
+        let x = x7.task(i);
+        println!(
+            "t{:<3} {:<38} {:<5} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            i + 1,
+            m.name,
+            if m.replicable { "yes" } else { "no" },
+            m.weight_big as f64 * WEIGHT_UNIT_US,
+            m.weight_little as f64 * WEIGHT_UNIT_US,
+            x.weight_big as f64 * WEIGHT_UNIT_US,
+            x.weight_little as f64 * WEIGHT_UNIT_US,
+        );
+    }
+    println!(
+        "{:<4} {:<38} {:<5} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+        "",
+        "Total",
+        "",
+        mac.total(CoreType::Big) as f64 * WEIGHT_UNIT_US,
+        mac.total(CoreType::Little) as f64 * WEIGHT_UNIT_US,
+        x7.total(CoreType::Big) as f64 * WEIGHT_UNIT_US,
+        x7.total(CoreType::Little) as f64 * WEIGHT_UNIT_US,
+    );
+
+    if args.iter().any(|a| a == "--self-check") {
+        use amp_dvbs2::{rx::receiver_tasks, txrx::LinkContext};
+        use amp_runtime::{profile_chain, ProfileConfig};
+        use std::sync::Arc;
+
+        println!();
+        println!("Self-check: live profile of the functional reduced chain");
+        println!("(padded to the Mac Studio profile at 0.1 µs per weight unit;");
+        println!(" measured on this host's virtual cores)");
+        let ctx = Arc::new(LinkContext::reduced());
+        let tasks = receiver_tasks(&ctx, Some((&mac, WEIGHT_UNIT_US)));
+        let measured = profile_chain(
+            &tasks,
+            |seq| amp_dvbs2::RxFrame {
+                seq,
+                samples: ctx.tx_through_channel(seq, 0.05, 1),
+                ..amp_dvbs2::RxFrame::default()
+            },
+            &ProfileConfig {
+                frames: 8,
+                warmup: 2,
+            },
+        );
+        println!(
+            "{:<4} {:<38} {:>12} {:>12}",
+            "Id", "Name", "meas. B (µs)", "meas. L (µs)"
+        );
+        for (i, t) in measured.tasks().iter().enumerate() {
+            println!(
+                "t{:<3} {:<38} {:>12} {:>12}",
+                i + 1,
+                t.name,
+                t.weight_big,
+                t.weight_little
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The Table I / Fig. 1 / Fig. 2 simulation campaign: schedule batches of
+//! synthetic chains with every strategy and collect slowdowns (vs HeRAD)
+//! and core usage.
+
+use crate::stats::{slowdown_ratio, Summary};
+use amp_core::sched::{paper_strategies, Scheduler};
+use amp_core::{Resources, TaskChain};
+use amp_workload::SyntheticConfig;
+use serde::{Deserialize, Serialize};
+
+/// Campaign parameters (defaults mirror the paper: 1000 chains of 20
+/// tasks).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Chains per (resources, SR) combination.
+    pub chains: usize,
+    /// RNG seed for the workload batch.
+    pub seed: u64,
+    /// Stateless ratio of the batch.
+    pub stateless_ratio: f64,
+    /// Resource pool.
+    pub resources: Resources,
+}
+
+impl CampaignConfig {
+    /// The paper's configuration for one (R, SR) cell.
+    #[must_use]
+    pub fn paper(resources: Resources, stateless_ratio: f64) -> Self {
+        CampaignConfig {
+            chains: 1000,
+            seed: 0x7ab1e1,
+            stateless_ratio,
+            resources,
+        }
+    }
+}
+
+/// Average core usage of a strategy across a batch.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CoreUsage {
+    /// Mean big cores used.
+    pub big: f64,
+    /// Mean little cores used.
+    pub little: f64,
+}
+
+/// Per-strategy campaign outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StrategyStats {
+    /// Strategy display name.
+    pub name: String,
+    /// Slowdown ratio vs HeRAD per chain (1.0 = optimal).
+    pub slowdowns: Vec<f64>,
+    /// Core usage per chain `(big, little)`.
+    pub cores: Vec<(u64, u64)>,
+}
+
+impl StrategyStats {
+    /// The paper's 4-tuple for this strategy.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary::from_slowdowns(&self.slowdowns)
+    }
+
+    /// Mean core usage.
+    #[must_use]
+    pub fn core_usage(&self) -> CoreUsage {
+        if self.cores.is_empty() {
+            return CoreUsage::default();
+        }
+        let n = self.cores.len() as f64;
+        CoreUsage {
+            big: self.cores.iter().map(|c| c.0 as f64).sum::<f64>() / n,
+            little: self.cores.iter().map(|c| c.1 as f64).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Outcome of one (R, SR) sweep: stats per strategy, in
+/// [`paper_strategies`] order (HeRAD first).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// The configuration that produced this outcome.
+    pub config: CampaignConfig,
+    /// Stats per strategy.
+    pub strategies: Vec<StrategyStats>,
+}
+
+impl SweepOutcome {
+    /// Paired (HeRAD, FERTAC) core usage differences per chain — the
+    /// Fig. 2 heatmap input. Returns `(Δbig, Δlittle, fertac_optimal)`.
+    #[must_use]
+    pub fn fertac_vs_herad_core_deltas(&self) -> Vec<(i64, i64, bool)> {
+        let herad = &self.strategies[0];
+        let fertac = self
+            .strategies
+            .iter()
+            .find(|s| s.name == "FERTAC")
+            .expect("FERTAC is part of the campaign");
+        herad
+            .cores
+            .iter()
+            .zip(&fertac.cores)
+            .zip(&fertac.slowdowns)
+            .map(|(((hb, hl), (fb, fl)), &s)| {
+                (
+                    *fb as i64 - *hb as i64,
+                    *fl as i64 - *hl as i64,
+                    s <= 1.0 + 1e-12,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs the campaign for one (R, SR) cell: schedules every chain with the
+/// five paper strategies and records slowdowns vs HeRAD plus core usage.
+///
+/// # Panics
+/// Panics if HeRAD fails to schedule (impossible with non-empty
+/// resources).
+#[must_use]
+pub fn run_campaign(config: &CampaignConfig) -> SweepOutcome {
+    let workload = SyntheticConfig::paper(config.stateless_ratio);
+    let chains = workload.generate_batch(config.seed, config.chains);
+    let strategies = paper_strategies();
+    let mut stats: Vec<StrategyStats> = strategies
+        .iter()
+        .map(|s| StrategyStats {
+            name: s.name().to_string(),
+            slowdowns: Vec::with_capacity(chains.len()),
+            cores: Vec::with_capacity(chains.len()),
+        })
+        .collect();
+
+    for chain in &chains {
+        let optimal = schedule_period(&*strategies[0], chain, config.resources)
+            .expect("HeRAD always finds a schedule");
+        for (i, strategy) in strategies.iter().enumerate() {
+            match strategy.schedule(chain, config.resources) {
+                Some(solution) => {
+                    let p = solution.period(chain);
+                    stats[i].slowdowns.push(slowdown_ratio(p, optimal));
+                    let used = solution.used_cores();
+                    stats[i].cores.push((used.big, used.little));
+                }
+                None => {
+                    stats[i].slowdowns.push(f64::INFINITY);
+                    stats[i].cores.push((0, 0));
+                }
+            }
+        }
+    }
+    SweepOutcome {
+        config: *config,
+        strategies: stats,
+    }
+}
+
+fn schedule_period(
+    strategy: &dyn Scheduler,
+    chain: &TaskChain,
+    resources: Resources,
+) -> Option<amp_core::Ratio> {
+    strategy.schedule(chain, resources).map(|s| s.period(chain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CampaignConfig {
+        CampaignConfig {
+            chains: 25,
+            seed: 42,
+            stateless_ratio: 0.5,
+            resources: Resources::new(4, 4),
+        }
+    }
+
+    #[test]
+    fn campaign_produces_consistent_stats() {
+        let out = run_campaign(&tiny());
+        assert_eq!(out.strategies.len(), 5);
+        // HeRAD is its own reference: all slowdowns exactly 1.
+        let herad = &out.strategies[0];
+        assert_eq!(herad.name, "HeRAD");
+        assert!(herad.slowdowns.iter().all(|&s| (s - 1.0).abs() < 1e-12));
+        assert!((herad.summary().optimal_fraction - 1.0).abs() < 1e-12);
+        // Heuristics are never better than optimal.
+        for s in &out.strategies[1..] {
+            assert_eq!(s.slowdowns.len(), 25);
+            assert!(
+                s.slowdowns.iter().all(|&x| x >= 1.0 - 1e-12),
+                "{} has sub-optimal slowdown",
+                s.name
+            );
+        }
+        // OTAC (B) uses no little cores and vice versa.
+        let otac_b = out
+            .strategies
+            .iter()
+            .find(|s| s.name == "OTAC (B)")
+            .unwrap();
+        assert!(otac_b.cores.iter().all(|&(_, l)| l == 0));
+        let otac_l = out
+            .strategies
+            .iter()
+            .find(|s| s.name == "OTAC (L)")
+            .unwrap();
+        assert!(otac_l.cores.iter().all(|&(b, _)| b == 0));
+    }
+
+    #[test]
+    fn fertac_deltas_align_with_slowdowns() {
+        let out = run_campaign(&tiny());
+        let deltas = out.fertac_vs_herad_core_deltas();
+        assert_eq!(deltas.len(), 25);
+        let fertac = out.strategies.iter().find(|s| s.name == "FERTAC").unwrap();
+        for ((_, _, opt), &s) in deltas.iter().zip(&fertac.slowdowns) {
+            assert_eq!(*opt, s <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let a = run_campaign(&tiny());
+        let b = run_campaign(&tiny());
+        for (x, y) in a.strategies.iter().zip(&b.strategies) {
+            assert_eq!(x.slowdowns, y.slowdowns);
+            assert_eq!(x.cores, y.cores);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Small statistics helpers for the evaluation campaigns.
+
+use amp_core::Ratio;
+
+/// Arithmetic mean (0 for an empty slice).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Median (0 for an empty slice). Averages the middle pair for even sizes.
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// The slowdown ratio `P(other) / P(reference)` as a float (exact rational
+/// division evaluated in f64).
+#[must_use]
+pub fn slowdown_ratio(other: Ratio, reference: Ratio) -> f64 {
+    debug_assert!(reference.is_finite() && !reference.is_zero());
+    if other.is_infinite() {
+        return f64::INFINITY;
+    }
+    (other.numer() as f64 * reference.denom() as f64)
+        / (other.denom() as f64 * reference.numer() as f64)
+}
+
+/// The 4-tuple the paper reports per strategy: % of optimal periods and the
+/// average / median / maximum slowdown ratios.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    /// Fraction (0..1) of instances where the slowdown is exactly 1.
+    pub optimal_fraction: f64,
+    /// Mean slowdown.
+    pub avg: f64,
+    /// Median slowdown.
+    pub med: f64,
+    /// Maximum slowdown.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a set of slowdown ratios.
+    #[must_use]
+    pub fn from_slowdowns(slowdowns: &[f64]) -> Summary {
+        if slowdowns.is_empty() {
+            return Summary::default();
+        }
+        let optimal = slowdowns.iter().filter(|&&s| s <= 1.0 + 1e-12).count();
+        Summary {
+            optimal_fraction: optimal as f64 / slowdowns.len() as f64,
+            avg: mean(slowdowns),
+            med: median(slowdowns),
+            max: slowdowns.iter().cloned().fold(f64::MIN, f64::max),
+        }
+    }
+
+    /// Formats like the paper's Table I cells: `( 99.2%, 1.00, 1.00, 1.14 )`.
+    #[must_use]
+    pub fn table_cell(&self) -> String {
+        format!(
+            "({:6.1}%, {:5.2}, {:5.2}, {:6.2})",
+            self.optimal_fraction * 100.0,
+            self.avg,
+            self.med,
+            self.max
+        )
+    }
+}
+
+/// Cumulative distribution points `(x, fraction ≤ x)` for plotting the
+/// Fig. 1 CDFs; `xs` need not be sorted.
+#[must_use]
+pub fn cdf_points(xs: &[f64], grid: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    grid.iter()
+        .map(|&g| {
+            let count = sorted.partition_point(|&x| x <= g + 1e-12);
+            (g, count as f64 / sorted.len().max(1) as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn slowdowns_are_exact_ratios() {
+        let a = Ratio::new(3, 2);
+        let b = Ratio::new(1, 2);
+        assert!((slowdown_ratio(a, b) - 3.0).abs() < 1e-12);
+        assert_eq!(slowdown_ratio(Ratio::INFINITY, b), f64::INFINITY);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::from_slowdowns(&[1.0, 1.0, 1.5, 2.5]);
+        assert!((s.optimal_fraction - 0.5).abs() < 1e-12);
+        assert!((s.avg - 1.5).abs() < 1e-12);
+        assert!((s.med - 1.25).abs() < 1e-12);
+        assert!((s.max - 2.5).abs() < 1e-12);
+        assert!(s.table_cell().contains("50.0%"));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let xs = [1.0, 1.1, 1.1, 2.0];
+        let grid = [1.0, 1.1, 1.5, 2.0, 3.0];
+        let cdf = cdf_points(&xs, &grid);
+        assert_eq!(cdf[0].1, 0.25);
+        assert_eq!(cdf[1].1, 0.75);
+        assert_eq!(cdf[2].1, 0.75);
+        assert_eq!(cdf[4].1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Host package for the workspace integration tests; see `/tests/*.rs`.

@@ -1,0 +1,243 @@
+//! Order-preserving bounded buffers between pipeline stages — the
+//! equivalent of StreamPU's scatter/gather adaptors.
+//!
+//! An [`OrderedRing`] connects `n` producer replicas to `m` consumer
+//! replicas (any `n, m >= 1`, covering the replicated→replicated links of
+//! StreamPU v1.6.0). Producers push frames tagged with a global sequence
+//! number; consumers pop *specific* sequence numbers (replica `w` of an
+//! `r`-replica stage pops `w, w+r, w+2r, ...`), which realizes round-robin
+//! scatter with end-to-end frame ordering.
+//!
+//! Capacity is a sliding window over sequence numbers: frame `s` may enter
+//! only once every frame below `s - capacity + 1` has been popped, which
+//! gives the same back-pressure semantics as the `amp-sim` recurrence.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeSet, HashMap};
+
+struct RingState<D> {
+    /// In-flight frames, keyed by sequence number.
+    frames: HashMap<u64, D>,
+    /// Lowest sequence number not yet popped.
+    next_out: u64,
+    /// Frames popped ahead of `next_out` (popped out of order by replicas).
+    popped_ahead: BTreeSet<u64>,
+    /// Total frame count, once the producer side has finished.
+    closed_total: Option<u64>,
+}
+
+/// A bounded, order-preserving n→m frame buffer.
+pub struct OrderedRing<D> {
+    state: Mutex<RingState<D>>,
+    not_full: Condvar,
+    available: Condvar,
+    capacity: u64,
+}
+
+impl<D> OrderedRing<D> {
+    /// Creates a ring admitting at most `capacity` in-flight frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "ring capacity must be at least 1");
+        OrderedRing {
+            state: Mutex::new(RingState {
+                frames: HashMap::new(),
+                next_out: 0,
+                popped_ahead: BTreeSet::new(),
+                closed_total: None,
+            }),
+            not_full: Condvar::new(),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Inserts frame `seq`, blocking while the window is full.
+    ///
+    /// # Panics
+    /// Panics on duplicate sequence numbers or pushes past a close — both
+    /// are pipeline wiring bugs, not runtime conditions.
+    pub fn push(&self, seq: u64, data: D) {
+        let mut st = self.state.lock();
+        assert!(
+            st.closed_total.is_none_or(|t| seq < t),
+            "push of frame {seq} after close"
+        );
+        while seq >= st.next_out + self.capacity {
+            self.not_full.wait(&mut st);
+        }
+        let prev = st.frames.insert(seq, data);
+        assert!(prev.is_none(), "duplicate push of frame {seq}");
+        self.available.notify_all();
+    }
+
+    /// Removes and returns frame `seq`, blocking until it arrives. Returns
+    /// `None` when the ring is closed with a total at or below `seq` (the
+    /// consumer is past the final frame).
+    #[must_use]
+    pub fn pop(&self, seq: u64) -> Option<D> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(data) = st.frames.remove(&seq) {
+                if seq == st.next_out {
+                    st.next_out += 1;
+                    loop {
+                        let next = st.next_out;
+                        if !st.popped_ahead.remove(&next) {
+                            break;
+                        }
+                        st.next_out += 1;
+                    }
+                } else {
+                    st.popped_ahead.insert(seq);
+                }
+                self.not_full.notify_all();
+                return Some(data);
+            }
+            if let Some(total) = st.closed_total {
+                if seq >= total {
+                    return None;
+                }
+            }
+            self.available.wait(&mut st);
+        }
+    }
+
+    /// Marks the producer side finished: exactly `total` frames
+    /// (sequence numbers `0..total`) will ever exist. Wakes all consumers.
+    pub fn close(&self, total: u64) {
+        let mut st = self.state.lock();
+        debug_assert!(st.closed_total.is_none(), "ring closed twice");
+        st.closed_total = Some(total);
+        self.available.notify_all();
+    }
+
+    /// The total frame count, once closed.
+    #[must_use]
+    pub fn closed_total(&self) -> Option<u64> {
+        self.state.lock().closed_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn passes_frames_in_any_pop_order() {
+        let ring = OrderedRing::new(8);
+        ring.push(1, "b");
+        ring.push(0, "a");
+        assert_eq!(ring.pop(1), Some("b"));
+        assert_eq!(ring.pop(0), Some("a"));
+    }
+
+    #[test]
+    fn capacity_window_blocks_producers() {
+        let ring = Arc::new(OrderedRing::new(2));
+        let r = ring.clone();
+        let producer = thread::spawn(move || {
+            for seq in 0..6u64 {
+                r.push(seq, seq);
+            }
+            r.close(6);
+        });
+        // Frame 2 may only enter once frame 0 is popped; popping slowly
+        // must still drain everything.
+        let mut got = Vec::new();
+        for seq in 0..6u64 {
+            got.push(ring.pop(seq).unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(ring.pop(6), None);
+    }
+
+    #[test]
+    fn n_to_m_with_round_robin_consumers() {
+        // 2 producers, 3 consumers, 60 frames.
+        let ring = Arc::new(OrderedRing::new(4));
+        let total = 60u64;
+        let mut handles = Vec::new();
+        for p in 0..2u64 {
+            let r = ring.clone();
+            handles.push(thread::spawn(move || {
+                let mut seq = p;
+                while seq < total {
+                    r.push(seq, seq * 10);
+                    seq += 2;
+                }
+            }));
+        }
+        let producers = handles;
+        let closer = {
+            let r = ring.clone();
+            thread::spawn(move || r.close(total))
+        };
+        let mut consumers = Vec::new();
+        for w in 0..3u64 {
+            let r = ring.clone();
+            consumers.push(thread::spawn(move || {
+                let mut seq = w;
+                let mut got = Vec::new();
+                while let Some(v) = r.pop(seq) {
+                    got.push((seq, v));
+                    seq += 3;
+                }
+                got
+            }));
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        closer.join().unwrap();
+        let mut all: Vec<(u64, u64)> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 60);
+        for (i, (seq, v)) in all.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(*v, seq * 10);
+        }
+    }
+
+    #[test]
+    fn close_wakes_waiting_consumers() {
+        let ring: Arc<OrderedRing<u64>> = Arc::new(OrderedRing::new(4));
+        let r = ring.clone();
+        let consumer = thread::spawn(move || r.pop(5));
+        thread::sleep(std::time::Duration::from_millis(20));
+        ring.close(3);
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_before_close_still_returns_frames_below_total() {
+        let ring = OrderedRing::new(4);
+        ring.push(0, 7u64);
+        ring.close(1);
+        assert_eq!(ring.pop(0), Some(7));
+        assert_eq!(ring.pop(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate push")]
+    fn duplicate_push_panics() {
+        let ring = OrderedRing::new(4);
+        ring.push(0, 1u64);
+        ring.push(0, 2u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = OrderedRing::<u64>::new(0);
+    }
+}

@@ -1,0 +1,543 @@
+//! Pipeline construction and execution.
+
+use crate::adaptor::OrderedRing;
+use crate::report::{RunReport, StageRuntimeReport};
+use crate::vcore::VirtualMachine;
+use crate::work::TaskWork;
+use amp_core::{Solution, TaskChain};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One task of a runtime pipeline: the scheduling metadata (name,
+/// replicability) plus the work executed per frame.
+pub struct RuntimeTask<D> {
+    /// Task name (diagnostics only).
+    pub name: String,
+    /// Must match the corresponding [`amp_core::Task::replicable`] flag.
+    pub replicable: bool,
+    /// Per-frame work body.
+    pub work: Arc<dyn TaskWork<D>>,
+}
+
+impl<D> RuntimeTask<D> {
+    /// Builds a task from any work implementation.
+    pub fn new(name: &str, replicable: bool, work: impl TaskWork<D> + 'static) -> Self {
+        RuntimeTask {
+            name: name.to_string(),
+            replicable,
+            work: Arc::new(work),
+        }
+    }
+}
+
+/// Errors reported by [`PipelineSpec::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The spec has a different number of tasks than the scheduled chain.
+    ChainMismatch {
+        /// Tasks in the spec.
+        spec: usize,
+        /// Tasks in the chain.
+        chain: usize,
+    },
+    /// A task's replicability flag disagrees with the chain's.
+    ReplicabilityMismatch(usize),
+    /// The solution fails [`Solution::validate`] for the chain.
+    InvalidSolution(String),
+    /// The machine has fewer cores of some type than the solution uses.
+    Placement,
+    /// Neither a frame count nor a duration was requested.
+    NoTerminationCondition,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::ChainMismatch { spec, chain } => {
+                write!(f, "spec has {spec} tasks but the chain has {chain}")
+            }
+            RuntimeError::ReplicabilityMismatch(i) => {
+                write!(f, "task {i} replicability differs between spec and chain")
+            }
+            RuntimeError::InvalidSolution(e) => write!(f, "invalid solution: {e}"),
+            RuntimeError::Placement => write!(f, "solution does not fit the machine"),
+            RuntimeError::NoTerminationCondition => {
+                write!(f, "run needs a frame count or a duration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Termination and buffering parameters of a run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Stop after this many frames (`None` = unbounded).
+    pub frames: Option<u64>,
+    /// Stop the source after this wall-clock duration (`None` = none).
+    pub max_duration: Option<Duration>,
+    /// Capacity of each inter-stage adaptor, in frames.
+    pub queue_capacity: u64,
+    /// Leading fraction of sink departures excluded from the steady-state
+    /// throughput measurement.
+    pub warmup_fraction: f64,
+}
+
+impl RunConfig {
+    /// Runs exactly `frames` frames.
+    #[must_use]
+    pub fn with_frames(frames: u64) -> Self {
+        RunConfig {
+            frames: Some(frames),
+            max_duration: None,
+            queue_capacity: 16,
+            warmup_fraction: 0.2,
+        }
+    }
+
+    /// Runs until `duration` elapses (like the paper's 1-minute DVB-S2
+    /// measurements).
+    #[must_use]
+    pub fn with_duration(duration: Duration) -> Self {
+        RunConfig {
+            frames: None,
+            max_duration: Some(duration),
+            queue_capacity: 16,
+            warmup_fraction: 0.2,
+        }
+    }
+}
+
+/// A runnable pipeline: a frame factory (what the first task receives) and
+/// the per-task work bodies, in chain order.
+pub struct PipelineSpec<D> {
+    source: Arc<dyn Fn(u64) -> D + Send + Sync>,
+    tasks: Vec<RuntimeTask<D>>,
+}
+
+impl<D: Send + 'static> PipelineSpec<D> {
+    /// Builds a spec from a frame factory and the task bodies.
+    pub fn new(source: Arc<dyn Fn(u64) -> D + Send + Sync>, tasks: Vec<RuntimeTask<D>>) -> Self {
+        PipelineSpec { source, tasks }
+    }
+
+    /// The task bodies.
+    #[must_use]
+    pub fn tasks(&self) -> &[RuntimeTask<D>] {
+        &self.tasks
+    }
+
+    /// Executes `solution` over this pipeline on `machine`.
+    ///
+    /// Spawns one worker thread per stage replica, wires order-preserving
+    /// bounded adaptors between consecutive stages, runs until the
+    /// termination condition, and reports measured throughput.
+    pub fn run(
+        &self,
+        chain: &TaskChain,
+        solution: &Solution,
+        machine: &VirtualMachine,
+        config: &RunConfig,
+    ) -> Result<RunReport, RuntimeError> {
+        if self.tasks.len() != chain.len() {
+            return Err(RuntimeError::ChainMismatch {
+                spec: self.tasks.len(),
+                chain: chain.len(),
+            });
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.replicable != chain.task(i).replicable {
+                return Err(RuntimeError::ReplicabilityMismatch(i));
+            }
+        }
+        solution
+            .validate(chain)
+            .map_err(RuntimeError::InvalidSolution)?;
+        let placement = machine.place(solution).ok_or(RuntimeError::Placement)?;
+        if config.frames.is_none() && config.max_duration.is_none() {
+            return Err(RuntimeError::NoTerminationCondition);
+        }
+        let frame_limit = config.frames.unwrap_or(u64::MAX);
+        let stages = solution.stages().to_vec();
+        let k = stages.len();
+
+        let rings: Vec<Arc<OrderedRing<D>>> = (0..k.saturating_sub(1))
+            .map(|_| Arc::new(OrderedRing::new(config.queue_capacity)))
+            .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let claim = Arc::new(AtomicU64::new(0));
+        let active: Arc<Vec<AtomicUsize>> = Arc::new(
+            stages
+                .iter()
+                .map(|s| AtomicUsize::new(s.cores as usize))
+                .collect(),
+        );
+        let busy_nanos: Arc<Vec<AtomicU64>> = Arc::new((0..k).map(|_| AtomicU64::new(0)).collect());
+        let sink: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let works: Arc<Vec<Arc<dyn TaskWork<D>>>> =
+            Arc::new(self.tasks.iter().map(|t| t.work.clone()).collect());
+
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for (i, stage) in stages.iter().enumerate() {
+            for (j, core) in placement[i].iter().enumerate() {
+                let ring_in = (i > 0).then(|| rings[i - 1].clone());
+                let ring_out = (i + 1 < k).then(|| rings[i].clone());
+                let works = works.clone();
+                let source = self.source.clone();
+                let stop = stop.clone();
+                let claim = claim.clone();
+                let active = active.clone();
+                let busy_nanos = busy_nanos.clone();
+                let sink = sink.clone();
+                let (task_lo, task_hi) = (stage.start, stage.end);
+                let replicas = stage.cores;
+                let core_kind = core.kind;
+                let worker = move || {
+                    let process = |seq: u64, data: &mut D| {
+                        let t0 = Instant::now();
+                        for t in task_lo..=task_hi {
+                            works[t].process(seq, data, core_kind);
+                        }
+                        busy_nanos[i].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    };
+                    match &ring_in {
+                        None => loop {
+                            // Source stage: dynamically claim the next frame.
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let seq = claim.fetch_add(1, Ordering::Relaxed);
+                            if seq >= frame_limit {
+                                break;
+                            }
+                            let mut data = source(seq);
+                            process(seq, &mut data);
+                            match &ring_out {
+                                Some(out) => out.push(seq, data),
+                                None => sink.lock().push((seq, start.elapsed().as_nanos() as u64)),
+                            }
+                        },
+                        Some(input) => {
+                            let mut seq = j as u64;
+                            while let Some(mut data) = input.pop(seq) {
+                                process(seq, &mut data);
+                                match &ring_out {
+                                    Some(out) => out.push(seq, data),
+                                    None => {
+                                        sink.lock().push((seq, start.elapsed().as_nanos() as u64))
+                                    }
+                                }
+                                seq += replicas;
+                            }
+                        }
+                    }
+                    // Last replica out closes the downstream adaptor.
+                    if active[i].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        if let Some(out) = &ring_out {
+                            let total = match &ring_in {
+                                None => claim.load(Ordering::Relaxed).min(frame_limit),
+                                Some(input) => input
+                                    .closed_total()
+                                    .expect("input closed before this stage finished"),
+                            };
+                            out.close(total);
+                        }
+                    }
+                };
+                handles.push(
+                    thread::Builder::new()
+                        .name(format!("amp-s{i}r{j}"))
+                        .spawn(worker)
+                        .expect("spawning pipeline worker"),
+                );
+            }
+        }
+
+        // Deadline watchdog (duration-based termination).
+        let watchdog = config.max_duration.map(|d| {
+            let stop = stop.clone();
+            let deadline = start + d;
+            thread::spawn(move || {
+                while Instant::now() < deadline {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    thread::sleep(Duration::from_millis(2));
+                }
+                stop.store(true, Ordering::Relaxed);
+            })
+        });
+
+        for h in handles {
+            h.join().expect("pipeline worker panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+        if let Some(w) = watchdog {
+            w.join().expect("watchdog panicked");
+        }
+        let elapsed = start.elapsed();
+
+        let mut departures = Arc::try_unwrap(sink)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|arc| arc.lock().clone());
+        departures.sort_unstable();
+        Ok(build_report(
+            &departures,
+            elapsed,
+            &stages,
+            &busy_nanos,
+            config.warmup_fraction,
+        ))
+    }
+}
+
+fn build_report(
+    departures: &[(u64, u64)],
+    elapsed: Duration,
+    stages: &[amp_core::Stage],
+    busy_nanos: &[AtomicU64],
+    warmup_fraction: f64,
+) -> RunReport {
+    let frames = departures.len() as u64;
+    let elapsed_seconds = elapsed.as_secs_f64();
+    let fps_total = if elapsed_seconds > 0.0 {
+        frames as f64 / elapsed_seconds
+    } else {
+        0.0
+    };
+    let (fps, period_us) = if frames >= 2 {
+        // Replicated sink stages may complete frames slightly out of
+        // sequence order; measure inter-departure gaps over time order.
+        let mut times: Vec<u64> = departures.iter().map(|&(_, t)| t).collect();
+        times.sort_unstable();
+        let warm = ((frames as f64) * warmup_fraction).floor() as usize;
+        let warm = warm.min(times.len() - 2);
+        let dt_nanos = times[times.len() - 1] - times[warm];
+        let n = (times.len() - 1 - warm) as f64;
+        if dt_nanos > 0 {
+            let period = dt_nanos as f64 / n; // ns per frame
+            (1e9 / period, period / 1e3)
+        } else {
+            (fps_total, 0.0)
+        }
+    } else {
+        (fps_total, 0.0)
+    };
+    let stage_reports = stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let busy = busy_nanos[i].load(Ordering::Relaxed) as f64 / 1e9;
+            let denom = s.cores as f64 * elapsed_seconds;
+            StageRuntimeReport {
+                stage: i,
+                replicas: s.cores,
+                core_type: s.core_type,
+                busy_seconds: busy,
+                utilization: if denom > 0.0 {
+                    (busy / denom).min(1.0)
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    RunReport {
+        frames,
+        elapsed_seconds,
+        fps,
+        fps_total,
+        period_us,
+        stages: stage_reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcore::VirtualMachine;
+    use crate::work::{FnWork, WeightedWork};
+    use amp_core::{CoreType, Resources, Stage, Task};
+
+    fn spec_counting(n: usize) -> PipelineSpec<Vec<u64>> {
+        // Each task appends its index; the sink payload records the full
+        // traversal so ordering and completeness are checkable.
+        let tasks = (0..n)
+            .map(|i| {
+                RuntimeTask::new(
+                    &format!("t{i}"),
+                    true,
+                    FnWork(move |_seq: u64, data: &mut Vec<u64>, _core: CoreType| {
+                        data.push(i as u64);
+                    }),
+                )
+            })
+            .collect();
+        PipelineSpec::new(Arc::new(|_seq| Vec::new()), tasks)
+    }
+
+    fn chain_replicable(n: usize) -> TaskChain {
+        TaskChain::new((0..n).map(|_| Task::new(10, 20, true)).collect())
+    }
+
+    #[test]
+    fn runs_a_single_stage_pipeline() {
+        let chain = chain_replicable(3);
+        let spec = spec_counting(3);
+        let solution = Solution::new(vec![Stage::new(0, 2, 1, CoreType::Big)]);
+        let machine = VirtualMachine::new(Resources::new(1, 0));
+        let r = spec
+            .run(&chain, &solution, &machine, &RunConfig::with_frames(50))
+            .unwrap();
+        assert_eq!(r.frames, 50);
+        assert!(r.fps > 0.0);
+    }
+
+    #[test]
+    fn multi_stage_with_replication_processes_every_frame_once() {
+        let chain = chain_replicable(4);
+        let spec = spec_counting(4);
+        let solution = Solution::new(vec![
+            Stage::new(0, 0, 1, CoreType::Big),
+            Stage::new(1, 2, 3, CoreType::Little),
+            Stage::new(3, 3, 1, CoreType::Big),
+        ]);
+        let machine = VirtualMachine::new(Resources::new(2, 3));
+        let r = spec
+            .run(&chain, &solution, &machine, &RunConfig::with_frames(200))
+            .unwrap();
+        assert_eq!(r.frames, 200);
+        assert_eq!(r.stages.len(), 3);
+    }
+
+    #[test]
+    fn replicated_to_replicated_link_works() {
+        // The StreamPU v1.6.0 extension: consecutive replicated stages with
+        // different replica counts (n -> m adaptor).
+        let chain = chain_replicable(2);
+        let spec = spec_counting(2);
+        let solution = Solution::new(vec![
+            Stage::new(0, 0, 3, CoreType::Big),
+            Stage::new(1, 1, 2, CoreType::Little),
+        ]);
+        let machine = VirtualMachine::new(Resources::new(3, 2));
+        let r = spec
+            .run(&chain, &solution, &machine, &RunConfig::with_frames(120))
+            .unwrap();
+        assert_eq!(r.frames, 120);
+    }
+
+    #[test]
+    fn frame_payloads_traverse_all_tasks_in_order() {
+        let chain = chain_replicable(3);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut tasks: Vec<RuntimeTask<Vec<u64>>> = (0..2)
+            .map(|i| {
+                RuntimeTask::new(
+                    &format!("t{i}"),
+                    true,
+                    FnWork(move |_s: u64, d: &mut Vec<u64>, _c: CoreType| d.push(i as u64)),
+                )
+            })
+            .collect();
+        tasks.push(RuntimeTask::new(
+            "sink",
+            true,
+            FnWork(move |seq: u64, d: &mut Vec<u64>, _c: CoreType| {
+                seen2.lock().push((seq, d.clone()));
+            }),
+        ));
+        let spec = PipelineSpec::new(Arc::new(|_| Vec::new()), tasks);
+        let solution = Solution::new(vec![
+            Stage::new(0, 1, 2, CoreType::Big),
+            Stage::new(2, 2, 1, CoreType::Big),
+        ]);
+        let machine = VirtualMachine::new(Resources::new(3, 0));
+        let r = spec
+            .run(&chain, &solution, &machine, &RunConfig::with_frames(64))
+            .unwrap();
+        assert_eq!(r.frames, 64);
+        let mut seen = seen.lock().clone();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 64);
+        for (i, (seq, path)) in seen.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(path, &vec![0, 1], "frame {seq} traversal {path:?}");
+        }
+    }
+
+    #[test]
+    fn duration_mode_terminates() {
+        let chain = chain_replicable(2);
+        let tasks = chain
+            .tasks()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| RuntimeTask::new(&format!("t{i}"), true, WeightedWork::from_task(t)))
+            .collect();
+        let spec: PipelineSpec<u64> = PipelineSpec::new(Arc::new(|s| s), tasks);
+        let solution = Solution::new(vec![Stage::new(0, 1, 2, CoreType::Big)]);
+        let machine = VirtualMachine::new(Resources::new(2, 0));
+        let r = spec
+            .run(
+                &chain,
+                &solution,
+                &machine,
+                &RunConfig::with_duration(Duration::from_millis(50)),
+            )
+            .unwrap();
+        assert!(r.frames > 0);
+        assert!(r.elapsed_seconds < 5.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let chain = chain_replicable(2);
+        let machine = VirtualMachine::new(Resources::new(1, 0));
+        let solution = Solution::new(vec![Stage::new(0, 1, 1, CoreType::Big)]);
+
+        let spec = spec_counting(3);
+        assert!(matches!(
+            spec.run(&chain, &solution, &machine, &RunConfig::with_frames(1)),
+            Err(RuntimeError::ChainMismatch { spec: 3, chain: 2 })
+        ));
+
+        let spec = spec_counting(2);
+        let bad = Solution::new(vec![Stage::new(0, 0, 1, CoreType::Big)]);
+        assert!(matches!(
+            spec.run(&chain, &bad, &machine, &RunConfig::with_frames(1)),
+            Err(RuntimeError::InvalidSolution(_))
+        ));
+
+        let too_big = Solution::new(vec![Stage::new(0, 1, 2, CoreType::Big)]);
+        assert!(matches!(
+            spec.run(&chain, &too_big, &machine, &RunConfig::with_frames(1)),
+            Err(RuntimeError::Placement)
+        ));
+
+        let cfg = RunConfig {
+            frames: None,
+            max_duration: None,
+            queue_capacity: 4,
+            warmup_fraction: 0.2,
+        };
+        assert!(matches!(
+            spec.run(&chain, &solution, &machine, &cfg),
+            Err(RuntimeError::NoTerminationCondition)
+        ));
+
+        // Replicability mismatch.
+        let seq_chain = TaskChain::new(vec![Task::new(1, 2, false), Task::new(1, 2, true)]);
+        assert!(matches!(
+            spec.run(&seq_chain, &solution, &machine, &RunConfig::with_frames(1)),
+            Err(RuntimeError::ReplicabilityMismatch(0))
+        ));
+    }
+}

@@ -1,0 +1,95 @@
+//! Task profiling: measures each task's per-frame latency on each virtual
+//! core type, producing the weight table the schedulers consume (the
+//! paper's Table III workflow: profile first, schedule second).
+
+use crate::pipeline::RuntimeTask;
+use amp_core::{CoreType, Task, TaskChain};
+use std::time::Instant;
+
+/// Profiling parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfileConfig {
+    /// Measured frames per task and core type.
+    pub frames: u64,
+    /// Leading frames discarded (cache warm-up).
+    pub warmup: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            frames: 32,
+            warmup: 4,
+        }
+    }
+}
+
+/// Runs every task of `spec` `config.frames` times on each core type and
+/// returns a [`TaskChain`] whose weights are the measured mean latencies in
+/// microseconds (rounded up, minimum 1).
+#[must_use]
+pub fn profile_chain<D>(
+    tasks: &[RuntimeTask<D>],
+    source: impl Fn(u64) -> D,
+    config: &ProfileConfig,
+) -> TaskChain {
+    assert!(config.frames > config.warmup, "need frames after warm-up");
+    let measured: Vec<Task> = tasks
+        .iter()
+        .map(|task| {
+            let mut weights = [0u64; 2];
+            for (slot, core) in CoreType::BOTH.into_iter().enumerate() {
+                let mut total_nanos = 0u64;
+                for f in 0..config.frames {
+                    let mut data = source(f);
+                    let t0 = Instant::now();
+                    task.work.process(f, &mut data, core);
+                    let dt = t0.elapsed().as_nanos() as u64;
+                    if f >= config.warmup {
+                        total_nanos += dt;
+                    }
+                }
+                let mean_us = total_nanos as f64 / ((config.frames - config.warmup) as f64 * 1e3);
+                weights[slot] = (mean_us.ceil() as u64).max(1);
+            }
+            Task {
+                name: task.name.clone(),
+                weight_big: weights[0],
+                weight_little: weights[1],
+                replicable: task.replicable,
+            }
+        })
+        .collect();
+    TaskChain::new(measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::WeightedWork;
+
+    #[test]
+    fn profiled_weights_track_the_work_model() {
+        let tasks = vec![
+            RuntimeTask::<u64>::new("fast", true, WeightedWork::new(200.0, 800.0)),
+            RuntimeTask::<u64>::new("slow", false, WeightedWork::new(1000.0, 2000.0)),
+        ];
+        let chain = profile_chain(&tasks, |s| s, &ProfileConfig::default());
+        assert_eq!(chain.len(), 2);
+        // Within 50% of the configured cost (spin calibration tolerance on
+        // noisy CI machines).
+        let t0 = chain.task(0);
+        assert!((100..=400).contains(&t0.weight_big), "{}", t0.weight_big);
+        assert!(
+            (400..=1600).contains(&t0.weight_little),
+            "{}",
+            t0.weight_little
+        );
+        let t1 = chain.task(1);
+        assert!(t1.weight_big > t0.weight_big);
+        assert!(!t1.replicable && t0.replicable);
+        // The little/big ratio should roughly match the 4x / 2x setup.
+        let r0 = t0.weight_little as f64 / t0.weight_big as f64;
+        assert!((2.0..=8.0).contains(&r0), "ratio {r0}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Measured results of a runtime execution.
+
+use amp_core::CoreType;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Per-stage runtime statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StageRuntimeReport {
+    /// Stage index in the solution.
+    pub stage: usize,
+    /// Replica count.
+    pub replicas: u64,
+    /// Core type of the replicas.
+    pub core_type: CoreType,
+    /// Total processing time across replicas, in seconds.
+    pub busy_seconds: f64,
+    /// Fraction of `replicas × wall-clock` spent processing.
+    pub utilization: f64,
+}
+
+/// Outcome of a pipeline run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Frames that reached the sink.
+    pub frames: u64,
+    /// Wall-clock duration of the run, in seconds.
+    pub elapsed_seconds: f64,
+    /// Steady-state throughput: frames per second measured over sink
+    /// departures after the warm-up window.
+    pub fps: f64,
+    /// Whole-run throughput `frames / elapsed` (includes pipeline fill).
+    pub fps_total: f64,
+    /// Measured steady-state period, in microseconds (`1e6 / fps`).
+    pub period_us: f64,
+    /// Per-stage statistics.
+    pub stages: Vec<StageRuntimeReport>,
+}
+
+impl RunReport {
+    /// Information throughput in Mb/s given the number of information bits
+    /// carried per frame (e.g. `K × R` for a DVB-S2 frame).
+    #[must_use]
+    pub fn mbps(&self, info_bits_per_frame: f64) -> f64 {
+        self.fps * info_bits_per_frame / 1e6
+    }
+
+    /// The run's wall-clock duration.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_secs_f64(self.elapsed_seconds)
+    }
+}

@@ -1,0 +1,101 @@
+//! Task work models: what a task *does* when a replica executes it.
+
+use crate::spin;
+use amp_core::{CoreType, Task};
+
+/// The body of one task of the chain, executed once per frame by whichever
+/// replica owns the frame. `core` is the virtual core type the replica is
+/// bound to — implementations make their cost depend on it.
+pub trait TaskWork<D>: Send + Sync {
+    /// Processes frame `seq` in place.
+    fn process(&self, seq: u64, data: &mut D, core: CoreType);
+}
+
+/// Pure calibrated spin-work: costs the task's profiled weight (in
+/// microseconds) on the replica's core type. The workhorse for synthetic
+/// chains and for padding functional blocks to profiled latencies.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightedWork {
+    big_us: f64,
+    little_us: f64,
+}
+
+impl WeightedWork {
+    /// Work costing `big_us` µs on big cores and `little_us` µs on little
+    /// ones.
+    #[must_use]
+    pub fn new(big_us: f64, little_us: f64) -> Self {
+        WeightedWork { big_us, little_us }
+    }
+
+    /// Work costing the task's weights, read as microseconds.
+    #[must_use]
+    pub fn from_task(task: &Task) -> Self {
+        WeightedWork::new(task.weight_big as f64, task.weight_little as f64)
+    }
+
+    /// Work costing the task's weights scaled by `us_per_unit` microseconds
+    /// per weight unit.
+    #[must_use]
+    pub fn from_task_scaled(task: &Task, us_per_unit: f64) -> Self {
+        WeightedWork::new(
+            task.weight_big as f64 * us_per_unit,
+            task.weight_little as f64 * us_per_unit,
+        )
+    }
+
+    /// The cost on a given core type, in microseconds.
+    #[must_use]
+    pub fn cost_us(&self, core: CoreType) -> f64 {
+        match core {
+            CoreType::Big => self.big_us,
+            CoreType::Little => self.little_us,
+        }
+    }
+}
+
+impl<D> TaskWork<D> for WeightedWork {
+    fn process(&self, seq: u64, _data: &mut D, core: CoreType) {
+        let _ = spin::spin_for_micros(self.cost_us(core), seq | 1);
+    }
+}
+
+/// Adapter turning a closure into a [`TaskWork`].
+pub struct FnWork<F>(pub F);
+
+impl<D, F> TaskWork<D> for FnWork<F>
+where
+    F: Fn(u64, &mut D, CoreType) + Send + Sync,
+{
+    fn process(&self, seq: u64, data: &mut D, core: CoreType) {
+        (self.0)(seq, data, core);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_work_costs_by_core_type() {
+        let w = WeightedWork::new(100.0, 400.0);
+        assert_eq!(w.cost_us(CoreType::Big), 100.0);
+        assert_eq!(w.cost_us(CoreType::Little), 400.0);
+    }
+
+    #[test]
+    fn from_task_scales() {
+        let t = Task::new(50, 150, true);
+        let w = WeightedWork::from_task_scaled(&t, 2.0);
+        assert_eq!(w.cost_us(CoreType::Big), 100.0);
+        assert_eq!(w.cost_us(CoreType::Little), 300.0);
+    }
+
+    #[test]
+    fn fn_work_runs_the_closure() {
+        let w = FnWork(|seq: u64, data: &mut u64, _core: CoreType| *data += seq);
+        let mut d = 1u64;
+        w.process(4, &mut d, CoreType::Big);
+        assert_eq!(d, 5);
+    }
+}

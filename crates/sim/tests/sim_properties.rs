@@ -1,0 +1,80 @@
+//! Property tests: the simulator's steady-state period matches the analytic
+//! period `P(S)` (Eq. 2) for schedules produced by every strategy, and
+//! back-pressure never *improves* on theory.
+
+use amp_core::sched::{Fertac, Herad, Otac, Scheduler, Twocatac};
+use amp_core::{Resources, Task, TaskChain};
+use amp_sim::{simulate, SimConfig};
+use proptest::prelude::*;
+
+fn instance() -> impl Strategy<Value = (TaskChain, Resources)> {
+    let task = (1u64..=50, 1u64..=5, any::<bool>())
+        .prop_map(|(wb, slow, rep)| Task::new(wb, wb * slow, rep));
+    (prop::collection::vec(task, 1..=12), 0u64..=4, 0u64..=4)
+        .prop_filter("need cores", |(_, b, l)| b + l > 0)
+        .prop_map(|(t, b, l)| (TaskChain::new(t), Resources::new(b, l)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn steady_period_matches_analytic_period((chain, res) in instance()) {
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(Herad::new()),
+            Box::new(Fertac),
+            Box::new(Twocatac::new()),
+        ];
+        for sched in &schedulers {
+            let s = sched.schedule(&chain, res).unwrap();
+            let expected = s.period(&chain).to_f64();
+            let r = simulate(&chain, &s, &SimConfig::with_frames(3000));
+            let rel = (r.steady_period - expected).abs() / expected;
+            prop_assert!(
+                rel < 0.01,
+                "{}: sim {} vs P(S) {} for {}", sched.name(), r.steady_period, expected, s
+            );
+        }
+    }
+
+    #[test]
+    fn back_pressure_never_beats_theory((chain, res) in instance()) {
+        let s = match Otac::big().schedule(&chain, res) {
+            Some(s) => s,
+            None => return Ok(()), // no big cores in this draw
+        };
+        let expected = s.period(&chain).to_f64();
+        for cap in [1u64, 2, 4] {
+            let r = simulate(&chain, &s, &SimConfig {
+                frames: 2000,
+                queue_capacity: cap,
+                ..SimConfig::default()
+            });
+            // Fractional periods (replicated stages) make departures
+            // alternate between neighbouring integer gaps; the windowed
+            // average can sit a hair under P(S), hence the relative slack.
+            prop_assert!(
+                r.steady_period >= expected * 0.99,
+                "cap {cap}: sim {} beats P(S) {}", r.steady_period, expected
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_bounds_hold((chain, res) in instance()) {
+        let s = Herad::new().schedule(&chain, res).unwrap();
+        let frames = 500u64;
+        let r = simulate(&chain, &s, &SimConfig::with_frames(frames));
+        // Makespan is at least frames x period and at least one full
+        // pipeline traversal.
+        let p = s.period(&chain).to_f64();
+        prop_assert!(r.makespan as f64 >= (frames - 1) as f64 * p);
+        let min_traversal: u64 = s
+            .stages()
+            .iter()
+            .map(|st| chain.interval_sum(st.start, st.end, st.core_type))
+            .sum();
+        prop_assert!(r.makespan >= min_traversal);
+        prop_assert!(r.mean_latency >= min_traversal as f64 - 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Quickstart: model a partially-replicable task chain, schedule it on a
+//! heterogeneous processor with every strategy, and inspect the schedules.
+//!
+//! ```sh
+//! cargo run --release -p amp-examples --example quickstart
+//! ```
+
+use amp_core::sched::{paper_strategies, Herad};
+use amp_core::{Resources, Task, TaskChain};
+
+fn main() {
+    // An 8-task streaming chain. Weights are microseconds on (big, little)
+    // cores; stateful tasks (source, sync, sink) cannot be replicated.
+    let chain = TaskChain::new(vec![
+        Task {
+            name: "source".into(),
+            weight_big: 20,
+            weight_little: 45,
+            replicable: false,
+        },
+        Task {
+            name: "agc".into(),
+            weight_big: 40,
+            weight_little: 110,
+            replicable: false,
+        },
+        Task {
+            name: "filter".into(),
+            weight_big: 320,
+            weight_little: 900,
+            replicable: true,
+        },
+        Task {
+            name: "demod".into(),
+            weight_big: 480,
+            weight_little: 1400,
+            replicable: true,
+        },
+        Task {
+            name: "decode".into(),
+            weight_big: 700,
+            weight_little: 1600,
+            replicable: true,
+        },
+        Task {
+            name: "descramble".into(),
+            weight_big: 60,
+            weight_little: 150,
+            replicable: true,
+        },
+        Task {
+            name: "crc".into(),
+            weight_big: 35,
+            weight_little: 80,
+            replicable: true,
+        },
+        Task {
+            name: "sink".into(),
+            weight_big: 15,
+            weight_little: 30,
+            replicable: false,
+        },
+    ]);
+
+    // A processor with 4 big and 4 little cores.
+    let resources = Resources::new(4, 4);
+
+    println!(
+        "chain: {} tasks, {} replicable",
+        chain.len(),
+        chain.replicable_count()
+    );
+    println!("resources: {resources}\n");
+
+    for strategy in paper_strategies() {
+        match strategy.schedule(&chain, resources) {
+            Some(solution) => {
+                let used = solution.used_cores();
+                println!(
+                    "{:<9} period {:>7.1} µs  throughput {:>8.0} frames/s  cores ({}B,{}L)",
+                    strategy.name(),
+                    solution.period(&chain).to_f64(),
+                    solution.throughput(&chain) * 1e6,
+                    used.big,
+                    used.little,
+                );
+                println!("          stages: {solution}");
+            }
+            None => println!("{:<9} found no schedule", strategy.name()),
+        }
+    }
+
+    // The optimal period is also available without extracting a schedule:
+    let p = Herad::new().optimal_period(&chain, resources).unwrap();
+    println!("\noptimal period (HeRAD): {p} = {:.1} µs", p.to_f64());
+}

@@ -1,0 +1,65 @@
+//! A miniature of the paper's simulation campaign: generate synthetic
+//! chains, schedule them with every strategy, and summarize slowdowns and
+//! core usage (one cell of Table I).
+//!
+//! ```sh
+//! cargo run --release -p amp-examples --example synthetic_sweep -- 10 10 0.5
+//! ```
+//! (arguments: big cores, little cores, stateless ratio)
+
+use amp_core::sched::paper_strategies;
+use amp_core::Resources;
+use amp_workload::SyntheticConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let big: u64 = args.get(1).map_or(10, |v| v.parse().expect("big cores"));
+    let little: u64 = args.get(2).map_or(10, |v| v.parse().expect("little cores"));
+    let sr: f64 = args.get(3).map_or(0.5, |v| v.parse().expect("ratio"));
+    let resources = Resources::new(big, little);
+
+    let chains = SyntheticConfig::paper(sr).generate_batch(2024, 200);
+    println!(
+        "{} chains of 20 tasks, SR = {sr}, R = {resources}\n",
+        chains.len()
+    );
+
+    let strategies = paper_strategies();
+    let mut slowdowns = vec![Vec::new(); strategies.len()];
+    let mut cores = vec![(0u64, 0u64); strategies.len()];
+    for chain in &chains {
+        let best = strategies[0]
+            .schedule(chain, resources)
+            .expect("HeRAD schedules everything")
+            .period(chain);
+        for (i, s) in strategies.iter().enumerate() {
+            if let Some(sol) = s.schedule(chain, resources) {
+                let p = sol.period(chain);
+                slowdowns[i].push(p.to_f64() / best.to_f64());
+                let u = sol.used_cores();
+                cores[i].0 += u.big;
+                cores[i].1 += u.little;
+            }
+        }
+    }
+
+    println!(
+        "{:<10} {:>7} {:>8} {:>8} {:>9} {:>9}",
+        "strategy", "%opt", "avg", "max", "avg bigs", "avg littles"
+    );
+    for (i, s) in strategies.iter().enumerate() {
+        let v = &slowdowns[i];
+        let opt = v.iter().filter(|&&x| x <= 1.0 + 1e-9).count() as f64 / v.len() as f64;
+        let avg = v.iter().sum::<f64>() / v.len() as f64;
+        let max = v.iter().cloned().fold(1.0f64, f64::max);
+        println!(
+            "{:<10} {:>6.1}% {:>8.3} {:>8.3} {:>9.2} {:>9.2}",
+            s.name(),
+            opt * 100.0,
+            avg,
+            max,
+            cores[i].0 as f64 / v.len() as f64,
+            cores[i].1 as f64 / v.len() as f64,
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Whole-stack integration: profile → schedule → simulate → execute.
+
+use amp_core::sched::{Herad, Scheduler};
+use amp_core::{Resources, Task, TaskChain};
+use amp_dvbs2::{profiled_chain, receiver_spec, txrx::LinkContext, Platform};
+use amp_runtime::{
+    profile_chain, PipelineSpec, ProfileConfig, RunConfig, RuntimeTask, VirtualMachine,
+    WeightedWork,
+};
+use amp_sim::{simulate, SimConfig};
+use std::sync::Arc;
+
+/// Schedule the paper's receiver, simulate it, and check the measured
+/// period matches the analytic one for every strategy and configuration.
+#[test]
+fn dvbs2_schedules_simulate_to_their_analytic_period() {
+    for (platform, r) in [
+        (Platform::MacStudio, Resources::new(8, 2)),
+        (Platform::X7Ti, Resources::new(6, 8)),
+    ] {
+        let chain = profiled_chain(platform);
+        for strategy in amp_core::sched::paper_strategies() {
+            let solution = strategy.schedule(&chain, r).unwrap();
+            let expected = solution.period(&chain).to_f64();
+            let report = simulate(&chain, &solution, &SimConfig::with_frames(2000));
+            let rel = (report.steady_period - expected).abs() / expected;
+            assert!(
+                rel < 0.01,
+                "{} on {:?} {r}: sim {} vs P(S) {expected}",
+                strategy.name(),
+                platform,
+                report.steady_period
+            );
+        }
+    }
+}
+
+/// The full measure→schedule→execute workflow on the threaded runtime:
+/// profile synthetic work, schedule from the measured chain, run it, and
+/// verify every frame is processed exactly once.
+#[test]
+fn profile_schedule_execute_roundtrip() {
+    // A pipeline of spin tasks with known asymmetric costs.
+    let spec_tasks: Vec<RuntimeTask<u64>> = vec![
+        RuntimeTask::new("ingest", false, WeightedWork::new(150.0, 320.0)),
+        RuntimeTask::new("heavy", true, WeightedWork::new(900.0, 2100.0)),
+        RuntimeTask::new("emit", false, WeightedWork::new(100.0, 190.0)),
+    ];
+    // 1. Profile on the virtual cores.
+    let measured = profile_chain(
+        &spec_tasks,
+        |s| s,
+        &ProfileConfig {
+            frames: 12,
+            warmup: 2,
+        },
+    );
+    assert_eq!(measured.len(), 3);
+    for t in measured.tasks() {
+        assert!(t.weight_little > t.weight_big, "{t:?}");
+    }
+    // 2. Schedule from the measurement.
+    let resources = Resources::new(2, 2);
+    let solution = Herad::new().schedule(&measured, resources).unwrap();
+    assert!(solution.validate(&measured).is_ok());
+    // 3. Execute.
+    let spec = PipelineSpec::new(Arc::new(|s| s), spec_tasks);
+    let report = spec
+        .run(
+            &measured,
+            &solution,
+            &VirtualMachine::new(resources),
+            &RunConfig::with_frames(60),
+        )
+        .unwrap();
+    assert_eq!(report.frames, 60);
+}
+
+/// The functional DVB-S2 receiver decodes bit-exactly while running as a
+/// scheduled pipeline (replication and adaptors must not corrupt frames).
+#[test]
+fn scheduled_functional_receiver_is_bit_exact() {
+    let platform = Platform::MacStudio;
+    let chain = profiled_chain(platform);
+    let resources = Resources::new(4, 2);
+    let solution = Herad::new().schedule(&chain, resources).unwrap();
+
+    let ctx = Arc::new(LinkContext::reduced());
+    // No latency padding: run the functional blocks at full speed.
+    let spec = receiver_spec(ctx, 0.05, 7, None);
+    let machine = VirtualMachine::new(resources);
+    let report = spec
+        .run(&chain, &solution, &machine, &RunConfig::with_frames(24))
+        .unwrap();
+    assert_eq!(report.frames, 24);
+}
+
+/// Synthetic chains: scheduling + simulation agree across strategies and
+/// resource mixes (sampled grid, deterministic).
+#[test]
+fn synthetic_grid_simulation_agreement() {
+    let chains = amp_workload::SyntheticConfig::paper(0.5).generate_batch(123, 5);
+    for chain in &chains {
+        for (b, l) in [(4, 4), (8, 2), (2, 8)] {
+            let r = Resources::new(b, l);
+            let s = Herad::new().schedule(chain, r).unwrap();
+            let expected = s.period(chain).to_f64();
+            let report = simulate(chain, &s, &SimConfig::with_frames(2000));
+            let rel = (report.steady_period - expected).abs() / expected;
+            assert!(rel < 0.02, "{r}: {} vs {expected}", report.steady_period);
+        }
+    }
+}
+
+/// A chain the paper's intro motivates: identical tasks, fully replicable
+/// — on homogeneous resources, one big replicated stage is optimal
+/// (Benoit & Robert); with two core types, HeRAD splits across both.
+#[test]
+fn fully_replicable_chain_uses_the_whole_machine() {
+    let chain = TaskChain::new(
+        (0..10)
+            .map(|i| Task {
+                name: format!("t{i}"),
+                weight_big: 100,
+                weight_little: 200,
+                replicable: true,
+            })
+            .collect(),
+    );
+    let r = Resources::new(4, 4);
+    let s = Herad::new().schedule(&chain, r).unwrap();
+    let used = s.used_cores();
+    assert_eq!(used.big, 4);
+    assert_eq!(used.little, 4);
+    // The continuous bound is 1000 work-units over capacity 6 = 166.7, but
+    // tasks are indivisible: the best integral split is 7 tasks on the 4
+    // big cores (700/4 = 175) and 3 on the 4 little ones (600/4 = 150).
+    let p = s.period(&chain).to_f64();
+    assert_eq!(p, 175.0, "period {p}");
+    assert!(p >= 1000.0 / 6.0, "never beats the work/capacity bound");
+}

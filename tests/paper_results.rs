@@ -1,0 +1,166 @@
+//! Pins the reproduction of the paper's Table II: scheduling the DVB-S2
+//! receiver profile must give the published periods (0.1 µs resolution)
+//! and, for HeRAD, the published pipeline decompositions.
+//!
+//! These are regression tests against the paper itself: if any scheduler
+//! change breaks a value here, the reproduction no longer matches.
+
+use amp_core::sched::{Fertac, Herad, Otac, Scheduler, Twocatac};
+use amp_core::{Resources, Solution, TaskChain};
+use amp_dvbs2::{profiled_chain, Platform};
+
+fn period_units(s: &dyn Scheduler, chain: &TaskChain, r: Resources) -> f64 {
+    s.schedule(chain, r)
+        .expect("the receiver always schedules")
+        .period(chain)
+        .to_f64()
+}
+
+fn assert_period(s: &dyn Scheduler, chain: &TaskChain, r: Resources, paper_us: f64) {
+    let got_us = period_units(s, chain, r) / 10.0;
+    assert!(
+        (got_us - paper_us).abs() <= 0.11,
+        "{} at {r}: period {got_us:.1} µs, paper says {paper_us} µs",
+        s.name()
+    );
+}
+
+#[test]
+fn table2_mac_studio_half_cores() {
+    // R = (8B, 2L): S1..S5.
+    let chain = profiled_chain(Platform::MacStudio);
+    let r = Resources::new(8, 2);
+    assert_period(&Herad::new(), &chain, r, 1128.7);
+    assert_period(&Twocatac::new(), &chain, r, 1154.3);
+    assert_period(&Fertac, &chain, r, 1265.6);
+    assert_period(&Otac::big(), &chain, r, 1442.9);
+    assert_period(&Otac::little(), &chain, r, 11440.0);
+}
+
+#[test]
+fn table2_mac_studio_all_cores() {
+    // R = (16B, 4L): S6..S10 — all strategies except OTAC (L) reach the
+    // sequential-task bound 950.6 µs (τ6 Sync Timing).
+    let chain = profiled_chain(Platform::MacStudio);
+    let r = Resources::new(16, 4);
+    assert_period(&Herad::new(), &chain, r, 950.6);
+    assert_period(&Twocatac::new(), &chain, r, 950.6);
+    assert_period(&Fertac, &chain, r, 950.6);
+    assert_period(&Otac::big(), &chain, r, 950.6);
+    assert_period(&Otac::little(), &chain, r, 6470.9);
+}
+
+#[test]
+fn table2_x7ti_half_cores() {
+    // R = (3B, 4L): S11..S15.
+    let chain = profiled_chain(Platform::X7Ti);
+    let r = Resources::new(3, 4);
+    assert_period(&Herad::new(), &chain, r, 2722.1);
+    assert_period(&Twocatac::new(), &chain, r, 2722.1);
+    assert_period(&Fertac, &chain, r, 2867.0);
+    assert_period(&Otac::big(), &chain, r, 6209.0);
+    assert_period(&Otac::little(), &chain, r, 7490.3);
+}
+
+#[test]
+fn table2_x7ti_all_cores() {
+    // R = (6B, 8L): S16..S20.
+    let chain = profiled_chain(Platform::X7Ti);
+    let r = Resources::new(6, 8);
+    assert_period(&Herad::new(), &chain, r, 1341.9);
+    assert_period(&Twocatac::new(), &chain, r, 1341.9);
+    assert_period(&Fertac, &chain, r, 1552.3);
+    assert_period(&Otac::big(), &chain, r, 2867.0);
+    assert_period(&Otac::little(), &chain, r, 3745.1);
+}
+
+fn decomposition(s: &dyn Scheduler, platform: Platform, r: Resources) -> Solution {
+    s.schedule(&profiled_chain(platform), r).unwrap()
+}
+
+#[test]
+fn herad_reproduces_published_decompositions() {
+    // S1: (5,1B),(1,1B),(9,1B),(1,2B),(2,1L),(1,3B),(4,1L)
+    let s1 = decomposition(&Herad::new(), Platform::MacStudio, Resources::new(8, 2));
+    assert_eq!(
+        s1.decomposition(),
+        "(5,1B),(1,1B),(9,1B),(1,2B),(2,1L),(1,3B),(4,1L)"
+    );
+    // S6: (3,1L),(1,1L),(1,1L),(1,1B),(6,1B),(7,7B),(4,1L)
+    let s6 = decomposition(&Herad::new(), Platform::MacStudio, Resources::new(16, 4));
+    assert_eq!(
+        s6.decomposition(),
+        "(3,1L),(1,1L),(1,1L),(1,1B),(6,1B),(7,7B),(4,1L)"
+    );
+    // S11: (5,1B),(10,1B),(3,1B),(1,3L),(4,1L)
+    let s11 = decomposition(&Herad::new(), Platform::X7Ti, Resources::new(3, 4));
+    assert_eq!(s11.decomposition(), "(5,1B),(10,1B),(3,1B),(1,3L),(4,1L)");
+    // S16: (5,1B),(1,1B),(6,1B),(4,2B),(3,7L),(4,1L)
+    let s16 = decomposition(&Herad::new(), Platform::X7Ti, Resources::new(6, 8));
+    assert_eq!(
+        s16.decomposition(),
+        "(5,1B),(1,1B),(6,1B),(4,2B),(3,7L),(4,1L)"
+    );
+}
+
+#[test]
+fn published_core_usage_matches() {
+    // Table II core columns for HeRAD: S1 (8,2), S6 (9,4), S11 (3,4),
+    // S16 (6,8) — note S16's paper row prints b_used=6 with stage list
+    // using 5 big; the (4,2B) stage plus three 1B stages is 5... the paper
+    // counts the whole budget; we count stage sums. Check stage sums.
+    let s1 = decomposition(&Herad::new(), Platform::MacStudio, Resources::new(8, 2));
+    assert_eq!((s1.used_cores().big, s1.used_cores().little), (8, 2));
+    let s6 = decomposition(&Herad::new(), Platform::MacStudio, Resources::new(16, 4));
+    assert_eq!((s6.used_cores().big, s6.used_cores().little), (9, 4));
+    let s11 = decomposition(&Herad::new(), Platform::X7Ti, Resources::new(3, 4));
+    assert_eq!((s11.used_cores().big, s11.used_cores().little), (3, 4));
+    let s16 = decomposition(&Herad::new(), Platform::X7Ti, Resources::new(6, 8));
+    assert_eq!((s16.used_cores().big, s16.used_cores().little), (5, 8));
+}
+
+#[test]
+fn throughput_conversion_matches_table2_sim_columns() {
+    // Sim FPS = interframe / period; Mb/s = FPS x 14232 / 1e6.
+    let chain = profiled_chain(Platform::MacStudio);
+    let p = Herad::new()
+        .schedule(&chain, Resources::new(8, 2))
+        .unwrap()
+        .period(&chain)
+        .to_f64();
+    let fps = Platform::MacStudio.fps_for_period_units(p);
+    let mbps = Platform::MacStudio.mbps_for_period_units(p);
+    assert!((fps - 3544.0).abs() < 2.0, "fps {fps}");
+    assert!((mbps - 50.4).abs() < 0.1, "mbps {mbps}");
+
+    let chain = profiled_chain(Platform::X7Ti);
+    let p = Otac::big()
+        .schedule(&chain, Resources::new(6, 8))
+        .unwrap()
+        .period(&chain)
+        .to_f64();
+    let fps = Platform::X7Ti.fps_for_period_units(p);
+    assert!((fps - 2790.0).abs() < 3.0, "fps {fps}");
+}
+
+#[test]
+fn strategy_ordering_holds_everywhere() {
+    // HeRAD <= 2CATAC <= ... is the paper's quality ordering; 2CATAC and
+    // FERTAC have no proven relation but 2CATAC wins on every Table II
+    // configuration.
+    for (platform, r) in [
+        (Platform::MacStudio, Resources::new(8, 2)),
+        (Platform::MacStudio, Resources::new(16, 4)),
+        (Platform::X7Ti, Resources::new(3, 4)),
+        (Platform::X7Ti, Resources::new(6, 8)),
+    ] {
+        let chain = profiled_chain(platform);
+        let herad = period_units(&Herad::new(), &chain, r);
+        let two = period_units(&Twocatac::new(), &chain, r);
+        let fer = period_units(&Fertac, &chain, r);
+        let otac_b = period_units(&Otac::big(), &chain, r);
+        assert!(herad <= two + 1e-9);
+        assert!(two <= fer + 1e-9);
+        assert!(fer <= otac_b + 1e-9, "FERTAC beats OTAC(B) on Table II");
+    }
+}
