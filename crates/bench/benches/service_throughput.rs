@@ -1,0 +1,72 @@
+//! Service-level benches: end-to-end request latency through the
+//! `amp-service` engine with a cold versus a warm solution cache.
+//!
+//! The cold group disables the cache entirely (capacity 0), so every
+//! request pays the full portfolio compute; the warm group pre-populates
+//! the cache with the exact request set, so every request is a cache hit.
+//! The gap between the two is the cache's value on repeated instances.
+
+use amp_core::Resources;
+use amp_service::{Engine, EngineConfig, Policy, ScheduleRequest};
+use amp_workload::SyntheticConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A small pool of distinct paper-shaped instances.
+fn requests() -> Vec<ScheduleRequest> {
+    let chains = SyntheticConfig::paper(0.5).generate_batch(7, 16);
+    chains
+        .iter()
+        .map(|chain| {
+            ScheduleRequest::from_chain(0, chain, Resources::new(10, 10), Policy::Portfolio)
+        })
+        .collect()
+}
+
+fn engine(cache_capacity: usize) -> Engine {
+    Engine::start(EngineConfig {
+        workers: 2,
+        cache_capacity,
+        ..EngineConfig::default()
+    })
+}
+
+fn service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+
+    let reqs = requests();
+
+    let cold = engine(0);
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            for req in &reqs {
+                black_box(cold.schedule_blocking(req.clone()));
+            }
+        })
+    });
+
+    let warm = engine(4096);
+    for req in &reqs {
+        let resp = warm.schedule_blocking(req.clone());
+        assert!(resp.result.is_ok(), "warm-up request must be feasible");
+    }
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            for req in &reqs {
+                black_box(warm.schedule_blocking(req.clone()));
+            }
+        })
+    });
+
+    group.finish();
+    cold.shutdown();
+    warm.shutdown();
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

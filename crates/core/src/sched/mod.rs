@@ -45,13 +45,68 @@ pub fn paper_strategies() -> Vec<Box<dyn Scheduler>> {
     ]
 }
 
+/// Looks up a strategy by its Table I display name (the exact string the
+/// strategy's [`Scheduler::name`] returns): `"HeRAD"`, `"2CATAC"`,
+/// `"FERTAC"`, `"OTAC (B)"` or `"OTAC (L)"`. Returns `None` for anything
+/// else so callers (CLIs, services) can surface a typed "unknown strategy"
+/// error instead of panicking.
+#[must_use]
+pub fn strategy_by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    match name {
+        "HeRAD" => Some(Box::new(Herad::new())),
+        "2CATAC" => Some(Box::new(Twocatac::new())),
+        "FERTAC" => Some(Box::new(Fertac)),
+        "OTAC (B)" => Some(Box::new(Otac::big())),
+        "OTAC (L)" => Some(Box::new(Otac::little())),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chain::Task;
 
     #[test]
     fn paper_strategies_have_table_names() {
         let names: Vec<&str> = paper_strategies().iter().map(|s| s.name()).collect();
         assert_eq!(names, ["HeRAD", "2CATAC", "FERTAC", "OTAC (B)", "OTAC (L)"]);
+    }
+
+    #[test]
+    fn strategy_by_name_round_trips_paper_strategies() {
+        for s in paper_strategies() {
+            let looked_up = strategy_by_name(s.name())
+                .unwrap_or_else(|| panic!("{} must be resolvable by name", s.name()));
+            assert_eq!(looked_up.name(), s.name());
+        }
+    }
+
+    #[test]
+    fn strategy_by_name_resolves_equivalent_schedulers() {
+        // The looked-up instance must behave like the canonical one, not
+        // just share its label.
+        let chain = TaskChain::new(vec![
+            Task::new(10, 25, false),
+            Task::new(40, 90, true),
+            Task::new(5, 12, false),
+        ]);
+        let res = Resources::new(2, 2);
+        for s in paper_strategies() {
+            let by_name = strategy_by_name(s.name()).unwrap();
+            let a = s.schedule(&chain, res);
+            let b = by_name.schedule(&chain, res);
+            match (a, b) {
+                (Some(a), Some(b)) => assert_eq!(a.period(&chain), b.period(&chain)),
+                (a, b) => assert_eq!(a.is_none(), b.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_by_name_rejects_unknown_and_near_misses() {
+        for bad in ["herad", "OTAC", "OTAC(B)", "2catac", "", "BruteForce"] {
+            assert!(strategy_by_name(bad).is_none(), "{bad:?} must not resolve");
+        }
     }
 }

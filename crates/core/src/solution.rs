@@ -46,6 +46,98 @@ impl Stage {
     }
 }
 
+/// A structural violation reported by [`Solution::validate`].
+///
+/// The `Display` output keeps the exact phrasing of the former
+/// `Result<(), String>` API; [`ValidationError::code`] gives a stable
+/// machine-readable identifier for service error mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationError {
+    /// The solution has no stages at all.
+    Empty,
+    /// Stage `stage` does not start right after its predecessor ends.
+    NonContiguous {
+        /// Index of the offending stage.
+        stage: usize,
+        /// First task of the offending stage.
+        found: usize,
+        /// Expected first task (end of the previous stage + 1).
+        expected: usize,
+    },
+    /// Stage `stage` ends before it starts or beyond the chain.
+    InvalidEnd {
+        /// Index of the offending stage.
+        stage: usize,
+        /// The out-of-range end index.
+        end: usize,
+    },
+    /// Stage `stage` was assigned zero cores.
+    ZeroCores {
+        /// Index of the offending stage.
+        stage: usize,
+    },
+    /// Stage `stage` replicates an interval containing a sequential task.
+    ReplicatedSequential {
+        /// Index of the offending stage.
+        stage: usize,
+        /// First task of the offending stage.
+        start: usize,
+        /// Last task of the offending stage.
+        end: usize,
+    },
+    /// The stages stop before the end of the chain.
+    IncompleteCover {
+        /// Number of tasks covered by the stages.
+        covered: usize,
+        /// Chain length.
+        total: usize,
+    },
+}
+
+impl ValidationError {
+    /// Stable machine-readable code (used by `amp-service` error mapping).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ValidationError::Empty => "EMPTY_SOLUTION",
+            ValidationError::NonContiguous { .. } => "NON_CONTIGUOUS_STAGES",
+            ValidationError::InvalidEnd { .. } => "INVALID_STAGE_END",
+            ValidationError::ZeroCores { .. } => "ZERO_CORE_STAGE",
+            ValidationError::ReplicatedSequential { .. } => "REPLICATED_SEQUENTIAL_STAGE",
+            ValidationError::IncompleteCover { .. } => "INCOMPLETE_COVER",
+        }
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ValidationError::Empty => write!(f, "solution has no stages"),
+            ValidationError::NonContiguous {
+                stage,
+                found,
+                expected,
+            } => write!(
+                f,
+                "stage {stage} starts at task {found} but task {expected} expected"
+            ),
+            ValidationError::InvalidEnd { stage, end } => {
+                write!(f, "stage {stage} has invalid end {end}")
+            }
+            ValidationError::ZeroCores { stage } => write!(f, "stage {stage} has zero cores"),
+            ValidationError::ReplicatedSequential { stage, start, end } => write!(
+                f,
+                "stage {stage} replicates a sequential interval [{start}..{end}]"
+            ),
+            ValidationError::IncompleteCover { covered, total } => {
+                write!(f, "stages cover only {covered} of {total} tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
 /// A complete pipelined/replicated mapping of a task chain.
 ///
 /// Invariants (checked by [`Solution::validate`]): stages are contiguous,
@@ -140,38 +232,46 @@ impl Solution {
 
     /// Full structural check: contiguous coverage of the whole chain,
     /// positive core counts, and no replication of sequential stages.
-    /// Returns a description of the first violation, if any.
-    pub fn validate(&self, chain: &TaskChain) -> Result<(), String> {
+    /// Returns the first violation as a typed [`ValidationError`], if any.
+    ///
+    /// # Errors
+    /// Returns the first structural violation encountered, in stage order.
+    pub fn validate(&self, chain: &TaskChain) -> Result<(), ValidationError> {
         if self.stages.is_empty() {
-            return Err("solution has no stages".into());
+            return Err(ValidationError::Empty);
         }
         let mut expected_start = 0usize;
         for (i, s) in self.stages.iter().enumerate() {
             if s.start != expected_start {
-                return Err(format!(
-                    "stage {i} starts at task {} but task {} expected",
-                    s.start, expected_start
-                ));
+                return Err(ValidationError::NonContiguous {
+                    stage: i,
+                    found: s.start,
+                    expected: expected_start,
+                });
             }
             if s.end < s.start || s.end >= chain.len() {
-                return Err(format!("stage {i} has invalid end {}", s.end));
+                return Err(ValidationError::InvalidEnd {
+                    stage: i,
+                    end: s.end,
+                });
             }
             if s.cores == 0 {
-                return Err(format!("stage {i} has zero cores"));
+                return Err(ValidationError::ZeroCores { stage: i });
             }
             if s.cores > 1 && !chain.is_replicable(s.start, s.end) {
-                return Err(format!(
-                    "stage {i} replicates a sequential interval [{}..{}]",
-                    s.start, s.end
-                ));
+                return Err(ValidationError::ReplicatedSequential {
+                    stage: i,
+                    start: s.start,
+                    end: s.end,
+                });
             }
             expected_start = s.end + 1;
         }
         if expected_start != chain.len() {
-            return Err(format!(
-                "stages cover only {expected_start} of {} tasks",
-                chain.len()
-            ));
+            return Err(ValidationError::IncompleteCover {
+                covered: expected_start,
+                total: chain.len(),
+            });
         }
         Ok(())
     }
@@ -277,20 +377,96 @@ mod tests {
             Stage::new(0, 0, 1, CoreType::Big),
             Stage::new(2, 4, 1, CoreType::Big),
         ]);
-        assert!(bad.validate(&c).is_err());
+        assert_eq!(
+            bad.validate(&c),
+            Err(ValidationError::NonContiguous {
+                stage: 1,
+                found: 2,
+                expected: 1
+            })
+        );
         // missing tail
         let bad = Solution::new(vec![Stage::new(0, 2, 1, CoreType::Big)]);
-        assert!(bad.validate(&c).unwrap_err().contains("cover only"));
+        assert_eq!(
+            bad.validate(&c),
+            Err(ValidationError::IncompleteCover {
+                covered: 3,
+                total: 5
+            })
+        );
         // replicated sequential stage
         let bad = Solution::new(vec![
             Stage::new(0, 2, 2, CoreType::Big),
             Stage::new(3, 4, 1, CoreType::Big),
         ]);
-        assert!(bad.validate(&c).unwrap_err().contains("replicates"));
+        assert_eq!(
+            bad.validate(&c),
+            Err(ValidationError::ReplicatedSequential {
+                stage: 0,
+                start: 0,
+                end: 2
+            })
+        );
         // zero cores
         let bad = Solution::new(vec![Stage::new(0, 4, 0, CoreType::Big)]);
-        assert!(bad.validate(&c).unwrap_err().contains("zero cores"));
-        assert!(Solution::empty().validate(&c).is_err());
+        assert_eq!(
+            bad.validate(&c),
+            Err(ValidationError::ZeroCores { stage: 0 })
+        );
+        assert_eq!(Solution::empty().validate(&c), Err(ValidationError::Empty));
+    }
+
+    #[test]
+    fn validation_errors_keep_legacy_phrasing_and_stable_codes() {
+        // Display output stays compatible with the old `Result<(), String>`
+        // API so log scrapes and error-message assertions keep working.
+        let cases = [
+            (
+                ValidationError::Empty,
+                "solution has no stages",
+                "EMPTY_SOLUTION",
+            ),
+            (
+                ValidationError::NonContiguous {
+                    stage: 1,
+                    found: 2,
+                    expected: 1,
+                },
+                "stage 1 starts at task 2 but task 1 expected",
+                "NON_CONTIGUOUS_STAGES",
+            ),
+            (
+                ValidationError::InvalidEnd { stage: 0, end: 9 },
+                "stage 0 has invalid end 9",
+                "INVALID_STAGE_END",
+            ),
+            (
+                ValidationError::ZeroCores { stage: 2 },
+                "stage 2 has zero cores",
+                "ZERO_CORE_STAGE",
+            ),
+            (
+                ValidationError::ReplicatedSequential {
+                    stage: 0,
+                    start: 0,
+                    end: 2,
+                },
+                "stage 0 replicates a sequential interval [0..2]",
+                "REPLICATED_SEQUENTIAL_STAGE",
+            ),
+            (
+                ValidationError::IncompleteCover {
+                    covered: 3,
+                    total: 5,
+                },
+                "stages cover only 3 of 5 tasks",
+                "INCOMPLETE_COVER",
+            ),
+        ];
+        for (err, text, code) in cases {
+            assert_eq!(err.to_string(), text);
+            assert_eq!(err.code(), code);
+        }
     }
 
     #[test]

@@ -242,7 +242,7 @@ mod tests {
                 let mut cw = clean.clone();
                 let mut flipped = std::collections::BTreeSet::new();
                 while flipped.len() < errs {
-                    flipped.insert(rng.gen_range(0..15));
+                    flipped.insert(rng.gen_range(0..15usize));
                 }
                 for &p in &flipped {
                     cw[p] ^= 1;
@@ -267,7 +267,7 @@ mod tests {
         let mut cw = clean.clone();
         let mut pos = std::collections::BTreeSet::new();
         while pos.len() < 3 {
-            pos.insert(rng.gen_range(0..1600));
+            pos.insert(rng.gen_range(0..1600usize));
         }
         for &p in &pos {
             cw[p] ^= 1;

@@ -47,7 +47,7 @@ pub enum RuntimeError {
     /// A task's replicability flag disagrees with the chain's.
     ReplicabilityMismatch(usize),
     /// The solution fails [`Solution::validate`] for the chain.
-    InvalidSolution(String),
+    InvalidSolution(amp_core::ValidationError),
     /// The machine has fewer cores of some type than the solution uses.
     Placement,
     /// Neither a frame count nor a duration was requested.

@@ -1,0 +1,355 @@
+//! Sharded LRU cache of scheduling solutions.
+//!
+//! Requests are keyed by their *canonical fingerprint*: the task weights
+//! and replicability mask in chain order, the resource pool, and the
+//! strategy policy. Two requests with the same fingerprint material are
+//! the same scheduling instance, so the winning solution can be replayed
+//! verbatim — the cache stores the full [`ScheduleOutcome`] and returns it
+//! bit-identical (period string, decomposition, stages, core usage).
+//!
+//! The cache is sharded to keep lock contention off the worker-pool hot
+//! path: a 64-bit FNV-1a fingerprint picks the shard, and within a shard a
+//! `HashMap` keyed by the *full* key material (not the fingerprint) makes
+//! lookups collision-safe. Eviction is least-recently-used per shard,
+//! tracked with monotonic access stamps.
+//!
+//! Only *complete* outcomes are cached: a portfolio result truncated by a
+//! deadline may be improvable, and caching it would let one slow request
+//! poison every later identical request (see
+//! [`Engine`](crate::engine::Engine)).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::request::{Policy, ScheduleOutcome, ScheduleRequest, TaskSpec};
+
+/// Canonical key material of a scheduling instance.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Task weights and replicability mask, in chain order.
+    pub tasks: Vec<TaskSpec>,
+    /// Big cores in the pool.
+    pub big_cores: u64,
+    /// Little cores in the pool.
+    pub little_cores: u64,
+    /// Strategy policy (distinct policies may produce distinct winners).
+    pub policy: Policy,
+}
+
+impl CacheKey {
+    /// Extracts the key material from a request. The request `id` and
+    /// deadline are deliberately *not* part of the key: they do not change
+    /// what the best complete answer is.
+    #[must_use]
+    pub fn for_request(req: &ScheduleRequest) -> Self {
+        CacheKey {
+            tasks: req.tasks.clone(),
+            big_cores: req.big_cores,
+            little_cores: req.little_cores,
+            policy: req.policy.clone(),
+        }
+    }
+
+    /// 64-bit FNV-1a fingerprint over the canonical byte encoding of the
+    /// key. Used for shard selection; equality always re-checks the full
+    /// key, so fingerprint collisions cost a probe, never a wrong answer.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.tasks.len() as u64).to_le_bytes());
+        for t in &self.tasks {
+            eat(&t.weight_big.to_le_bytes());
+            eat(&t.weight_little.to_le_bytes());
+            eat(&[u8::from(t.replicable)]);
+        }
+        eat(&self.big_cores.to_le_bytes());
+        eat(&self.little_cores.to_le_bytes());
+        match &self.policy {
+            Policy::Portfolio => eat(&[0]),
+            Policy::Strategy(name) => {
+                eat(&[1]);
+                eat(name.as_bytes());
+            }
+        }
+        h
+    }
+}
+
+struct Shard {
+    /// Full-key map; the value carries the LRU stamp of its last access.
+    entries: HashMap<CacheKey, (u64, ScheduleOutcome)>,
+    /// Monotonic per-shard access counter feeding the LRU stamps.
+    clock: u64,
+}
+
+/// Point-in-time counters of a [`SolutionCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached outcome.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+    /// Successful inserts (including overwrites of an existing key).
+    pub insertions: u64,
+    /// Entries currently resident, across all shards.
+    pub entries: usize,
+    /// Maximum resident entries (shards × per-shard capacity).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, in `[0, 1]`; 0 when no lookups.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded LRU mapping scheduling instances to their winning outcomes.
+pub struct SolutionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl SolutionCache {
+    /// Builds a cache of `capacity` total entries spread over `shards`
+    /// shards (both clamped to at least 1 shard; a zero capacity makes
+    /// every insert a no-op, which is valid and disables caching).
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards);
+        SolutionCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // High bits: FNV-1a mixes the low bits of long inputs best, but the
+        // whole hash is well distributed; any stable reduction works.
+        let idx = (key.fingerprint() % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Looks up an instance. On a hit, the outcome is returned with
+    /// `cache_hit` set and the entry is marked most-recently-used.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<ScheduleOutcome> {
+        let mut shard = self.shard(key).lock();
+        shard.clock += 1;
+        let stamp = shard.clock;
+        match shard.entries.get_mut(key) {
+            Some((last_used, outcome)) => {
+                *last_used = stamp;
+                let mut out = outcome.clone();
+                out.cache_hit = true;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(out)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an outcome. The stored copy always has
+    /// `cache_hit == false`; hits flip the flag on the returned clone
+    /// only. Evicts the least-recently-used entry of the target shard
+    /// when the shard is full.
+    pub fn insert(&self, key: CacheKey, mut outcome: ScheduleOutcome) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        outcome.cache_hit = false;
+        let mut shard = self.shard(&key).lock();
+        shard.clock += 1;
+        let stamp = shard.clock;
+        let fresh = !shard.entries.contains_key(&key);
+        if fresh && shard.entries.len() >= self.per_shard_capacity {
+            if let Some(lru) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (last_used, _))| *last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.entries.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.entries.insert(key, (stamp, outcome));
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().entries.len()).sum(),
+            capacity: self.per_shard_capacity * self.shards.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amp_core::CoreType;
+    use amp_core::Stage;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey {
+            tasks: vec![
+                TaskSpec {
+                    weight_big: seed,
+                    weight_little: 2 * seed + 1,
+                    replicable: seed.is_multiple_of(2),
+                },
+                TaskSpec {
+                    weight_big: seed + 3,
+                    weight_little: seed + 7,
+                    replicable: true,
+                },
+            ],
+            big_cores: 2,
+            little_cores: 2,
+            policy: Policy::Portfolio,
+        }
+    }
+
+    fn outcome(tag: &str) -> ScheduleOutcome {
+        ScheduleOutcome {
+            strategy: tag.to_string(),
+            period: "5/2".to_string(),
+            period_f64: 2.5,
+            decomposition: "[0-1]B1".to_string(),
+            stages: vec![Stage::new(0, 1, 1, CoreType::Big)],
+            used_big: 1,
+            used_little: 0,
+            cache_hit: false,
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn hit_returns_identical_payload_with_flag_set() {
+        let cache = SolutionCache::new(8, 2);
+        let k = key(1);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), outcome("HeRAD"));
+        let hit = cache.get(&k).expect("hit");
+        assert!(hit.cache_hit);
+        let mut expect = outcome("HeRAD");
+        expect.cache_hit = true;
+        assert_eq!(hit, expect);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_instances_do_not_alias() {
+        let cache = SolutionCache::new(64, 4);
+        for seed in 0..20 {
+            cache.insert(key(seed), outcome(&format!("s{seed}")));
+        }
+        for seed in 0..20 {
+            let hit = cache.get(&key(seed)).expect("hit");
+            assert_eq!(hit.strategy, format!("s{seed}"));
+        }
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = SolutionCache::new(2, 1);
+        cache.insert(key(1), outcome("a"));
+        cache.insert(key(2), outcome("b"));
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), outcome("c"));
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn deadline_and_id_do_not_change_the_key() {
+        let chain = amp_core::TaskChain::new(vec![amp_core::Task::new(4, 9, true)]);
+        let a = ScheduleRequest::from_chain(
+            1,
+            &chain,
+            amp_core::Resources::new(1, 1),
+            Policy::Portfolio,
+        );
+        let b = ScheduleRequest::from_chain(
+            2,
+            &chain,
+            amp_core::Resources::new(1, 1),
+            Policy::Portfolio,
+        )
+        .with_deadline_us(5);
+        assert_eq!(CacheKey::for_request(&a), CacheKey::for_request(&b));
+        assert_eq!(
+            CacheKey::for_request(&a).fingerprint(),
+            CacheKey::for_request(&b).fingerprint()
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = SolutionCache::new(0, 4);
+        cache.insert(key(1), outcome("a"));
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn policy_is_part_of_the_key() {
+        let cache = SolutionCache::new(8, 1);
+        let mut k_portfolio = key(4);
+        let mut k_fertac = key(4);
+        k_portfolio.policy = Policy::Portfolio;
+        k_fertac.policy = Policy::Strategy("FERTAC".to_string());
+        assert_ne!(k_portfolio.fingerprint(), k_fertac.fingerprint());
+        cache.insert(k_portfolio.clone(), outcome("HeRAD"));
+        assert!(cache.get(&k_fertac).is_none());
+        assert!(cache.get(&k_portfolio).is_some());
+    }
+}

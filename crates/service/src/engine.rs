@@ -1,0 +1,422 @@
+//! The scheduling engine: a crossbeam worker pool with bounded queues,
+//! explicit backpressure and graceful shutdown.
+//!
+//! Clients hand the engine a [`ScheduleRequest`] plus a reply channel.
+//! Requests enter a *bounded* job queue: [`Engine::try_submit`] rejects
+//! with [`ServiceError::Overloaded`] when the queue is full (the caller
+//! sees backpressure immediately instead of unbounded memory growth),
+//! while [`Engine::submit`] blocks until a slot frees up. Worker threads
+//! pop jobs, consult the [`SolutionCache`], run the requested policy —
+//! one strategy via [`strategy_by_name`], or the deadline-bounded
+//! [`portfolio`](crate::portfolio) — and send exactly one
+//! [`ScheduleResponse`] per request on the caller's reply channel.
+//!
+//! Shutdown is graceful: [`Engine::shutdown`] (or dropping the engine)
+//! closes the job queue, lets the workers drain every request already
+//! accepted, and joins them. No accepted request is ever dropped without
+//! a response.
+
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use amp_core::sched::strategy_by_name;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+
+use crate::cache::{CacheKey, CacheStats, SolutionCache};
+use crate::error::ServiceError;
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::portfolio::{self, PortfolioConfig};
+use crate::request::{Policy, ScheduleOutcome, ScheduleRequest, ScheduleResponse};
+
+/// Sizing and tuning of an [`Engine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads. `0` is allowed (jobs queue but never execute) and
+    /// only useful in tests probing backpressure.
+    pub workers: usize,
+    /// Bound of the job queue; beyond it, `try_submit` rejects.
+    pub queue_depth: usize,
+    /// Total solution-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache shards (lock-contention granularity).
+    pub cache_shards: usize,
+    /// Portfolio tuning, applied to every `Policy::Portfolio` request.
+    pub portfolio: PortfolioConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: thread::available_parallelism().map_or(4, usize::from),
+            queue_depth: 1024,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            portfolio: PortfolioConfig::default(),
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request: ScheduleRequest,
+    reply: Sender<ScheduleResponse>,
+    accepted_at: Instant,
+}
+
+/// A running scheduling service.
+pub struct Engine {
+    job_tx: Option<Sender<Job>>,
+    /// Kept so the queue stays connected even with zero workers; workers
+    /// hold their own clones.
+    _job_rx: Receiver<Job>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<ServiceMetrics>,
+    cache: Arc<SolutionCache>,
+}
+
+impl Engine {
+    /// Starts the worker pool.
+    #[must_use]
+    pub fn start(cfg: EngineConfig) -> Self {
+        let (job_tx, job_rx) = channel::bounded::<Job>(cfg.queue_depth.max(1));
+        let metrics = Arc::new(ServiceMetrics::new());
+        let cache = Arc::new(SolutionCache::new(cfg.cache_capacity, cfg.cache_shards));
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let rx = job_rx.clone();
+                let metrics = Arc::clone(&metrics);
+                let cache = Arc::clone(&cache);
+                let portfolio_cfg = cfg.portfolio;
+                thread::Builder::new()
+                    .name(format!("amp-service-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &metrics, &cache, &portfolio_cfg))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Engine {
+            job_tx: Some(job_tx),
+            _job_rx: job_rx,
+            workers,
+            metrics,
+            cache,
+        }
+    }
+
+    fn sender(&self) -> &Sender<Job> {
+        self.job_tx.as_ref().expect("engine not shut down")
+    }
+
+    /// Non-blocking submission. Rejects with
+    /// [`ServiceError::Overloaded`] when the job queue is full; the
+    /// request is then *not* enqueued and no response will arrive for it.
+    pub fn try_submit(
+        &self,
+        request: ScheduleRequest,
+        reply: Sender<ScheduleResponse>,
+    ) -> Result<(), ServiceError> {
+        let job = Job {
+            request,
+            reply,
+            accepted_at: Instant::now(),
+        };
+        match self.sender().try_send(job) {
+            Ok(()) => {
+                self.metrics.record_accepted();
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.record_rejected();
+                Err(ServiceError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Blocking submission: waits for a queue slot instead of rejecting.
+    pub fn submit(
+        &self,
+        request: ScheduleRequest,
+        reply: Sender<ScheduleResponse>,
+    ) -> Result<(), ServiceError> {
+        let job = Job {
+            request,
+            reply,
+            accepted_at: Instant::now(),
+        };
+        match self.sender().send(job) {
+            Ok(()) => {
+                self.metrics.record_accepted();
+                Ok(())
+            }
+            Err(_) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Convenience for tests and synchronous callers: submits and waits
+    /// for the single response. Requires at least one worker.
+    #[must_use]
+    pub fn schedule_blocking(&self, request: ScheduleRequest) -> ScheduleResponse {
+        let id = request.id;
+        let (tx, rx) = channel::bounded(1);
+        if let Err(e) = self.submit(request, tx) {
+            return ScheduleResponse { id, result: Err(e) };
+        }
+        rx.recv().unwrap_or_else(|_| ScheduleResponse {
+            id,
+            result: Err(ServiceError::Internal(
+                "worker dropped the reply channel".to_string(),
+            )),
+        })
+    }
+
+    /// Point-in-time service metrics.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Point-in-time cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Service metrics and cache counters as one JSON object.
+    #[must_use]
+    pub fn status_json(&self) -> String {
+        let cache = self.cache_stats();
+        let metrics = self.metrics().to_json();
+        format!(
+            "{{\"service\":{metrics},\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"insertions\":{},\"entries\":{},\"capacity\":{},\"hit_rate\":{:.4}}}}}",
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.insertions,
+            cache.entries,
+            cache.capacity,
+            cache.hit_rate(),
+        )
+    }
+
+    /// Closes the queue, drains every accepted request and joins the
+    /// workers. Dropping the engine does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        drop(self.job_tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(
+    rx: &Receiver<Job>,
+    metrics: &ServiceMetrics,
+    cache: &SolutionCache,
+    portfolio_cfg: &PortfolioConfig,
+) {
+    // `recv` keeps returning queued jobs after the engine closes the
+    // queue and only errors once it is both closed *and* empty — that is
+    // exactly the drain-then-exit shutdown contract.
+    while let Ok(job) = rx.recv() {
+        let result = handle(&job.request, metrics, cache, portfolio_cfg);
+        let is_error = result.is_err();
+        let response = ScheduleResponse {
+            id: job.request.id,
+            result,
+        };
+        metrics.record_response(job.accepted_at.elapsed(), is_error);
+        // A client that dropped its reply receiver forfeits the answer;
+        // that is its choice, not an engine failure.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn handle(
+    request: &ScheduleRequest,
+    metrics: &ServiceMetrics,
+    cache: &SolutionCache,
+    portfolio_cfg: &PortfolioConfig,
+) -> Result<ScheduleOutcome, ServiceError> {
+    if request.tasks.is_empty() {
+        return Err(ServiceError::EmptyChain);
+    }
+    if request.big_cores == 0 && request.little_cores == 0 {
+        return Err(ServiceError::NoCores);
+    }
+    let key = CacheKey::for_request(request);
+    if let Some(hit) = cache.get(&key) {
+        return Ok(hit);
+    }
+    let chain = request.chain();
+    let resources = request.resources();
+    let outcome = match &request.policy {
+        Policy::Strategy(name) => {
+            let strategy = strategy_by_name(name)
+                .ok_or_else(|| ServiceError::UnknownStrategy { name: name.clone() })?;
+            let solution = strategy
+                .schedule(&chain, resources)
+                .ok_or(ServiceError::Infeasible)?;
+            ScheduleOutcome::from_solution(strategy.name(), &solution, &chain, true)
+        }
+        Policy::Portfolio => {
+            // The deadline bounds the compute phase: it starts ticking
+            // when a worker dequeues the request, not when the client
+            // submitted it (queueing delay is the queue's business and
+            // is visible in the latency histogram instead).
+            let deadline = request
+                .deadline_us
+                .map(|us| Instant::now() + Duration::from_micros(us));
+            let out = portfolio::run(&chain, resources, deadline, portfolio_cfg)
+                .ok_or(ServiceError::Infeasible)?;
+            metrics.record_portfolio(out.complete);
+            ScheduleOutcome::from_solution(out.strategy, &out.solution, &chain, out.complete)
+        }
+    };
+    // Only complete outcomes are sound to replay: a deadline-truncated
+    // portfolio answer may be improvable, and caching it would pin the
+    // worse solution for every later identical request.
+    if outcome.complete {
+        cache.insert(key, outcome.clone());
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amp_core::{Resources, Task, TaskChain};
+
+    fn chain() -> TaskChain {
+        TaskChain::new(vec![
+            Task::new(10, 25, false),
+            Task::new(40, 90, true),
+            Task::new(40, 95, true),
+            Task::new(5, 12, false),
+        ])
+    }
+
+    fn engine(workers: usize) -> Engine {
+        Engine::start(EngineConfig {
+            workers,
+            queue_depth: 64,
+            cache_capacity: 128,
+            cache_shards: 4,
+            portfolio: PortfolioConfig::default(),
+        })
+    }
+
+    #[test]
+    fn single_strategy_request_round_trips() {
+        let e = engine(2);
+        let req = ScheduleRequest::from_chain(
+            42,
+            &chain(),
+            Resources::new(2, 2),
+            Policy::Strategy("FERTAC".to_string()),
+        );
+        let resp = e.schedule_blocking(req);
+        assert_eq!(resp.id, 42);
+        let out = resp.result.expect("feasible");
+        assert_eq!(out.strategy, "FERTAC");
+        assert!(out.complete);
+        assert!(out.solution().validate(&chain()).is_ok());
+        e.shutdown();
+    }
+
+    #[test]
+    fn portfolio_beats_or_matches_fertac_and_caches() {
+        let e = engine(2);
+        let req = ScheduleRequest::from_chain(1, &chain(), Resources::new(2, 2), Policy::Portfolio);
+        let first = e.schedule_blocking(req.clone()).result.expect("feasible");
+        assert!(!first.cache_hit);
+        assert!(first.complete);
+        let second = e
+            .schedule_blocking(ScheduleRequest { id: 2, ..req })
+            .result
+            .expect("feasible");
+        assert!(second.cache_hit);
+        assert_eq!(second.period, first.period);
+        assert_eq!(second.decomposition, first.decomposition);
+        assert_eq!(second.stages, first.stages);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert!(stats.entries >= 1);
+    }
+
+    #[test]
+    fn typed_errors_for_bad_requests() {
+        let e = engine(1);
+        let mut req = ScheduleRequest::from_chain(
+            1,
+            &chain(),
+            Resources::new(2, 2),
+            Policy::Strategy("NoSuchStrategy".to_string()),
+        );
+        assert_eq!(
+            e.schedule_blocking(req.clone()).result.unwrap_err(),
+            ServiceError::UnknownStrategy {
+                name: "NoSuchStrategy".to_string()
+            }
+        );
+        req.policy = Policy::Portfolio;
+        req.tasks.clear();
+        assert_eq!(
+            e.schedule_blocking(req.clone()).result.unwrap_err(),
+            ServiceError::EmptyChain
+        );
+        let req = ScheduleRequest::from_chain(2, &chain(), Resources::new(0, 0), Policy::Portfolio);
+        assert_eq!(
+            e.schedule_blocking(req).result.unwrap_err(),
+            ServiceError::NoCores
+        );
+        let m = e.metrics();
+        assert_eq!(m.errors, 3);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        // No workers: accepted jobs stay queued, so the bound is exact.
+        let e = Engine::start(EngineConfig {
+            workers: 0,
+            queue_depth: 2,
+            cache_capacity: 0,
+            cache_shards: 1,
+            portfolio: PortfolioConfig::default(),
+        });
+        let (tx, _rx) = channel::unbounded();
+        let req = ScheduleRequest::from_chain(0, &chain(), Resources::new(1, 1), Policy::Portfolio);
+        assert!(e.try_submit(req.clone(), tx.clone()).is_ok());
+        assert!(e.try_submit(req.clone(), tx.clone()).is_ok());
+        assert_eq!(e.try_submit(req, tx).unwrap_err(), ServiceError::Overloaded);
+        let m = e.metrics();
+        assert_eq!((m.requests, m.rejected), (2, 1));
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let e = engine(2);
+        let (tx, rx) = channel::unbounded();
+        for id in 0..32 {
+            let req =
+                ScheduleRequest::from_chain(id, &chain(), Resources::new(2, 2), Policy::Portfolio);
+            e.submit(req, tx.clone()).expect("accepted");
+        }
+        drop(tx);
+        e.shutdown();
+        let mut ids: Vec<u64> = rx.iter().map(|r: ScheduleResponse| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..32).collect::<Vec<_>>());
+    }
+}

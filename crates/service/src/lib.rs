@@ -1,0 +1,59 @@
+//! # amp-service — a concurrent scheduling service for task-chain instances
+//!
+//! A long-running, multi-threaded engine around the paper's scheduling
+//! strategies ([`amp_core::sched`]): clients submit
+//! [`ScheduleRequest`]s — a partially-replicable task chain, a big/little
+//! resource pool, a strategy [`Policy`] and an optional deadline — over
+//! bounded channels and receive exactly one [`ScheduleResponse`] each.
+//!
+//! The service layers four mechanisms on top of the core algorithms:
+//!
+//! * **[`cache`]** — a sharded LRU keyed by the instance's canonical
+//!   fingerprint (weights, replicability mask, resource pool, policy), so
+//!   repeated instances are answered bit-identically without recomputing;
+//! * **[`portfolio`]** — a deadline-bounded strategy portfolio: FERTAC
+//!   inline for an instant feasible answer, HeRAD and a node-budgeted
+//!   2CATAC raced on spawned threads, best period (ties: fewest big
+//!   cores, then fewest cores — the paper's secondary objective) wins;
+//! * **[`engine`]** — a crossbeam worker pool with a bounded job queue,
+//!   explicit [`ServiceError::Overloaded`] backpressure and
+//!   drain-then-join graceful shutdown;
+//! * **[`metrics`]** — lock-free counters and a latency histogram
+//!   exported as a JSON snapshot.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use amp_core::{Resources, Task, TaskChain};
+//! use amp_service::{Engine, EngineConfig, Policy, ScheduleRequest};
+//!
+//! let engine = Engine::start(EngineConfig::default());
+//! let chain = TaskChain::new(vec![
+//!     Task::new(10, 25, false),
+//!     Task::new(40, 90, true),
+//!     Task::new(5, 12, false),
+//! ]);
+//! let request = ScheduleRequest::from_chain(
+//!     1, &chain, Resources::new(2, 2), Policy::Portfolio,
+//! );
+//! let response = engine.schedule_blocking(request);
+//! let outcome = response.result.expect("feasible instance");
+//! println!("{} found period {}", outcome.strategy, outcome.period);
+//! engine.shutdown();
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod portfolio;
+pub mod request;
+
+pub use cache::{CacheKey, CacheStats, SolutionCache};
+pub use engine::{Engine, EngineConfig};
+pub use error::ServiceError;
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use portfolio::{PortfolioConfig, PortfolioOutcome};
+pub use request::{
+    format_period, Policy, ScheduleOutcome, ScheduleRequest, ScheduleResponse, TaskSpec,
+};

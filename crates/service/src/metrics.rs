@@ -1,0 +1,226 @@
+//! Lock-free service metrics: atomic counters plus a power-of-two latency
+//! histogram, exported as a JSON snapshot.
+//!
+//! Workers record on the hot path with relaxed atomics only — no locks, no
+//! allocation. The histogram has one bucket per power of two of
+//! nanoseconds (bucket `i` holds latencies in `[2^(i-1), 2^i)`), which
+//! gives quantile estimates within a factor of two across the full
+//! `1 ns … 584 yr` range; plenty for p50/p99 dashboards.
+//!
+//! JSON is rendered by hand: the snapshot is a flat struct of integers,
+//! and hand-rolling keeps the wire format byte-stable and the hot path
+//! free of any serializer machinery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// Shared counters of one [`Engine`](crate::engine::Engine).
+pub struct ServiceMetrics {
+    /// Requests accepted into the queue.
+    requests: AtomicU64,
+    /// Responses delivered (success or typed error).
+    responses: AtomicU64,
+    /// Responses that carried an error.
+    errors: AtomicU64,
+    /// Requests rejected with `Overloaded` before enqueueing.
+    rejected: AtomicU64,
+    /// Portfolio runs where every member finished in time.
+    portfolio_complete: AtomicU64,
+    /// Portfolio runs truncated by their deadline.
+    portfolio_truncated: AtomicU64,
+    /// End-to-end latency histogram (enqueue → response), ns buckets.
+    latency: [AtomicU64; BUCKETS],
+}
+
+impl ServiceMetrics {
+    /// A fresh all-zero metrics block.
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceMetrics {
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            portfolio_complete: AtomicU64::new(0),
+            portfolio_truncated: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Counts a request accepted into the queue.
+    pub fn record_accepted(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request rejected by backpressure.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a delivered response and its end-to-end latency.
+    pub fn record_response(&self, latency: Duration, is_error: bool) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a portfolio run by whether it beat its deadline.
+    pub fn record_portfolio(&self, complete: bool) {
+        if complete {
+            self.portfolio_complete.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.portfolio_truncated.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough point-in-time copy of all counters (each
+    /// counter is read atomically; the set is not a global snapshot).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut latency = [0u64; BUCKETS];
+        for (out, bucket) in latency.iter_mut().zip(&self.latency) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            portfolio_complete: self.portfolio_complete.load(Ordering::Relaxed),
+            portfolio_truncated: self.portfolio_truncated.load(Ordering::Relaxed),
+            latency,
+        }
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics::new()
+    }
+}
+
+/// Point-in-time metrics, with quantile helpers over the histogram.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub requests: u64,
+    /// Responses delivered.
+    pub responses: u64,
+    /// Error responses among them.
+    pub errors: u64,
+    /// Backpressure rejections.
+    pub rejected: u64,
+    /// Portfolio runs that finished all members.
+    pub portfolio_complete: u64,
+    /// Portfolio runs truncated by a deadline.
+    pub portfolio_truncated: u64,
+    /// Latency histogram; bucket `i` counts latencies below `2^i` ns.
+    pub latency: [u64; BUCKETS],
+}
+
+impl MetricsSnapshot {
+    /// Upper-bound estimate (ns) of the `q`-quantile of response latency,
+    /// `q` in `[0, 1]`. Returns 0 with no recorded responses. The
+    /// estimate is the upper edge of the histogram bucket containing the
+    /// quantile, so it is within 2× of the true value.
+    #[must_use]
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        let total: u64 = self.latency.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.latency.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Renders the snapshot as a single JSON object (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        let field = |s: &mut String, key: &str, value: u64| {
+            if s.len() > 1 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(key);
+            s.push_str("\":");
+            s.push_str(&value.to_string());
+        };
+        field(&mut s, "requests", self.requests);
+        field(&mut s, "responses", self.responses);
+        field(&mut s, "errors", self.errors);
+        field(&mut s, "rejected", self.rejected);
+        field(&mut s, "portfolio_complete", self.portfolio_complete);
+        field(&mut s, "portfolio_truncated", self.portfolio_truncated);
+        field(&mut s, "latency_p50_ns", self.latency_quantile_ns(0.50));
+        field(&mut s, "latency_p90_ns", self.latency_quantile_ns(0.90));
+        field(&mut s, "latency_p99_ns", self.latency_quantile_ns(0.99));
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServiceMetrics::new();
+        m.record_accepted();
+        m.record_accepted();
+        m.record_rejected();
+        m.record_response(Duration::from_micros(3), false);
+        m.record_response(Duration::from_micros(5), true);
+        m.record_portfolio(true);
+        m.record_portfolio(false);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.responses, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.portfolio_complete, 1);
+        assert_eq!(s.portfolio_truncated, 1);
+    }
+
+    #[test]
+    fn quantiles_bound_recorded_latencies_within_2x() {
+        let m = ServiceMetrics::new();
+        for us in [1u64, 2, 4, 100, 1000] {
+            m.record_response(Duration::from_micros(us), false);
+        }
+        let s = m.snapshot();
+        let p50 = s.latency_quantile_ns(0.50);
+        let p99 = s.latency_quantile_ns(0.99);
+        assert!((4_000..8_192).contains(&p50), "p50={p50}");
+        assert!((1_000_000..2_097_152).contains(&p99), "p99={p99}");
+        assert!(s.latency_quantile_ns(0.0) > 0);
+        assert_eq!(ServiceMetrics::new().snapshot().latency_quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn json_is_flat_and_ordered() {
+        let m = ServiceMetrics::new();
+        m.record_accepted();
+        m.record_response(Duration::from_nanos(100), false);
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with("{\"requests\":1,\"responses\":1,"));
+        assert!(json.contains("\"latency_p99_ns\":"));
+        assert!(json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), 1);
+    }
+}

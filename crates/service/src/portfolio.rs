@@ -1,0 +1,215 @@
+//! Deadline-bounded strategy portfolio.
+//!
+//! One request, three strategies, bounded wall-clock: FERTAC runs
+//! immediately on the calling thread (microseconds, always finishes),
+//! while HeRAD (optimal but `O(n²·b·l)` DP) and a node-budgeted 2CATAC
+//! race on freshly spawned threads. The portfolio then collects racer
+//! results until the deadline and returns the best solution seen:
+//!
+//! * primary objective — smallest period (the paper's throughput goal);
+//! * secondary objective — fewest big cores, then fewest cores overall
+//!   (the paper's power proxy, read off [`Solution::used_cores`]).
+//!
+//! With no deadline the portfolio waits for every racer, so its period
+//! equals HeRAD's optimum. With a deadline that already passed it still
+//! returns the inline FERTAC solution — a valid schedule, never an error,
+//! merely possibly improvable. The `complete` flag records which of the
+//! two happened; incomplete outcomes are not cacheable.
+//!
+//! Racer threads are detached: a deadline abandons their *results*, not
+//! their execution, so a runaway HeRAD finishes in the background and its
+//! thread exits. The node budget keeps 2CATAC's worst-case exponential
+//! search bounded regardless.
+
+use std::thread;
+use std::time::Instant;
+
+use amp_core::sched::{Fertac, Herad, Scheduler, Twocatac};
+use amp_core::{Ratio, Resources, Solution, TaskChain};
+use crossbeam::channel;
+
+/// Tuning knobs of the portfolio.
+#[derive(Clone, Copy, Debug)]
+pub struct PortfolioConfig {
+    /// Node budget handed to [`Twocatac::with_node_budget`]; bounds the
+    /// two-choice search tree so the racer cannot go exponential.
+    pub twocatac_node_budget: u64,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            twocatac_node_budget: 200_000,
+        }
+    }
+}
+
+/// The winning result of one portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// Display name of the strategy that produced the winner.
+    pub strategy: &'static str,
+    /// The winning solution.
+    pub solution: Solution,
+    /// Its period on the request chain.
+    pub period: Ratio,
+    /// `true` when every member reported before the deadline.
+    pub complete: bool,
+}
+
+/// `true` when `(candidate)` beats `(incumbent)` under the paper's
+/// objectives: smaller period, then fewer big cores, then fewer cores.
+fn beats(cand_period: Ratio, cand: &Solution, inc_period: Ratio, inc: &Solution) -> bool {
+    if cand_period != inc_period {
+        return cand_period < inc_period;
+    }
+    let (c, i) = (cand.used_cores(), inc.used_cores());
+    if c.big != i.big {
+        return c.big < i.big;
+    }
+    c.total() < i.total()
+}
+
+/// Runs the portfolio for one instance. `deadline` bounds how long the
+/// caller waits for the racing strategies; `None` waits for all of them.
+/// Returns `None` only when *no* member (FERTAC included) found a valid
+/// mapping — e.g. an empty chain or a zero-core pool.
+#[must_use]
+pub fn run(
+    chain: &TaskChain,
+    resources: Resources,
+    deadline: Option<Instant>,
+    cfg: &PortfolioConfig,
+) -> Option<PortfolioOutcome> {
+    let (tx, rx) = channel::unbounded::<(&'static str, Option<Solution>)>();
+    let racers: [Box<dyn Scheduler + Send>; 2] = [
+        Box::new(Herad::new()),
+        Box::new(Twocatac::with_node_budget(cfg.twocatac_node_budget)),
+    ];
+    let n_racers = racers.len();
+    for racer in racers {
+        let tx = tx.clone();
+        let chain = chain.clone();
+        thread::spawn(move || {
+            // A send after the collector gave up just returns Err; the
+            // detached racer then exits quietly.
+            let _ = tx.send((racer.name(), racer.schedule(&chain, resources)));
+        });
+    }
+    drop(tx);
+
+    let mut best: Option<(&'static str, Solution, Ratio)> = Fertac
+        .schedule(chain, resources)
+        .map(|s| (Fertac.name(), s.clone(), s.period(chain)));
+
+    let mut received = 0;
+    let mut complete = true;
+    while received < n_racers {
+        let msg = match deadline {
+            Some(d) => rx.recv_deadline(d),
+            None => rx
+                .recv()
+                .map_err(|_| channel::RecvTimeoutError::Disconnected),
+        };
+        match msg {
+            Ok((name, Some(solution))) => {
+                received += 1;
+                let period = solution.period(chain);
+                let better = match &best {
+                    Some((_, inc, inc_period)) => beats(period, &solution, *inc_period, inc),
+                    None => true,
+                };
+                if better {
+                    best = Some((name, solution, period));
+                }
+            }
+            Ok((_, None)) => received += 1,
+            Err(channel::RecvTimeoutError::Timeout) => {
+                complete = false;
+                break;
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                // All racer threads are gone; whatever arrived, arrived.
+                break;
+            }
+        }
+    }
+
+    best.map(|(strategy, solution, period)| PortfolioOutcome {
+        strategy,
+        solution,
+        period,
+        complete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amp_core::{CoreType, Stage, Task};
+
+    fn chain() -> TaskChain {
+        TaskChain::new(vec![
+            Task::new(10, 25, false),
+            Task::new(40, 90, true),
+            Task::new(40, 95, true),
+            Task::new(5, 12, false),
+        ])
+    }
+
+    #[test]
+    fn unlimited_deadline_matches_herad_optimum() {
+        let c = chain();
+        let res = Resources::new(2, 2);
+        let out = run(&c, res, None, &PortfolioConfig::default()).expect("feasible");
+        let opt = Herad::new().optimal_period(&c, res).expect("feasible");
+        assert_eq!(out.period, opt);
+        assert!(out.complete);
+        assert!(out.solution.validate(&c).is_ok());
+        assert!(out.solution.is_valid(&c, res, out.period));
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_a_valid_solution() {
+        let c = chain();
+        let res = Resources::new(2, 2);
+        let deadline = Instant::now(); // already passed once we wait
+        let out = run(&c, res, Some(deadline), &PortfolioConfig::default())
+            .expect("FERTAC always reports");
+        assert!(out.solution.validate(&c).is_ok());
+        assert!(out.solution.is_valid(&c, res, out.period));
+        // FERTAC's period bounds the result from above even if a racer
+        // happened to slip in before the deadline check.
+        let fertac = Fertac.schedule(&c, res).unwrap();
+        assert!(out.period <= fertac.period(&c));
+    }
+
+    #[test]
+    fn infeasible_instance_returns_none() {
+        let c = chain();
+        assert!(run(&c, Resources::new(0, 0), None, &PortfolioConfig::default()).is_none());
+    }
+
+    #[test]
+    fn beats_orders_by_period_then_big_cores_then_total() {
+        let fast = Solution::new(vec![Stage::new(0, 3, 1, CoreType::Big)]);
+        let lean = Solution::new(vec![Stage::new(0, 3, 1, CoreType::Little)]);
+        let wide = Solution::new(vec![
+            Stage::new(0, 1, 1, CoreType::Little),
+            Stage::new(2, 3, 2, CoreType::Little),
+        ]);
+        let p1 = Ratio::from_int(10);
+        let p2 = Ratio::from_int(20);
+        // Smaller period always wins.
+        assert!(beats(p1, &fast, p2, &lean));
+        assert!(!beats(p2, &lean, p1, &fast));
+        // Equal period: fewer big cores wins.
+        assert!(beats(p1, &lean, p1, &fast));
+        assert!(!beats(p1, &fast, p1, &lean));
+        // Equal period and big cores: fewer total cores wins.
+        assert!(beats(p1, &lean, p1, &wide));
+        assert!(!beats(p1, &wide, p1, &lean));
+        // Exact ties do not displace the incumbent.
+        assert!(!beats(p1, &lean, p1, &lean));
+    }
+}

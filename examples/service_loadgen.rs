@@ -1,0 +1,145 @@
+//! Load generator for the `amp-service` scheduling engine.
+//!
+//! Drives ≥100k synthetic [`ScheduleRequest`]s (paper-shaped chains from
+//! `amp-workload`, Table I resource pools) through a running [`Engine`]
+//! with a separate collector thread, then verifies the service contract —
+//! every accepted request got exactly one response, none lost, none
+//! duplicated — and prints throughput, latency quantiles and the cache
+//! hit-rate.
+//!
+//! Usage: `cargo run --release --example service_loadgen -- [REQUESTS] [DISTINCT]`
+//!
+//! * `REQUESTS` — total requests to submit (default 100 000).
+//! * `DISTINCT` — distinct scheduling instances to cycle through
+//!   (default 256; smaller → hotter cache).
+
+use std::thread;
+use std::time::Instant;
+
+use amp_core::Resources;
+use amp_service::{Engine, EngineConfig, Policy, ScheduleRequest, ScheduleResponse};
+use amp_workload::{table1_resources, SyntheticConfig, PAPER_STATELESS_RATIOS};
+use crossbeam::channel;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let total: u64 = args
+        .next()
+        .map_or(100_000, |a| a.parse().expect("REQUESTS must be a number"));
+    let distinct: usize = args
+        .next()
+        .map_or(256, |a| a.parse().expect("DISTINCT must be a number"));
+
+    // A fixed pool of distinct instances: paper-shaped chains across the
+    // three stateless ratios, cycled over the Table I resource pools.
+    let resources: [Resources; 3] = table1_resources();
+    let mut instances: Vec<ScheduleRequest> = Vec::with_capacity(distinct);
+    for i in 0..distinct {
+        let sr = PAPER_STATELESS_RATIOS[i % PAPER_STATELESS_RATIOS.len()];
+        let chain = SyntheticConfig::paper(sr)
+            .generate_batch(0xA5 + i as u64, 1)
+            .remove(0);
+        let res = resources[i % resources.len()];
+        let policy = match i % 4 {
+            0 => Policy::Strategy("FERTAC".to_string()),
+            1 => Policy::Strategy("HeRAD".to_string()),
+            _ => Policy::Portfolio,
+        };
+        let mut req = ScheduleRequest::from_chain(0, &chain, res, policy);
+        if i % 8 == 7 {
+            // A slice of tight-deadline portfolio requests exercises the
+            // truncation path; truncated answers are valid, just uncached.
+            req.deadline_us = Some(200);
+        }
+        instances.push(req);
+    }
+
+    let engine = Engine::start(EngineConfig::default());
+    let (reply_tx, reply_rx) = channel::unbounded::<ScheduleResponse>();
+
+    // Collector: checks off every response id exactly once.
+    let collector = thread::spawn(move || {
+        let mut seen = vec![false; total as usize];
+        let mut received: u64 = 0;
+        let mut errors: u64 = 0;
+        for resp in reply_rx.iter() {
+            let id = resp.id as usize;
+            assert!(id < seen.len(), "response for unknown id {id}");
+            assert!(!seen[id], "duplicate response for id {id}");
+            seen[id] = true;
+            received += 1;
+            if resp.result.is_err() {
+                errors += 1;
+            }
+        }
+        (received, errors, seen)
+    });
+
+    let started = Instant::now();
+    let mut overloaded_retries: u64 = 0;
+    for id in 0..total {
+        let mut req = instances[(id as usize) % distinct].clone();
+        req.id = id;
+        // Prefer the non-blocking path; on backpressure fall back to the
+        // blocking one so no request is lost.
+        match engine.try_submit(req, reply_tx.clone()) {
+            Ok(()) => {}
+            Err(amp_service::ServiceError::Overloaded) => {
+                overloaded_retries += 1;
+                let mut req = instances[(id as usize) % distinct].clone();
+                req.id = id;
+                engine
+                    .submit(req, reply_tx.clone())
+                    .expect("engine accepts blocking submits while running");
+            }
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    }
+    drop(reply_tx);
+
+    // Drain everything in flight, then stop the workers.
+    let metrics = loop {
+        let m = engine.metrics();
+        if m.responses >= total {
+            break m;
+        }
+        thread::yield_now();
+    };
+    let elapsed = started.elapsed();
+    let cache = engine.cache_stats();
+    let status = engine.status_json();
+    engine.shutdown();
+
+    let (received, errors, seen) = collector.join().expect("collector thread");
+    let missing = seen.iter().filter(|&&s| !s).count();
+    assert_eq!(received, total, "lost {missing} responses");
+    assert_eq!(missing, 0);
+
+    println!("service_loadgen: contract held — {received} requests, {received} responses, 0 lost, 0 duplicated");
+    println!(
+        "  throughput     : {:.0} req/s ({} requests in {:.3} s)",
+        total as f64 / elapsed.as_secs_f64(),
+        total,
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "  latency        : p50 ≤ {:.1} µs, p99 ≤ {:.1} µs",
+        metrics.latency_quantile_ns(0.50) as f64 / 1e3,
+        metrics.latency_quantile_ns(0.99) as f64 / 1e3
+    );
+    println!(
+        "  cache          : {:.1}% hit rate ({} hits / {} lookups), {} entries, {} evictions",
+        cache.hit_rate() * 100.0,
+        cache.hits,
+        cache.hits + cache.misses,
+        cache.entries,
+        cache.evictions
+    );
+    println!(
+        "  portfolio      : {} complete, {} deadline-truncated",
+        metrics.portfolio_complete, metrics.portfolio_truncated
+    );
+    println!("  errors         : {errors} (typed responses, not losses)");
+    println!("  backpressure   : {overloaded_retries} overloaded retries");
+    println!("  status json    : {status}");
+}
