@@ -1,0 +1,154 @@
+//! The `conformance` runner: replays the regression corpus and fuzzes
+//! seeded random instances against the exhaustive oracle, the metamorphic
+//! properties and the amp-service engine.
+//!
+//! ```text
+//! cargo run --release -p amp-conformance -- --seeds 500
+//! ```
+//!
+//! Exits 0 when every instance passes, 1 on any mismatch (the shrunken
+//! repro is printed and, with `--save-failures DIR`, written as JSON),
+//! and 2 on usage or corpus I/O errors.
+
+use amp_conformance::runner::{run, RunnerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: conformance [OPTIONS]
+  --seeds N           seeded instances to fuzz (default 500)
+  --seed-start N      first seed (default 0)
+  --max-tasks N       chain length bound (default 8)
+  --max-weight N      task weight bound (default 12)
+  --max-big N         big-core bound (default 4)
+  --max-little N      little-core bound (default 4)
+  --corpus DIR        regression corpus to replay (default: checked-in corpus)
+  --no-corpus         skip the corpus replay
+  --no-service        skip the amp-service equivalence checks
+  --save-failures DIR write shrunken failing instances as JSON into DIR
+  --help              print this help";
+
+fn parse_args(args: &[String]) -> Result<RunnerConfig, String> {
+    let mut cfg = RunnerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => cfg.seeds = parse_num(&value("--seeds")?)?,
+            "--seed-start" => cfg.seed_start = parse_num(&value("--seed-start")?)?,
+            "--max-tasks" => {
+                cfg.gen.max_tasks = usize::try_from(parse_num(&value("--max-tasks")?)?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--max-weight" => cfg.gen.max_weight = parse_num(&value("--max-weight")?)?,
+            "--max-big" => cfg.gen.max_big = parse_num(&value("--max-big")?)?,
+            "--max-little" => cfg.gen.max_little = parse_num(&value("--max-little")?)?,
+            "--corpus" => cfg.corpus_dir = Some(PathBuf::from(value("--corpus")?)),
+            "--no-corpus" => cfg.corpus_dir = None,
+            "--no-service" => cfg.check_service = false,
+            "--save-failures" => {
+                cfg.save_failures = Some(PathBuf::from(value("--save-failures")?));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if cfg.gen.max_tasks == 0 {
+        return Err("--max-tasks must be at least 1".to_string());
+    }
+    Ok(cfg)
+}
+
+fn parse_num(text: &str) -> Result<u64, String> {
+    text.parse::<u64>()
+        .map_err(|_| format!("not a number: {text}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cfg, &mut |line| println!("{line}")) {
+        Ok(report) if report.is_clean() => {
+            println!("conformance: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            eprintln!(
+                "conformance: {} failing instance(s) out of {}",
+                report.failures.len(),
+                report.checked()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("conformance: corpus error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amp_conformance::gen::GenConfig;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_hold_without_flags() {
+        let cfg = parse_args(&[]).unwrap();
+        assert_eq!(cfg.seeds, 500);
+        assert_eq!(cfg.gen, GenConfig::default());
+        assert!(cfg.corpus_dir.is_some());
+        assert!(cfg.check_service);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let cfg = parse_args(&args(&[
+            "--seeds",
+            "25",
+            "--seed-start",
+            "100",
+            "--max-tasks",
+            "5",
+            "--max-weight",
+            "7",
+            "--max-big",
+            "2",
+            "--max-little",
+            "3",
+            "--no-corpus",
+            "--no-service",
+            "--save-failures",
+            "/tmp/repros",
+        ]))
+        .unwrap();
+        assert_eq!((cfg.seeds, cfg.seed_start), (25, 100));
+        assert_eq!(cfg.gen.max_tasks, 5);
+        assert_eq!(cfg.gen.max_weight, 7);
+        assert_eq!((cfg.gen.max_big, cfg.gen.max_little), (2, 3));
+        assert!(cfg.corpus_dir.is_none());
+        assert!(!cfg.check_service);
+        assert_eq!(cfg.save_failures, Some(PathBuf::from("/tmp/repros")));
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--seeds"])).is_err());
+        assert!(parse_args(&args(&["--seeds", "many"])).is_err());
+        assert!(parse_args(&args(&["--max-tasks", "0"])).is_err());
+    }
+}

@@ -1,0 +1,548 @@
+//! The conformance checks: differential comparisons against the
+//! exhaustive oracle, metamorphic properties, and service-vs-library
+//! equivalence.
+//!
+//! Every check returns a list of [`Mismatch`]es instead of panicking, so
+//! the runner can keep fuzzing, count failures, and shrink each offending
+//! instance independently.
+
+use crate::instance::Instance;
+use amp_core::sched::{
+    optimal_period, optimal_usage_front, paper_strategies, Fertac, Herad, Otac, Pruning, Scheduler,
+    Twocatac,
+};
+use amp_core::{Ratio, Resources, Solution, TaskChain};
+use amp_service::{Engine, Policy, ScheduleRequest};
+
+/// One conformance violation: a stable code, the offending instance's
+/// summary and a human-readable detail line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Stable machine-readable code, e.g. `"HERAD_PERIOD"`.
+    pub code: &'static str,
+    /// [`Instance::summary`] of the offending instance.
+    pub instance: String,
+    /// What differed.
+    pub detail: String,
+}
+
+impl Mismatch {
+    fn new(code: &'static str, instance: &Instance, detail: String) -> Self {
+        Mismatch {
+            code,
+            instance: instance.summary(),
+            detail,
+        }
+    }
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} — {}", self.code, self.instance, self.detail)
+    }
+}
+
+fn fmt_period(p: Option<Ratio>) -> String {
+    match p {
+        Some(p) => format!("{p}"),
+        None => "infeasible".to_string(),
+    }
+}
+
+/// Validates a heuristic's solution against the chain, the pool, and the
+/// oracle's lower bound. `period_must_equal` is set for optimal schedulers.
+fn check_solution(
+    out: &mut Vec<Mismatch>,
+    inst: &Instance,
+    chain: &TaskChain,
+    label: &str,
+    solution: &Solution,
+    oracle: Ratio,
+    period_must_equal: bool,
+) {
+    if let Err(e) = solution.validate(chain) {
+        out.push(Mismatch::new(
+            "INVALID_SOLUTION",
+            inst,
+            format!("{label}: {e} ({})", solution.decomposition()),
+        ));
+        return;
+    }
+    let used = solution.used_cores();
+    if used.big > inst.big || used.little > inst.little {
+        out.push(Mismatch::new(
+            "RESOURCE_OVERUSE",
+            inst,
+            format!(
+                "{label}: uses ({}B, {}L) of ({}B, {}L)",
+                used.big, used.little, inst.big, inst.little
+            ),
+        ));
+    }
+    let period = solution.period(chain);
+    if period < oracle {
+        out.push(Mismatch::new(
+            "BELOW_OPTIMUM",
+            inst,
+            format!("{label}: period {period} < oracle optimum {oracle}"),
+        ));
+    }
+    if period_must_equal && period != oracle {
+        out.push(Mismatch::new(
+            "HERAD_PERIOD",
+            inst,
+            format!("{label}: period {period} != oracle optimum {oracle}"),
+        ));
+    }
+}
+
+/// Differential checks of every library scheduler against the exhaustive
+/// oracle.
+///
+/// * HeRAD under all three pruning policies must agree with the oracle on
+///   feasibility and on the optimal period.
+/// * Under `Pruning::None` and `Pruning::Lossless`, HeRAD's core usage
+///   must also win the paper's secondary objective: among all optimal
+///   usages, the fewest big cores, ties broken by fewest little cores.
+///   (`Pruning::Aggressive` stays period-optimal but may keep a different
+///   equal-period core mix, so only usage *membership* is asserted.)
+/// * FERTAC and 2CATAC (budgeted or not) must return valid solutions
+///   within the pool whose period is never below the optimum, and must
+///   agree with the oracle on feasibility.
+/// * OTAC (B) / OTAC (L) must match HeRAD's optimum on the corresponding
+///   homogeneous sub-pool.
+#[must_use]
+pub fn check_core(inst: &Instance) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let chain = inst.chain();
+    let resources = inst.resources();
+    let oracle = optimal_period(&chain, resources);
+    let front = optimal_usage_front(&chain, resources);
+    if oracle != front.as_ref().map(|(p, _)| *p) {
+        out.push(Mismatch::new(
+            "ORACLE_SELF",
+            inst,
+            format!(
+                "optimal_period {} != optimal_usage_front {}",
+                fmt_period(oracle),
+                fmt_period(front.as_ref().map(|(p, _)| *p)),
+            ),
+        ));
+    }
+
+    for pruning in [Pruning::None, Pruning::Lossless, Pruning::Aggressive] {
+        let label = format!("HeRAD({pruning:?})");
+        let herad = Herad::with_pruning(pruning);
+        let solution = herad.schedule(&chain, resources);
+        let claimed = herad.optimal_period(&chain, resources);
+        match (&solution, oracle) {
+            (None, None) => {}
+            (None, Some(p)) => out.push(Mismatch::new(
+                "FEASIBILITY",
+                inst,
+                format!("{label}: no solution but oracle finds period {p}"),
+            )),
+            (Some(s), None) => out.push(Mismatch::new(
+                "FEASIBILITY",
+                inst,
+                format!(
+                    "{label}: returns {} but oracle finds the pool infeasible",
+                    s.decomposition()
+                ),
+            )),
+            (Some(s), Some(opt)) => {
+                check_solution(&mut out, inst, &chain, &label, s, opt, true);
+                if claimed != Some(s.period(&chain)) {
+                    out.push(Mismatch::new(
+                        "HERAD_CLAIM",
+                        inst,
+                        format!(
+                            "{label}: optimal_period reports {} but schedule yields {}",
+                            fmt_period(claimed),
+                            s.period(&chain)
+                        ),
+                    ));
+                }
+                if let Some((_, usages)) = &front {
+                    let used = s.used_cores();
+                    if !usages.contains(&used) {
+                        out.push(Mismatch::new(
+                            "HERAD_USAGE",
+                            inst,
+                            format!(
+                                "{label}: usage ({}B, {}L) is not an optimal usage",
+                                used.big, used.little
+                            ),
+                        ));
+                    } else if pruning != Pruning::Aggressive {
+                        let best = usages
+                            .iter()
+                            .copied()
+                            .min_by_key(|u| (u.big, u.little))
+                            .expect("front is non-empty when feasible");
+                        if (used.big, used.little) != (best.big, best.little) {
+                            out.push(Mismatch::new(
+                                "HERAD_TIEBREAK",
+                                inst,
+                                format!(
+                                    "{label}: usage ({}B, {}L) but ({}B, {}L) is optimal \
+                                     with fewer cores",
+                                    used.big, used.little, best.big, best.little
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let heuristics: Vec<(String, Box<dyn Scheduler>)> = vec![
+        ("FERTAC".to_string(), Box::new(Fertac)),
+        ("2CATAC".to_string(), Box::new(Twocatac::new())),
+        (
+            "2CATAC(budget=n)".to_string(),
+            Box::new(Twocatac::with_node_budget(inst.len() as u64)),
+        ),
+    ];
+    for (label, strategy) in &heuristics {
+        match (strategy.schedule(&chain, resources), oracle) {
+            (None, None) => {}
+            (None, Some(p)) => out.push(Mismatch::new(
+                "FEASIBILITY",
+                inst,
+                format!("{label}: no solution but oracle finds period {p}"),
+            )),
+            (Some(s), None) => out.push(Mismatch::new(
+                "FEASIBILITY",
+                inst,
+                format!(
+                    "{label}: returns {} but oracle finds the pool infeasible",
+                    s.decomposition()
+                ),
+            )),
+            (Some(s), Some(opt)) => check_solution(&mut out, inst, &chain, label, &s, opt, false),
+        }
+    }
+
+    // OTAC is homogeneous-optimal: on the big-only (resp. little-only)
+    // sub-pool its period must equal HeRAD's optimum for that sub-pool.
+    for (otac, sub) in [
+        (Otac::big(), Resources::new(inst.big, 0)),
+        (Otac::little(), Resources::new(0, inst.little)),
+    ] {
+        let label = otac.name();
+        let sub_opt = optimal_period(&chain, sub);
+        match (otac.schedule(&chain, resources), sub_opt) {
+            (None, None) => {}
+            (None, Some(p)) => out.push(Mismatch::new(
+                "OTAC_FEASIBILITY",
+                inst,
+                format!("{label}: no solution but sub-pool optimum is {p}"),
+            )),
+            (Some(s), None) => out.push(Mismatch::new(
+                "OTAC_FEASIBILITY",
+                inst,
+                format!(
+                    "{label}: returns {} on an infeasible sub-pool",
+                    s.decomposition()
+                ),
+            )),
+            (Some(s), Some(opt)) => {
+                check_solution(&mut out, inst, &chain, label, &s, opt, false);
+                let period = s.period(&chain);
+                if period != opt {
+                    out.push(Mismatch::new(
+                        "OTAC_PERIOD",
+                        inst,
+                        format!("{label}: period {period} != sub-pool optimum {opt}"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Metamorphic properties of the optimal period (computed by HeRAD):
+///
+/// * scaling every weight by `k` scales the optimal period by `k`;
+/// * adding a core of either type never increases the optimal period;
+/// * flipping a sequential task to replicable never increases it.
+#[must_use]
+pub fn check_metamorphic(inst: &Instance) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let herad = Herad::new();
+    let chain = inst.chain();
+    let resources = inst.resources();
+    let base = herad.optimal_period(&chain, resources);
+
+    let k = 3u64;
+    let mut scaled = inst.clone();
+    for t in &mut scaled.tasks {
+        t.weight_big *= k;
+        t.weight_little *= k;
+    }
+    let scaled_period = herad.optimal_period(&scaled.chain(), resources);
+    let expected = base.map(|p| Ratio::new(p.numer() * u128::from(k), p.denom()));
+    if scaled_period != expected {
+        out.push(Mismatch::new(
+            "META_SCALE",
+            inst,
+            format!(
+                "scaling weights by {k}: period {} but {} expected",
+                fmt_period(scaled_period),
+                fmt_period(expected)
+            ),
+        ));
+    }
+
+    for (label, extra) in [
+        ("big", Resources::new(1, 0)),
+        ("little", Resources::new(0, 1)),
+    ] {
+        let grown = Resources::new(resources.big + extra.big, resources.little + extra.little);
+        let grown_period = herad.optimal_period(&chain, grown);
+        let regressed = match (base, grown_period) {
+            (Some(b), Some(g)) => g > b,
+            // Feasible before, infeasible after adding a core: impossible.
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if regressed {
+            out.push(Mismatch::new(
+                "META_MORE_CORES",
+                inst,
+                format!(
+                    "adding one {label} core: period {} worse than {}",
+                    fmt_period(grown_period),
+                    fmt_period(base)
+                ),
+            ));
+        }
+    }
+
+    if let Some(pos) = inst.tasks.iter().position(|t| !t.replicable) {
+        let mut relaxed = inst.clone();
+        relaxed.tasks[pos].replicable = true;
+        let relaxed_period = herad.optimal_period(&relaxed.chain(), resources);
+        let regressed = match (base, relaxed_period) {
+            (Some(b), Some(r)) => r > b,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if regressed {
+            out.push(Mismatch::new(
+                "META_RELAX",
+                inst,
+                format!(
+                    "making task {pos} replicable: period {} worse than {}",
+                    fmt_period(relaxed_period),
+                    fmt_period(base)
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Service-vs-library equivalence through a running [`Engine`]:
+///
+/// * every named strategy served by the engine returns stages bit-identical
+///   to a direct library call (or the matching typed error);
+/// * an immediate resubmission is answered from the cache with identical
+///   stages;
+/// * the undeadlined portfolio matches HeRAD's optimal period and reports
+///   `complete`;
+/// * zero-core pools map to [`amp_service::ServiceError::NoCores`].
+#[must_use]
+pub fn check_service(engine: &Engine, inst: &Instance) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let chain = inst.chain();
+    let resources = inst.resources();
+    let empty_pool = inst.big + inst.little == 0;
+
+    for strategy in paper_strategies() {
+        let name = strategy.name();
+        let request =
+            ScheduleRequest::from_chain(0, &chain, resources, Policy::Strategy(name.to_string()));
+        let response = engine.schedule_blocking(request.clone());
+        let direct = strategy.schedule(&chain, resources);
+        match (response.result, direct) {
+            (Ok(outcome), Some(solution)) => {
+                if outcome.stages != solution.stages() {
+                    out.push(Mismatch::new(
+                        "SERVICE_STAGES",
+                        inst,
+                        format!(
+                            "{name}: service returned {} but library computes {}",
+                            outcome.decomposition,
+                            solution.decomposition()
+                        ),
+                    ));
+                }
+                if !outcome.complete {
+                    out.push(Mismatch::new(
+                        "SERVICE_COMPLETE",
+                        inst,
+                        format!("{name}: single-strategy outcome not marked complete"),
+                    ));
+                }
+                let again = engine.schedule_blocking(request);
+                match again.result {
+                    Ok(cached) => {
+                        if !cached.cache_hit {
+                            out.push(Mismatch::new(
+                                "SERVICE_CACHE",
+                                inst,
+                                format!("{name}: resubmission missed the cache"),
+                            ));
+                        }
+                        if cached.stages != outcome.stages {
+                            out.push(Mismatch::new(
+                                "SERVICE_CACHE",
+                                inst,
+                                format!("{name}: cached stages differ from the first answer"),
+                            ));
+                        }
+                    }
+                    Err(e) => out.push(Mismatch::new(
+                        "SERVICE_CACHE",
+                        inst,
+                        format!("{name}: resubmission failed with {e}"),
+                    )),
+                }
+            }
+            (Err(e), None) => {
+                let expected = if empty_pool { "NO_CORES" } else { "INFEASIBLE" };
+                if e.code() != expected {
+                    out.push(Mismatch::new(
+                        "SERVICE_ERROR",
+                        inst,
+                        format!("{name}: error code {} but {expected} expected", e.code()),
+                    ));
+                }
+            }
+            (Ok(outcome), None) => out.push(Mismatch::new(
+                "SERVICE_DIVERGE",
+                inst,
+                format!(
+                    "{name}: service returned {} but the library finds no solution",
+                    outcome.decomposition
+                ),
+            )),
+            (Err(e), Some(solution)) => out.push(Mismatch::new(
+                "SERVICE_DIVERGE",
+                inst,
+                format!(
+                    "{name}: service failed with {e} but the library computes {}",
+                    solution.decomposition()
+                ),
+            )),
+        }
+    }
+
+    let request = ScheduleRequest::from_chain(0, &chain, resources, Policy::Portfolio);
+    let response = engine.schedule_blocking(request);
+    let optimum = Herad::new().optimal_period(&chain, resources);
+    match (response.result, optimum) {
+        (Ok(outcome), Some(opt)) => {
+            if !outcome.complete {
+                out.push(Mismatch::new(
+                    "PORTFOLIO_COMPLETE",
+                    inst,
+                    "undeadlined portfolio outcome not marked complete".to_string(),
+                ));
+            }
+            let solution = outcome.solution();
+            if let Err(e) = solution.validate(&chain) {
+                out.push(Mismatch::new(
+                    "PORTFOLIO_INVALID",
+                    inst,
+                    format!("portfolio solution invalid: {e}"),
+                ));
+            } else if solution.period(&chain) != opt {
+                out.push(Mismatch::new(
+                    "PORTFOLIO_PERIOD",
+                    inst,
+                    format!(
+                        "portfolio period {} != HeRAD optimum {opt}",
+                        solution.period(&chain)
+                    ),
+                ));
+            }
+        }
+        (Err(e), None) => {
+            let expected = if empty_pool { "NO_CORES" } else { "INFEASIBLE" };
+            if e.code() != expected {
+                out.push(Mismatch::new(
+                    "SERVICE_ERROR",
+                    inst,
+                    format!("portfolio: error code {} but {expected} expected", e.code()),
+                ));
+            }
+        }
+        (Ok(outcome), None) => out.push(Mismatch::new(
+            "SERVICE_DIVERGE",
+            inst,
+            format!(
+                "portfolio returned {} on an infeasible pool",
+                outcome.decomposition
+            ),
+        )),
+        (Err(e), Some(opt)) => out.push(Mismatch::new(
+            "SERVICE_DIVERGE",
+            inst,
+            format!("portfolio failed with {e} but the optimum is {opt}"),
+        )),
+    }
+    out
+}
+
+/// Runs the library-level checks (differential + metamorphic) on one
+/// instance.
+#[must_use]
+pub fn check_library(inst: &Instance) -> Vec<Mismatch> {
+    let mut out = check_core(inst);
+    out.extend(check_metamorphic(inst));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TaskDef;
+
+    fn paper_instance() -> Instance {
+        Instance::new(
+            "paper",
+            vec![
+                TaskDef::new(10, 25, false),
+                TaskDef::new(40, 90, true),
+                TaskDef::new(5, 12, false),
+            ],
+            2,
+            2,
+        )
+    }
+
+    #[test]
+    fn clean_instances_produce_no_mismatches() {
+        assert_eq!(check_library(&paper_instance()), vec![]);
+    }
+
+    #[test]
+    fn empty_pool_agreement_holds() {
+        let inst = Instance::new("starved", vec![TaskDef::new(3, 6, true)], 0, 0);
+        assert_eq!(check_library(&inst), vec![]);
+    }
+
+    #[test]
+    fn mismatch_display_is_compact() {
+        let inst = paper_instance();
+        let m = Mismatch::new("HERAD_PERIOD", &inst, "boom".to_string());
+        let text = m.to_string();
+        assert!(text.starts_with("[HERAD_PERIOD] paper:"), "{text}");
+        assert!(text.ends_with("boom"), "{text}");
+    }
+}

@@ -1,0 +1,228 @@
+//! The checked-in regression corpus: one instance per JSON file.
+//!
+//! Every instance that ever exposed a scheduler bug (or a suspicious
+//! shrunken fuzz case) is frozen here and replayed by the `conformance`
+//! runner on every CI run. Files live in `crates/conformance/corpus/`;
+//! [`default_corpus_dir`] resolves that path independently of the working
+//! directory so `cargo run -p amp-conformance` works from anywhere in the
+//! workspace.
+
+use crate::instance::{Instance, TaskDef};
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The corpus directory checked into the repository.
+#[must_use]
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// A corpus I/O or format failure, tagged with the offending file.
+#[derive(Debug)]
+pub struct CorpusError {
+    /// The file that failed to load or decode.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Encodes an instance as the canonical corpus JSON document.
+#[must_use]
+pub fn encode(instance: &Instance) -> String {
+    let tasks: Vec<Json> = instance
+        .tasks
+        .iter()
+        .map(|t| {
+            let mut obj = BTreeMap::new();
+            obj.insert("weight_big".to_string(), Json::Int(t.weight_big));
+            obj.insert("weight_little".to_string(), Json::Int(t.weight_little));
+            obj.insert("replicable".to_string(), Json::Bool(t.replicable));
+            Json::Obj(obj)
+        })
+        .collect();
+    let mut root = BTreeMap::new();
+    root.insert("name".to_string(), Json::Str(instance.name.clone()));
+    root.insert("big".to_string(), Json::Int(instance.big));
+    root.insert("little".to_string(), Json::Int(instance.little));
+    root.insert("tasks".to_string(), Json::Arr(tasks));
+    Json::Obj(root).render()
+}
+
+/// Decodes one corpus document.
+///
+/// # Errors
+/// Returns a description of the first violation: JSON syntax errors,
+/// missing or mistyped fields, an empty task list, or zero task weights
+/// (which [`amp_core::TaskChain`] rejects).
+pub fn decode(text: &str) -> Result<Instance, String> {
+    let root = Json::parse(text).map_err(|e| e.to_string())?;
+    let obj = root.as_obj().ok_or("top level must be an object")?;
+    let name = obj
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"name\"")?
+        .to_string();
+    let big = obj
+        .get("big")
+        .and_then(Json::as_int)
+        .ok_or("missing integer field \"big\"")?;
+    let little = obj
+        .get("little")
+        .and_then(Json::as_int)
+        .ok_or("missing integer field \"little\"")?;
+    let tasks_json = obj
+        .get("tasks")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"tasks\"")?;
+    if tasks_json.is_empty() {
+        return Err("\"tasks\" must not be empty".to_string());
+    }
+    let mut tasks = Vec::with_capacity(tasks_json.len());
+    for (i, t) in tasks_json.iter().enumerate() {
+        let t = t
+            .as_obj()
+            .ok_or_else(|| format!("task {i} must be an object"))?;
+        let weight_big = t
+            .get("weight_big")
+            .and_then(Json::as_int)
+            .ok_or_else(|| format!("task {i}: missing integer \"weight_big\""))?;
+        let weight_little = t
+            .get("weight_little")
+            .and_then(Json::as_int)
+            .ok_or_else(|| format!("task {i}: missing integer \"weight_little\""))?;
+        let replicable = t
+            .get("replicable")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("task {i}: missing bool \"replicable\""))?;
+        if weight_big == 0 || weight_little == 0 {
+            return Err(format!("task {i}: weights must be positive"));
+        }
+        tasks.push(TaskDef::new(weight_big, weight_little, replicable));
+    }
+    Ok(Instance::new(name, tasks, big, little))
+}
+
+/// Loads every `*.json` file of a corpus directory, sorted by file name
+/// for deterministic replay order. A missing directory is an error: the
+/// runner should never silently replay an empty corpus.
+///
+/// # Errors
+/// Returns the first unreadable or undecodable file.
+pub fn load_dir(dir: &Path) -> Result<Vec<Instance>, CorpusError> {
+    fn tag(path: &Path, e: &io::Error) -> CorpusError {
+        CorpusError {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        }
+    }
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| tag(dir, &e))?
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| tag(dir, &e))?
+        .into_iter()
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    let mut instances = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path).map_err(|e| tag(&path, &e))?;
+        let instance = decode(&text).map_err(|message| CorpusError {
+            path: path.clone(),
+            message,
+        })?;
+        instances.push(instance);
+    }
+    Ok(instances)
+}
+
+/// Writes an instance to `<dir>/<file_name>.json` in canonical form (the
+/// runner uses this to persist shrunken fuzz failures for triage).
+///
+/// # Errors
+/// Propagates filesystem failures.
+pub fn save(dir: &Path, file_name: &str, instance: &Instance) -> Result<PathBuf, CorpusError> {
+    let path = dir.join(format!("{file_name}.json"));
+    fs::create_dir_all(dir).map_err(|e| CorpusError {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    fs::write(&path, encode(instance)).map_err(|e| CorpusError {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> Instance {
+        Instance::new(
+            "round-trip",
+            vec![TaskDef::new(3, 6, false), TaskDef::new(2, 4, true)],
+            2,
+            1,
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let inst = instance();
+        let text = encode(&inst);
+        assert_eq!(decode(&text).unwrap(), inst);
+        // Canonical form is a fixpoint.
+        assert_eq!(encode(&decode(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_documents() {
+        for (doc, needle) in [
+            ("[]", "object"),
+            ("{}", "name"),
+            (r#"{"name":"x","big":1,"little":1,"tasks":[]}"#, "empty"),
+            (
+                r#"{"name":"x","big":1,"little":1,"tasks":[{"weight_big":0,"weight_little":1,"replicable":true}]}"#,
+                "positive",
+            ),
+            (
+                r#"{"name":"x","big":1,"little":1,"tasks":[{"weight_big":1,"replicable":true}]}"#,
+                "weight_little",
+            ),
+        ] {
+            let err = decode(doc).unwrap_err();
+            assert!(err.contains(needle), "{doc} -> {err}");
+        }
+    }
+
+    #[test]
+    fn checked_in_corpus_loads() {
+        let corpus = load_dir(&default_corpus_dir()).expect("corpus directory loads");
+        assert!(
+            corpus.len() >= 8,
+            "the regression corpus should keep its seed entries"
+        );
+        let mut names: Vec<&str> = corpus.iter().map(|i| i.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len(), "corpus names must be unique");
+    }
+
+    #[test]
+    fn missing_directory_is_loud() {
+        let err = load_dir(Path::new("/nonexistent/corpus/dir")).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Conformance harness for the amp-sched workspace.
+//!
+//! This crate is the workspace's shared testing backbone, with four
+//! layers that the other crates (and the `conformance` binary) compose:
+//!
+//! * [`instance`] + [`gen`] — a serializable instance type plus seeded
+//!   and proptest-based generators covering the degenerate shapes that
+//!   break interval-mapping schedulers (equal weights, unit weights,
+//!   single-task chains, all-sequential / all-replicable chains, starved
+//!   pools);
+//! * [`checks`] — differential checks of every scheduler against the
+//!   exhaustive brute-force oracle (period *and* the big/little-core
+//!   tie-break), metamorphic properties of the optimal period, and
+//!   bit-identical equivalence between `amp-service` responses and
+//!   direct library calls;
+//! * [`shrink`] — greedy minimization of failing instances (the vendored
+//!   proptest engine has no shrinking);
+//! * [`corpus`] + [`json`] — a checked-in regression corpus of JSON
+//!   instances, replayed on every run, with a self-contained canonical
+//!   JSON codec (the offline build stubs out `serde_json`).
+//!
+//! The [`runner`] module ties the layers into the `conformance` binary:
+//! corpus replay first, then seeded fuzzing, shrinking and optionally
+//! persisting every failure.
+
+pub mod checks;
+pub mod corpus;
+pub mod gen;
+pub mod instance;
+pub mod json;
+pub mod runner;
+pub mod shrink;
+
+pub use checks::{check_core, check_library, check_metamorphic, check_service, Mismatch};
+pub use gen::{instance_for_seed, instance_strategy, task_strategy, GenConfig};
+pub use instance::{Instance, TaskDef};
+pub use runner::{run, Report, RunnerConfig};
+pub use shrink::shrink;

@@ -1,0 +1,234 @@
+//! The fuzz/replay driver behind the `conformance` binary: replay the
+//! checked-in regression corpus, then fuzz seeded random instances, and
+//! shrink whatever fails.
+
+use crate::checks::{self, Mismatch};
+use crate::corpus;
+use crate::gen::{instance_for_seed, GenConfig};
+use crate::instance::Instance;
+use crate::shrink::shrink;
+use amp_service::{Engine, EngineConfig};
+use std::path::PathBuf;
+
+/// What one conformance run should do.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// Number of seeded random instances to fuzz.
+    pub seeds: u64,
+    /// First seed (instances are `seed_start..seed_start + seeds`).
+    pub seed_start: u64,
+    /// Instance bounds.
+    pub gen: GenConfig,
+    /// Regression corpus to replay first; `None` skips the replay.
+    pub corpus_dir: Option<PathBuf>,
+    /// Also run the amp-service equivalence checks (spawns an engine).
+    pub check_service: bool,
+    /// Where to save shrunken failing instances; `None` keeps them
+    /// in-memory only.
+    pub save_failures: Option<PathBuf>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            seeds: 500,
+            seed_start: 0,
+            gen: GenConfig::default(),
+            corpus_dir: Some(corpus::default_corpus_dir()),
+            check_service: true,
+            save_failures: None,
+        }
+    }
+}
+
+/// One failing instance with its mismatches and shrunken repro.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The instance that failed, as generated or loaded.
+    pub instance: Instance,
+    /// Every mismatch that instance produced.
+    pub mismatches: Vec<Mismatch>,
+    /// The greedily minimized repro (same failure code as the first
+    /// mismatch).
+    pub shrunk: Instance,
+    /// Where the repro was saved, when saving was requested and succeeded.
+    pub saved_to: Option<PathBuf>,
+}
+
+/// Aggregate result of one run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Corpus instances replayed.
+    pub corpus_replayed: usize,
+    /// Seeded instances fuzzed.
+    pub fuzzed: usize,
+    /// All failures, in discovery order.
+    pub failures: Vec<Failure>,
+}
+
+impl Report {
+    /// `true` when every instance passed every check.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Total instances checked.
+    #[must_use]
+    pub fn checked(&self) -> usize {
+        self.corpus_replayed + self.fuzzed
+    }
+}
+
+/// Runs corpus replay + seeded fuzzing per `cfg`.
+///
+/// Progress and failures are streamed to `log` (one line each) so the
+/// binary can print while a library caller can collect into a string.
+///
+/// # Errors
+/// Returns the corpus error verbatim when the replay corpus cannot be
+/// loaded; check failures are *not* errors — they are reported in the
+/// [`Report`].
+pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corpus::CorpusError> {
+    let engine = cfg
+        .check_service
+        .then(|| Engine::start(EngineConfig::default()));
+    let check = |inst: &Instance| -> Vec<Mismatch> {
+        let mut found = checks::check_library(inst);
+        if let Some(engine) = &engine {
+            found.extend(checks::check_service(engine, inst));
+        }
+        found
+    };
+
+    let mut report = Report::default();
+    let record_failure = |inst: &Instance,
+                          mismatches: Vec<Mismatch>,
+                          report: &mut Report,
+                          log: &mut dyn FnMut(&str)| {
+        for m in &mismatches {
+            log(&format!("FAIL {m}"));
+        }
+        // Shrink against the first failure's code so the repro keeps
+        // demonstrating the same defect, not just *a* defect.
+        let code = mismatches[0].code;
+        let shrunk = shrink(inst, &|candidate| {
+            check(candidate).iter().any(|m| m.code == code)
+        });
+        log(&format!("  shrunk to {}", shrunk.summary()));
+        let saved_to = cfg.save_failures.as_ref().and_then(|dir| {
+            let file = format!("fail-{}", shrunk.name);
+            match corpus::save(dir, &file, &shrunk) {
+                Ok(path) => {
+                    log(&format!("  saved repro to {}", path.display()));
+                    Some(path)
+                }
+                Err(e) => {
+                    log(&format!("  could not save repro: {e}"));
+                    None
+                }
+            }
+        });
+        report.failures.push(Failure {
+            instance: inst.clone(),
+            mismatches,
+            shrunk,
+            saved_to,
+        });
+    };
+
+    if let Some(dir) = &cfg.corpus_dir {
+        let instances = corpus::load_dir(dir)?;
+        log(&format!(
+            "replaying {} corpus instances from {}",
+            instances.len(),
+            dir.display()
+        ));
+        for inst in &instances {
+            let mismatches = check(inst);
+            if !mismatches.is_empty() {
+                record_failure(inst, mismatches, &mut report, log);
+            }
+            report.corpus_replayed += 1;
+        }
+    }
+
+    log(&format!(
+        "fuzzing {} seeded instances (seeds {}..{}, n<={}, pool<=({}B,{}L))",
+        cfg.seeds,
+        cfg.seed_start,
+        cfg.seed_start + cfg.seeds,
+        cfg.gen.max_tasks,
+        cfg.gen.max_big,
+        cfg.gen.max_little,
+    ));
+    for seed in cfg.seed_start..cfg.seed_start + cfg.seeds {
+        let inst = instance_for_seed(seed, &cfg.gen);
+        let mismatches = check(&inst);
+        if !mismatches.is_empty() {
+            record_failure(&inst, mismatches, &mut report, log);
+        }
+        report.fuzzed += 1;
+    }
+
+    if let Some(engine) = engine {
+        engine.shutdown();
+    }
+    log(&format!(
+        "{} instances checked, {} failure(s)",
+        report.checked(),
+        report.failures.len()
+    ));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_is_clean() {
+        let cfg = RunnerConfig {
+            seeds: 40,
+            seed_start: 0,
+            gen: GenConfig::small(),
+            corpus_dir: None,
+            check_service: false,
+            save_failures: None,
+        };
+        let mut lines = Vec::new();
+        let report = run(&cfg, &mut |line| lines.push(line.to_string())).expect("no corpus I/O");
+        assert!(report.is_clean(), "failures: {:#?}", report.failures);
+        assert_eq!(report.fuzzed, 40);
+        assert_eq!(report.corpus_replayed, 0);
+        assert!(lines.iter().any(|l| l.contains("40 instances checked")));
+    }
+
+    #[test]
+    fn corpus_replay_counts_instances() {
+        let cfg = RunnerConfig {
+            seeds: 0,
+            seed_start: 0,
+            gen: GenConfig::small(),
+            corpus_dir: Some(corpus::default_corpus_dir()),
+            check_service: false,
+            save_failures: None,
+        };
+        let report = run(&cfg, &mut |_| {}).expect("corpus loads");
+        assert!(report.corpus_replayed >= 8);
+        assert!(report.is_clean(), "failures: {:#?}", report.failures);
+    }
+
+    #[test]
+    fn missing_corpus_is_an_error() {
+        let cfg = RunnerConfig {
+            seeds: 0,
+            seed_start: 0,
+            gen: GenConfig::small(),
+            corpus_dir: Some(PathBuf::from("/nonexistent/corpus")),
+            check_service: false,
+            save_failures: None,
+        };
+        assert!(run(&cfg, &mut |_| {}).is_err());
+    }
+}

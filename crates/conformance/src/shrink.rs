@@ -1,0 +1,111 @@
+//! Greedy instance shrinking.
+//!
+//! The vendored `proptest` engine has no shrinking, so the fuzz runner
+//! minimizes failing instances itself: apply one simplification at a
+//! time, keep it if the failure predicate still holds, and repeat until
+//! no single simplification preserves the failure (a local fixpoint).
+
+use crate::instance::Instance;
+
+/// One-step simplifications, in preference order: structurally smaller
+/// first (drop a task, drop a core), then value-smaller (halve a weight,
+/// set it to 1, clear a replicable flag).
+fn candidates(inst: &Instance) -> Vec<Instance> {
+    let mut out = Vec::new();
+    if inst.len() > 1 {
+        for i in 0..inst.len() {
+            let mut c = inst.clone();
+            c.tasks.remove(i);
+            out.push(c);
+        }
+    }
+    if inst.big > 0 {
+        let mut c = inst.clone();
+        c.big -= 1;
+        out.push(c);
+    }
+    if inst.little > 0 {
+        let mut c = inst.clone();
+        c.little -= 1;
+        out.push(c);
+    }
+    for i in 0..inst.len() {
+        let t = inst.tasks[i];
+        if t.weight_big > 1 {
+            let mut c = inst.clone();
+            c.tasks[i].weight_big = (t.weight_big / 2).max(1);
+            out.push(c);
+            let mut c = inst.clone();
+            c.tasks[i].weight_big = 1;
+            out.push(c);
+        }
+        if t.weight_little > 1 {
+            let mut c = inst.clone();
+            c.tasks[i].weight_little = (t.weight_little / 2).max(1);
+            out.push(c);
+            let mut c = inst.clone();
+            c.tasks[i].weight_little = 1;
+            out.push(c);
+        }
+        if t.replicable {
+            let mut c = inst.clone();
+            c.tasks[i].replicable = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Greedily minimizes `inst` while `still_fails` holds, renaming the
+/// result `<name>-shrunk`. The predicate is re-run on every candidate, so
+/// it should be the same check that flagged the original failure.
+#[must_use]
+pub fn shrink(inst: &Instance, still_fails: &dyn Fn(&Instance) -> bool) -> Instance {
+    let mut current = inst.clone();
+    while let Some(next) = candidates(&current).into_iter().find(|c| still_fails(c)) {
+        current = next;
+    }
+    current.name = format!("{}-shrunk", inst.name);
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TaskDef;
+
+    #[test]
+    fn shrinks_to_a_minimal_failing_instance() {
+        // Failure predicate: "has at least 2 tasks and at least one big core".
+        let fails = |i: &Instance| i.len() >= 2 && i.big >= 1;
+        let start = Instance::new(
+            "case",
+            vec![
+                TaskDef::new(9, 11, true),
+                TaskDef::new(4, 7, false),
+                TaskDef::new(6, 6, true),
+            ],
+            3,
+            2,
+        );
+        let small = shrink(&start, &fails);
+        assert_eq!(small.name, "case-shrunk");
+        assert!(fails(&small));
+        assert_eq!(small.len(), 2, "cannot drop below two tasks");
+        assert_eq!(small.big, 1, "cannot drop below one big core");
+        assert_eq!(small.little, 0);
+        for t in &small.tasks {
+            assert_eq!((t.weight_big, t.weight_little, t.replicable), (1, 1, false));
+        }
+    }
+
+    #[test]
+    fn non_shrinkable_failure_is_returned_unchanged_modulo_name() {
+        let fails = |_: &Instance| false; // nothing else fails => keep original
+        let start = Instance::new("fixed", vec![TaskDef::new(2, 3, true)], 1, 1);
+        let out = shrink(&start, &fails);
+        assert_eq!(out.tasks, start.tasks);
+        assert_eq!((out.big, out.little), (start.big, start.little));
+        assert_eq!(out.name, "fixed-shrunk");
+    }
+}

@@ -51,6 +51,96 @@ pub fn all_optimal_solutions(chain: &TaskChain, resources: Resources) -> Vec<Sol
         .collect()
 }
 
+/// The exhaustively verified optimal period, without extracting a schedule.
+/// `None` when no valid mapping exists (e.g. a zero-core pool).
+#[must_use]
+pub fn optimal_period(chain: &TaskChain, resources: Resources) -> Option<Ratio> {
+    BruteForce
+        .schedule(chain, resources)
+        .map(|s| s.period(chain))
+}
+
+/// The optimal period together with the *distinct core usages* of every
+/// minimum-period solution.
+///
+/// This is the memory-light form of [`all_optimal_solutions`] for
+/// differential testing: tie-break conformance only needs the set of
+/// `(big, little)` usages on the optimality front, not the solutions
+/// themselves (of which tiny instances can already have tens of
+/// thousands). Solutions whose period exceeds the best found so far are
+/// pruned during the walk, so the usage set never holds suboptimal
+/// entries.
+#[must_use]
+pub fn optimal_usage_front(
+    chain: &TaskChain,
+    resources: Resources,
+) -> Option<(Ratio, Vec<Resources>)> {
+    struct Front {
+        best: Ratio,
+        usages: Vec<Resources>,
+    }
+
+    fn walk(
+        chain: &TaskChain,
+        start: usize,
+        left: Resources,
+        used: Resources,
+        period_so_far: Ratio,
+        front: &mut Front,
+    ) {
+        if period_so_far > front.best {
+            return;
+        }
+        let n = chain.len();
+        if start == n {
+            if period_so_far < front.best {
+                front.best = period_so_far;
+                front.usages.clear();
+            }
+            if !front.usages.contains(&used) {
+                front.usages.push(used);
+            }
+            return;
+        }
+        for end in start..n {
+            for v in CoreType::BOTH {
+                let rep = chain.is_replicable(start, end);
+                let max_r = if rep { left.of(v) } else { left.of(v).min(1) };
+                for r in 1..=max_r {
+                    let w = chain.stage_weight(start, end, r, v);
+                    let mut next_used = used;
+                    match v {
+                        CoreType::Big => next_used.big += r,
+                        CoreType::Little => next_used.little += r,
+                    }
+                    walk(
+                        chain,
+                        end + 1,
+                        left.minus(v, r),
+                        next_used,
+                        period_so_far.max(w),
+                        front,
+                    );
+                }
+            }
+        }
+    }
+
+    let mut front = Front {
+        best: Ratio::INFINITY,
+        usages: Vec::new(),
+    };
+    walk(
+        chain,
+        0,
+        resources,
+        Resources::new(0, 0),
+        Ratio::ZERO,
+        &mut front,
+    );
+    front.best.is_finite().then_some((front.best, front.usages))
+}
+
 fn explore(
     chain: &TaskChain,
     start: usize,
@@ -162,6 +252,41 @@ mod tests {
         let c = TaskChain::new(vec![Task::new(1, 1, true)]);
         assert!(BruteForce.schedule(&c, Resources::new(0, 0)).is_none());
         assert!(all_optimal_solutions(&c, Resources::new(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn usage_front_matches_all_optimal_solutions() {
+        let c = TaskChain::new(vec![
+            Task::new(3, 6, false),
+            Task::new(2, 4, true),
+            Task::new(4, 8, true),
+            Task::new(1, 3, false),
+        ]);
+        for (b, l) in [(1, 0), (0, 2), (2, 1), (2, 2), (3, 3)] {
+            let r = Resources::new(b, l);
+            let (period, mut usages) = optimal_usage_front(&c, r).unwrap();
+            assert_eq!(Some(period), optimal_period(&c, r));
+            let all = all_optimal_solutions(&c, r);
+            let mut expected: Vec<Resources> = Vec::new();
+            for s in &all {
+                assert_eq!(s.period(&c), period);
+                let u = s.used_cores();
+                if !expected.contains(&u) {
+                    expected.push(u);
+                }
+            }
+            let key = |u: &Resources| (u.big, u.little);
+            usages.sort_unstable_by_key(key);
+            expected.sort_unstable_by_key(key);
+            assert_eq!(usages, expected, "usage front mismatch at {r}");
+        }
+    }
+
+    #[test]
+    fn usage_front_empty_pool_is_none() {
+        let c = TaskChain::new(vec![Task::new(1, 1, true)]);
+        assert!(optimal_usage_front(&c, Resources::new(0, 0)).is_none());
+        assert!(optimal_period(&c, Resources::new(0, 0)).is_none());
     }
 
     #[test]

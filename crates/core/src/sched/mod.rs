@@ -15,7 +15,7 @@ use crate::resources::Resources;
 use crate::solution::Solution;
 
 pub use binary_search::{schedule_binary_search, PeriodBounds};
-pub use brute::BruteForce;
+pub use brute::{all_optimal_solutions, optimal_period, optimal_usage_front, BruteForce};
 pub use fertac::Fertac;
 pub use herad::{Herad, Pruning};
 pub use otac::Otac;

@@ -417,6 +417,36 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_out_of_range_and_inverted_stage_ends() {
+        let c = chain();
+        // end beyond the chain (e.g. a stale solution applied to a
+        // shorter chain, or a malformed deserialized stage).
+        let bad = Solution::new(vec![Stage::new(0, 5, 1, CoreType::Big)]);
+        assert_eq!(
+            bad.validate(&c),
+            Err(ValidationError::InvalidEnd { stage: 0, end: 5 })
+        );
+        // end before start: build the struct literally — `Stage::new`
+        // debug-asserts the ordering, but deserialized stages bypass it
+        // and `validate` must still reject them.
+        let inverted = Stage {
+            start: 1,
+            end: 0,
+            cores: 1,
+            core_type: CoreType::Little,
+        };
+        let bad = Solution::new(vec![Stage::new(0, 0, 1, CoreType::Big), inverted]);
+        assert_eq!(
+            bad.validate(&c),
+            Err(ValidationError::InvalidEnd { stage: 1, end: 0 })
+        );
+        // The error carries the stable code and phrasing of the variant.
+        let err = bad.validate(&c).unwrap_err();
+        assert_eq!(err.code(), "INVALID_STAGE_END");
+        assert_eq!(err.to_string(), "stage 1 has invalid end 0");
+    }
+
+    #[test]
     fn validation_errors_keep_legacy_phrasing_and_stable_codes() {
         // Display output stays compatible with the old `Result<(), String>`
         // API so log scrapes and error-message assertions keep working.

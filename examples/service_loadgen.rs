@@ -7,11 +7,13 @@
 //! duplicated — and prints throughput, latency quantiles and the cache
 //! hit-rate.
 //!
-//! Usage: `cargo run --release --example service_loadgen -- [REQUESTS] [DISTINCT]`
+//! Usage: `cargo run --release --example service_loadgen -- [REQUESTS] [DISTINCT] [--seed SEED]`
 //!
 //! * `REQUESTS` — total requests to submit (default 100 000).
 //! * `DISTINCT` — distinct scheduling instances to cycle through
 //!   (default 256; smaller → hotter cache).
+//! * `--seed SEED` — base seed for the generated instances (default
+//!   0xA5 = 165, the historical value, so runs stay reproducible).
 
 use std::thread;
 use std::time::Instant;
@@ -22,12 +24,22 @@ use amp_workload::{table1_resources, SyntheticConfig, PAPER_STATELESS_RATIOS};
 use crossbeam::channel;
 
 fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut seed: u64 = 0xA5;
     let mut args = std::env::args().skip(1);
-    let total: u64 = args
-        .next()
+    while let Some(arg) = args.next() {
+        if arg == "--seed" {
+            let value = args.next().expect("--seed needs a value");
+            seed = value.parse().expect("SEED must be a number");
+        } else {
+            positional.push(arg);
+        }
+    }
+    let total: u64 = positional
+        .first()
         .map_or(100_000, |a| a.parse().expect("REQUESTS must be a number"));
-    let distinct: usize = args
-        .next()
+    let distinct: usize = positional
+        .get(1)
         .map_or(256, |a| a.parse().expect("DISTINCT must be a number"));
 
     // A fixed pool of distinct instances: paper-shaped chains across the
@@ -37,7 +49,7 @@ fn main() {
     for i in 0..distinct {
         let sr = PAPER_STATELESS_RATIOS[i % PAPER_STATELESS_RATIOS.len()];
         let chain = SyntheticConfig::paper(sr)
-            .generate_batch(0xA5 + i as u64, 1)
+            .generate_batch(seed + i as u64, 1)
             .remove(0);
         let res = resources[i % resources.len()];
         let policy = match i % 4 {

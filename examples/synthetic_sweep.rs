@@ -3,22 +3,37 @@
 //! core usage (one cell of Table I).
 //!
 //! ```sh
-//! cargo run --release -p amp-examples --example synthetic_sweep -- 10 10 0.5
+//! cargo run --release -p amp-examples --example synthetic_sweep -- 10 10 0.5 --seed 2024
 //! ```
-//! (arguments: big cores, little cores, stateless ratio)
+//! (arguments: big cores, little cores, stateless ratio; `--seed SEED`
+//! picks the chain-generation seed, default 2024 — the paper-repro value)
 
 use amp_core::sched::paper_strategies;
 use amp_core::Resources;
 use amp_workload::SyntheticConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let big: u64 = args.get(1).map_or(10, |v| v.parse().expect("big cores"));
-    let little: u64 = args.get(2).map_or(10, |v| v.parse().expect("little cores"));
-    let sr: f64 = args.get(3).map_or(0.5, |v| v.parse().expect("ratio"));
+    let mut positional: Vec<String> = Vec::new();
+    let mut seed: u64 = 2024;
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--seed" {
+            let value = raw.next().expect("--seed needs a value");
+            seed = value.parse().expect("SEED must be a number");
+        } else {
+            positional.push(arg);
+        }
+    }
+    let big: u64 = positional
+        .first()
+        .map_or(10, |v| v.parse().expect("big cores"));
+    let little: u64 = positional
+        .get(1)
+        .map_or(10, |v| v.parse().expect("little cores"));
+    let sr: f64 = positional.get(2).map_or(0.5, |v| v.parse().expect("ratio"));
     let resources = Resources::new(big, little);
 
-    let chains = SyntheticConfig::paper(sr).generate_batch(2024, 200);
+    let chains = SyntheticConfig::paper(sr).generate_batch(seed, 200);
     println!(
         "{} chains of 20 tasks, SR = {sr}, R = {resources}\n",
         chains.len()

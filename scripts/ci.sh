@@ -7,3 +7,8 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# Conformance gate: replay the regression corpus, then fuzz a bounded
+# batch of seeded instances (small n so the exhaustive oracle stays fast)
+# against the oracle, the metamorphic properties and the service engine.
+cargo run --release -p amp-conformance -- --seeds 500 --max-tasks 8 --max-big 4 --max-little 4

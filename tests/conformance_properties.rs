@@ -1,0 +1,76 @@
+//! Cross-crate property tests driven by the shared `amp-conformance`
+//! generators: the differential, metamorphic and service checks that the
+//! `conformance` fuzz runner applies at scale, here wired into `cargo
+//! test` through proptest with small bounds.
+
+use amp_conformance::checks::{check_core, check_metamorphic, check_service};
+use amp_conformance::gen::{instance_for_seed, instance_strategy, GenConfig};
+use amp_conformance::{corpus, shrink};
+use amp_service::{Engine, EngineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every scheduler agrees with the exhaustive oracle: optimal period
+    /// (and tie-break) for HeRAD, validity + never-below-optimum for the
+    /// heuristics, homogeneous-optimality for OTAC.
+    #[test]
+    fn schedulers_conform_to_the_oracle(inst in instance_strategy(GenConfig::small())) {
+        let mismatches = check_core(&inst);
+        prop_assert!(mismatches.is_empty(), "{:#?}", mismatches);
+    }
+
+    /// Metamorphic properties of the optimal period: weight scaling,
+    /// core monotonicity, replicability relaxation.
+    #[test]
+    fn optimal_period_is_metamorphically_stable(inst in instance_strategy(GenConfig::small())) {
+        let mismatches = check_metamorphic(&inst);
+        prop_assert!(mismatches.is_empty(), "{:#?}", mismatches);
+    }
+}
+
+/// The amp-service engine answers bit-identically to direct library
+/// calls (one shared engine, seeded instances so the cache check also
+/// exercises resubmission).
+#[test]
+fn service_responses_match_library_calls() {
+    let engine = Engine::start(EngineConfig::default());
+    let cfg = GenConfig::small();
+    for seed in 0..40 {
+        let inst = instance_for_seed(seed, &cfg);
+        let mismatches = check_service(&engine, &inst);
+        assert!(mismatches.is_empty(), "{mismatches:#?}");
+    }
+    engine.shutdown();
+}
+
+/// The checked-in regression corpus replays clean through the library
+/// checks.
+#[test]
+fn regression_corpus_replays_clean() {
+    let corpus = corpus::load_dir(&corpus::default_corpus_dir()).expect("corpus loads");
+    assert!(corpus.len() >= 8, "corpus lost entries");
+    for inst in &corpus {
+        let mut mismatches = check_core(inst);
+        mismatches.extend(check_metamorphic(inst));
+        assert!(mismatches.is_empty(), "{}: {mismatches:#?}", inst.name);
+    }
+}
+
+/// The shrinker preserves the failure predicate it is given — shrinking a
+/// synthetic "failure" never yields a passing instance.
+#[test]
+fn shrinker_preserves_failures() {
+    let cfg = GenConfig::small();
+    for seed in 0..20 {
+        let inst = instance_for_seed(seed, &cfg);
+        let fails = |i: &amp_conformance::Instance| i.big + i.little >= 1;
+        if !fails(&inst) {
+            continue;
+        }
+        let small = shrink(&inst, &fails);
+        assert!(fails(&small), "shrunk instance stopped failing: {small}");
+        assert!(small.len() <= inst.len());
+    }
+}
