@@ -1,0 +1,348 @@
+//! `perf` — the reproducible scheduler perf runner.
+//!
+//! Times four hot paths per strategy over a deterministic, seeded
+//! workload (the shared `amp-conformance` generator, filtered to chains
+//! long enough to exercise the DP table):
+//!
+//! * **cold** — the legacy allocating `schedule()` (fresh scratch and
+//!   output per solve), repeated per instance;
+//! * **warm** — `schedule_into()` re-solving the *same* instance on one
+//!   persistent [`SchedScratch`]: the steady state of service
+//!   resubmissions, where HeRAD's replay memo short-circuits the DP;
+//! * **warm_sweep** — `schedule_into()` across *distinct* consecutive
+//!   instances on one persistent scratch: the sweep steady state, where
+//!   only the arena (table + stage-pool reuse) helps;
+//! * **batched** — `schedule_many()` over the whole instance set with a
+//!   fixed worker count.
+//!
+//! A separate, untimed pass counts heap allocations through the
+//! [`TrackingAllocator`] installed as the global allocator. The run
+//! writes `BENCH_sched.json` (median/p99 ns per solve plus allocation
+//! counts) and **exits non-zero if the warm HeRAD steady state performs
+//! any heap allocation** — the regression the scratch arena exists to
+//! prevent.
+//!
+//! ```text
+//! perf [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the workload for CI gating; the allocation check is
+//! identical in both modes. Timings depend on the machine, but the
+//! workload, solve results and allocation counts are bit-reproducible.
+
+use amp_bench::alloc_track::{self, TrackingAllocator};
+use amp_conformance::gen::{instance_for_seed, GenConfig};
+use amp_core::sched::{schedule_many, Fertac, Herad, Otac, SchedScratch, Scheduler, Twocatac};
+use amp_core::{Resources, Solution, TaskChain};
+use std::hint::black_box;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+/// Node cap for 2CATAC: large enough that the cap never binds on this
+/// workload's feasible probes, small enough to bound the worst case.
+const TWOCATAC_NODE_BUDGET: u64 = 1 << 14;
+
+/// Fixed benchmark pool: every solve fills the full `n·(B+1)·(L+1)` DP
+/// table, so warm-vs-cold isolates the table reuse, not pool luck.
+const POOL: Resources = Resources {
+    big: 12,
+    little: 12,
+};
+
+/// Only chains with at least this many tasks enter the workload — the
+/// hot path the arena optimizes, not the trivial one-stage instances.
+const MIN_TASKS: usize = 8;
+
+struct PerfConfig {
+    smoke: bool,
+    instances: usize,
+    reps: usize,
+    workers: usize,
+    gen: GenConfig,
+}
+
+impl PerfConfig {
+    fn new(smoke: bool) -> Self {
+        PerfConfig {
+            smoke,
+            instances: if smoke { 8 } else { 48 },
+            reps: if smoke { 4 } else { 30 },
+            workers: 4,
+            gen: GenConfig {
+                max_tasks: 24,
+                max_weight: 16,
+                // The pool is fixed to `POOL`; the generator's own pool
+                // bounds only steer its rejection loop.
+                max_big: 4,
+                max_little: 4,
+                allow_empty_pool: false,
+            },
+        }
+    }
+}
+
+/// Deterministic workload: seeds are scanned in order and chains shorter
+/// than `MIN_TASKS` are skipped, so the set is a pure function of the
+/// generator config.
+fn workload(cfg: &PerfConfig) -> Vec<TaskChain> {
+    let mut chains = Vec::with_capacity(cfg.instances);
+    let mut seed = 0u64;
+    while chains.len() < cfg.instances {
+        let inst = instance_for_seed(seed, &cfg.gen);
+        seed += 1;
+        if inst.len() >= MIN_TASKS {
+            chains.push(inst.chain());
+        }
+    }
+    chains
+}
+
+#[derive(Clone, Copy)]
+struct Dist {
+    median_ns: u128,
+    p99_ns: u128,
+}
+
+fn dist(samples: &mut [u128]) -> Dist {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    Dist {
+        median_ns: samples[samples.len() / 2],
+        p99_ns: samples[(samples.len() - 1) * 99 / 100],
+    }
+}
+
+struct StrategyReport {
+    name: &'static str,
+    cold: Dist,
+    warm: Dist,
+    warm_sweep: Dist,
+    batched: Dist,
+    cold_allocs_per_solve: f64,
+    warm_steady_allocs: u64,
+    batched_allocs_per_solve: f64,
+    warm_speedup: f64,
+    sweep_speedup: f64,
+}
+
+fn bench_strategy(
+    strategy: &dyn Scheduler,
+    chains: &[TaskChain],
+    cfg: &PerfConfig,
+) -> StrategyReport {
+    let jobs: Vec<(&TaskChain, Resources)> = chains.iter().map(|c| (c, POOL)).collect();
+    let n = jobs.len();
+
+    // Cold: fresh scratch + fresh output per solve (the legacy path),
+    // `reps` consecutive per-call solves of each instance.
+    let mut cold_samples = Vec::with_capacity(cfg.reps * n);
+    for &(chain, r) in &jobs {
+        for _ in 0..cfg.reps {
+            let t = Instant::now();
+            let s = strategy.schedule(black_box(chain), r);
+            cold_samples.push(t.elapsed().as_nanos());
+            assert!(
+                black_box(s).is_some(),
+                "{}: infeasible solve",
+                strategy.name()
+            );
+        }
+    }
+
+    // Warm: the same per-call solves on one persistent scratch and
+    // output. Re-solving the same instance back-to-back is the service
+    // steady state; one unrecorded solve per instance warms the arena.
+    let mut scratch = SchedScratch::new();
+    let mut out = Solution::empty();
+    let mut warm_samples = Vec::with_capacity(cfg.reps * n);
+    for &(chain, r) in &jobs {
+        assert!(strategy.schedule_into(chain, r, &mut scratch, &mut out));
+        for _ in 0..cfg.reps {
+            let t = Instant::now();
+            let ok = strategy.schedule_into(black_box(chain), r, &mut scratch, &mut out);
+            warm_samples.push(t.elapsed().as_nanos());
+            assert!(black_box(ok));
+        }
+    }
+
+    // Warm sweep: distinct consecutive instances on the persistent
+    // scratch — the arena is hot, HeRAD's replay memo never hits.
+    let mut sweep_samples = Vec::with_capacity(cfg.reps * n);
+    for _ in 0..cfg.reps {
+        for &(chain, r) in &jobs {
+            let t = Instant::now();
+            let ok = strategy.schedule_into(black_box(chain), r, &mut scratch, &mut out);
+            sweep_samples.push(t.elapsed().as_nanos());
+            assert!(black_box(ok));
+        }
+    }
+
+    // Batched: one sample per repetition, normalized to ns/solve.
+    let mut batched_samples = Vec::with_capacity(cfg.reps);
+    for _ in 0..cfg.reps {
+        let t = Instant::now();
+        let results = schedule_many(strategy, &jobs, cfg.workers);
+        batched_samples.push(t.elapsed().as_nanos() / n as u128);
+        assert_eq!(black_box(results).len(), n);
+    }
+
+    // Allocation pass (untimed). Cold and warm run on this thread, so
+    // the per-thread counter is exact; the batched pass spawns workers
+    // and is counted through the process-wide counter. The warm pass
+    // exercises both memo hits (same instance twice) and misses
+    // (instance changes between jobs).
+    let (_, cold_allocs) = alloc_track::count_thread_allocs(|| {
+        for &(chain, r) in &jobs {
+            black_box(strategy.schedule(chain, r));
+        }
+    });
+    let (_, warm_steady_allocs) = alloc_track::count_thread_allocs(|| {
+        for &(chain, r) in &jobs {
+            assert!(strategy.schedule_into(chain, r, &mut scratch, &mut out));
+            assert!(strategy.schedule_into(chain, r, &mut scratch, &mut out));
+        }
+    });
+    let batched_before = alloc_track::global_count();
+    black_box(schedule_many(strategy, &jobs, cfg.workers));
+    let batched_allocs = alloc_track::global_count() - batched_before;
+
+    let cold = dist(&mut cold_samples);
+    let warm = dist(&mut warm_samples);
+    let warm_sweep = dist(&mut sweep_samples);
+    StrategyReport {
+        name: strategy.name(),
+        cold,
+        warm,
+        warm_sweep,
+        batched: dist(&mut batched_samples),
+        cold_allocs_per_solve: cold_allocs as f64 / n as f64,
+        warm_steady_allocs,
+        batched_allocs_per_solve: batched_allocs as f64 / n as f64,
+        warm_speedup: cold.median_ns as f64 / warm.median_ns.max(1) as f64,
+        sweep_speedup: cold.median_ns as f64 / warm_sweep.median_ns.max(1) as f64,
+    }
+}
+
+/// Hand-rolled JSON (the workspace pins no JSON crate for binaries):
+/// stable key order, two-space indent.
+fn render_json(cfg: &PerfConfig, reports: &[StrategyReport]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"amp-bench/perf/v1\",\n");
+    s.push_str("  \"config\": {\n");
+    s.push_str(&format!("    \"smoke\": {},\n", cfg.smoke));
+    s.push_str(&format!("    \"instances\": {},\n", cfg.instances));
+    s.push_str(&format!("    \"reps\": {},\n", cfg.reps));
+    s.push_str(&format!("    \"workers\": {},\n", cfg.workers));
+    s.push_str(&format!(
+        "    \"pool\": {{ \"big\": {}, \"little\": {} }},\n",
+        POOL.big, POOL.little
+    ));
+    s.push_str(&format!(
+        "    \"gen\": {{ \"max_tasks\": {}, \"max_weight\": {}, \"min_tasks\": {} }},\n",
+        cfg.gen.max_tasks, cfg.gen.max_weight, MIN_TASKS
+    ));
+    s.push_str(&format!(
+        "    \"twocatac_node_budget\": {}\n",
+        TWOCATAC_NODE_BUDGET
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"strategies\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!(
+            "      \"cold\": {{ \"median_ns\": {}, \"p99_ns\": {}, \"allocs_per_solve\": {:.2} }},\n",
+            r.cold.median_ns, r.cold.p99_ns, r.cold_allocs_per_solve
+        ));
+        s.push_str(&format!(
+            "      \"warm\": {{ \"median_ns\": {}, \"p99_ns\": {}, \"steady_state_allocs\": {} }},\n",
+            r.warm.median_ns, r.warm.p99_ns, r.warm_steady_allocs
+        ));
+        s.push_str(&format!(
+            "      \"warm_sweep\": {{ \"median_ns\": {}, \"p99_ns\": {} }},\n",
+            r.warm_sweep.median_ns, r.warm_sweep.p99_ns
+        ));
+        s.push_str(&format!(
+            "      \"batched\": {{ \"median_ns\": {}, \"p99_ns\": {}, \"allocs_per_solve\": {:.2} }},\n",
+            r.batched.median_ns, r.batched.p99_ns, r.batched_allocs_per_solve
+        ));
+        s.push_str(&format!("      \"warm_speedup\": {:.2},\n", r.warm_speedup));
+        s.push_str(&format!(
+            "      \"sweep_speedup\": {:.2}\n",
+            r.sweep_speedup
+        ));
+        s.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_sched.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}\nusage: perf [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = PerfConfig::new(smoke);
+    let chains = workload(&cfg);
+    let strategies: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Herad::new()),
+        Box::new(Twocatac::with_node_budget(TWOCATAC_NODE_BUDGET)),
+        Box::new(Fertac),
+        Box::new(Otac::big()),
+        Box::new(Otac::little()),
+    ];
+
+    let reports: Vec<StrategyReport> = strategies
+        .iter()
+        .map(|s| {
+            let r = bench_strategy(&**s, &chains, &cfg);
+            eprintln!(
+                "{:<10} cold {:>9} ns  warm {:>7} ns  sweep {:>9} ns  batched {:>9} ns  speedup {:.2}x  warm allocs {}",
+                r.name, r.cold.median_ns, r.warm.median_ns, r.warm_sweep.median_ns,
+                r.batched.median_ns, r.warm_speedup, r.warm_steady_allocs
+            );
+            r
+        })
+        .collect();
+
+    let json = render_json(&cfg, &reports);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+
+    let herad = &reports[0];
+    assert_eq!(herad.name, "HeRAD");
+    if herad.warm_steady_allocs != 0 {
+        eprintln!(
+            "FAIL: warm-scratch HeRAD performed {} heap allocations on the steady state",
+            herad.warm_steady_allocs
+        );
+        std::process::exit(1);
+    }
+    eprintln!("OK: warm-scratch HeRAD steady state is allocation-free");
+}

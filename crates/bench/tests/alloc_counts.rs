@@ -1,0 +1,115 @@
+//! Allocation-regression tests for the scheduler hot paths.
+//!
+//! This test binary installs [`amp_bench::alloc_track::TrackingAllocator`]
+//! as the global allocator and counts *per-thread* heap allocations, so
+//! the assertions hold even when `cargo test` runs tests on several
+//! threads at once. The contract under test: once a [`SchedScratch`] and
+//! output [`Solution`] have warmed up on an instance shape, repeated
+//! solves of that shape perform **zero** heap allocations.
+
+use amp_bench::alloc_track::{self, TrackingAllocator};
+use amp_core::sched::{paper_strategies, PeriodBounds, SchedScratch};
+use amp_core::{Resources, Solution, Task, TaskChain};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn chain() -> TaskChain {
+    TaskChain::new(vec![
+        Task::new(3, 6, false),
+        Task::new(2, 4, true),
+        Task::new(4, 8, true),
+        Task::new(6, 12, true),
+        Task::new(5, 9, false),
+        Task::new(7, 15, true),
+        Task::new(1, 2, true),
+        Task::new(2, 5, false),
+    ])
+}
+
+/// The counting allocator actually counts on this thread.
+#[test]
+fn tracking_allocator_observes_allocations() {
+    let (_v, allocs) = alloc_track::count_thread_allocs(|| vec![1u8, 2, 3]);
+    assert!(allocs >= 1, "a fresh Vec must register at least one alloc");
+    assert!(alloc_track::global_count() >= alloc_track::thread_count());
+}
+
+/// `PeriodBounds::compute` — one call per binary-search solve — performs
+/// no heap allocation (the core-type candidate list is a fixed array).
+#[test]
+fn period_bounds_probe_is_allocation_free() {
+    let c = chain();
+    for resources in [
+        Resources::new(4, 4),
+        Resources::new(1, 0),
+        Resources::new(0, 3),
+    ] {
+        let (bounds, allocs) =
+            alloc_track::count_thread_allocs(|| PeriodBounds::compute(&c, resources));
+        assert!(bounds.is_some());
+        assert_eq!(allocs, 0, "PeriodBounds::compute allocated at {resources}");
+    }
+}
+
+/// Every paper strategy's `schedule_into` is allocation-free once its
+/// scratch and output have warmed up on the instance shape.
+#[test]
+fn warm_schedule_into_is_allocation_free() {
+    let c = chain();
+    let resources = Resources::new(4, 4);
+    for strategy in paper_strategies() {
+        let mut scratch = SchedScratch::new();
+        let mut out = Solution::empty();
+        // Warm-up: the first solves size the DP table and the stage pool.
+        for _ in 0..3 {
+            assert!(strategy.schedule_into(&c, resources, &mut scratch, &mut out));
+        }
+        let reference = out.clone();
+        let ((), allocs) = alloc_track::count_thread_allocs(|| {
+            for _ in 0..10 {
+                assert!(strategy.schedule_into(&c, resources, &mut scratch, &mut out));
+            }
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{}: warm schedule_into allocated on the steady state",
+            strategy.name()
+        );
+        assert_eq!(out, reference, "{}: warm result drifted", strategy.name());
+    }
+}
+
+/// A shape change re-sizes the scratch once, then the new steady state is
+/// allocation-free again.
+#[test]
+fn shape_change_costs_one_warmup_then_none() {
+    let small = TaskChain::new(vec![Task::new(2, 3, true), Task::new(4, 7, false)]);
+    let large = chain();
+    let resources = Resources::new(4, 4);
+    for strategy in paper_strategies() {
+        let mut scratch = SchedScratch::new();
+        let mut out = Solution::empty();
+        for _ in 0..3 {
+            assert!(strategy.schedule_into(&small, resources, &mut scratch, &mut out));
+        }
+        // Growing to the large shape may allocate (table resize)...
+        for _ in 0..3 {
+            assert!(strategy.schedule_into(&large, resources, &mut scratch, &mut out));
+        }
+        // ...but afterwards both shapes are warm.
+        let ((), allocs) = alloc_track::count_thread_allocs(|| {
+            for _ in 0..5 {
+                assert!(strategy.schedule_into(&large, resources, &mut scratch, &mut out));
+                assert!(strategy.schedule_into(&small, resources, &mut scratch, &mut out));
+            }
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{}: alternating warm shapes still allocated",
+            strategy.name()
+        );
+    }
+}

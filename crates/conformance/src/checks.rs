@@ -8,10 +8,10 @@
 
 use crate::instance::Instance;
 use amp_core::sched::{
-    optimal_period, optimal_usage_front, paper_strategies, Fertac, Herad, Otac, Pruning, Scheduler,
-    Twocatac,
+    optimal_period, optimal_usage_front, paper_strategies, schedule_many, Fertac, Herad, Otac,
+    Pruning, SchedScratch, Scheduler, Twocatac,
 };
-use amp_core::{Ratio, Resources, Solution, TaskChain};
+use amp_core::{Ratio, Resources, Solution, Task, TaskChain};
 use amp_service::{Engine, Policy, ScheduleRequest};
 
 /// One conformance violation: a stable code, the offending instance's
@@ -499,12 +499,114 @@ pub fn check_service(engine: &Engine, inst: &Instance) -> Vec<Mismatch> {
     out
 }
 
-/// Runs the library-level checks (differential + metamorphic) on one
-/// instance.
+/// Differential checks of the allocation-free hot paths against the
+/// legacy allocating paths, for every paper strategy:
+///
+/// * `schedule_into` on a *deliberately dirtied* shared scratch — first
+///   warmed on a larger shape, then on a smaller one — must return
+///   bit-identical stages to a fresh `schedule` call (stale DP cells or
+///   pooled stage buffers must never leak into the result);
+/// * `schedule_many` over duplicated jobs must return the same solution
+///   for every copy at every worker count, with no lost or reordered
+///   entries.
+///
+/// Together with [`check_core`] (which pins `schedule` to the exhaustive
+/// oracle) this transitively pins the hot paths to the oracle too.
+#[must_use]
+pub fn check_scratch(inst: &Instance) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let chain = inst.chain();
+    let resources = inst.resources();
+
+    // One shared scratch, dirtied on a shape strictly larger than the
+    // instance and then on a tiny one, so both the grow and the shrink
+    // transitions happen before the instance itself is solved.
+    let warm_large = TaskChain::new(
+        (0..chain.len() + 3)
+            .map(|i| Task::new(1 + i as u64 % 5, 2 + i as u64 % 7, i % 2 == 0))
+            .collect(),
+    );
+    let warm_tiny = TaskChain::new(vec![Task::new(1, 1, true)]);
+    let mut scratch = SchedScratch::new();
+    let mut sink = Solution::empty();
+    for strategy in paper_strategies() {
+        let _ = strategy.schedule_into(
+            &warm_large,
+            Resources::new(inst.big + 2, inst.little + 2),
+            &mut scratch,
+            &mut sink,
+        );
+        let _ = strategy.schedule_into(&warm_tiny, Resources::new(1, 1), &mut scratch, &mut sink);
+    }
+
+    for strategy in paper_strategies() {
+        let name = strategy.name();
+        let legacy = strategy.schedule(&chain, resources);
+
+        let mut warm = Solution::empty();
+        let warm = strategy
+            .schedule_into(&chain, resources, &mut scratch, &mut warm)
+            .then_some(warm);
+        if warm != legacy {
+            out.push(Mismatch::new(
+                "SCRATCH_DIVERGE",
+                inst,
+                format!(
+                    "{name}: warm schedule_into returned {} but schedule computes {}",
+                    fmt_solution(&warm),
+                    fmt_solution(&legacy)
+                ),
+            ));
+        }
+
+        let jobs = vec![(&chain, resources); 3];
+        for workers in [1, 2, 3] {
+            let batch = schedule_many(&*strategy, &jobs, workers);
+            if batch.len() != jobs.len() {
+                out.push(Mismatch::new(
+                    "BATCH_DIVERGE",
+                    inst,
+                    format!(
+                        "{name}: schedule_many returned {} results for {} jobs",
+                        batch.len(),
+                        jobs.len()
+                    ),
+                ));
+                continue;
+            }
+            for (i, got) in batch.iter().enumerate() {
+                if got != &legacy {
+                    out.push(Mismatch::new(
+                        "BATCH_DIVERGE",
+                        inst,
+                        format!(
+                            "{name}: job {i} at {workers} workers returned {} but schedule \
+                             computes {}",
+                            fmt_solution(got),
+                            fmt_solution(&legacy)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn fmt_solution(s: &Option<Solution>) -> String {
+    match s {
+        Some(s) => s.decomposition(),
+        None => "infeasible".to_string(),
+    }
+}
+
+/// Runs the library-level checks (differential + metamorphic + hot-path)
+/// on one instance.
 #[must_use]
 pub fn check_library(inst: &Instance) -> Vec<Mismatch> {
     let mut out = check_core(inst);
     out.extend(check_metamorphic(inst));
+    out.extend(check_scratch(inst));
     out
 }
 

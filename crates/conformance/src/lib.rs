@@ -31,7 +31,9 @@ pub mod json;
 pub mod runner;
 pub mod shrink;
 
-pub use checks::{check_core, check_library, check_metamorphic, check_service, Mismatch};
+pub use checks::{
+    check_core, check_library, check_metamorphic, check_scratch, check_service, Mismatch,
+};
 pub use gen::{instance_for_seed, instance_strategy, task_strategy, GenConfig};
 pub use instance::{Instance, TaskDef};
 pub use runner::{run, Report, RunnerConfig};

@@ -51,4 +51,4 @@ pub use chain::{Task, TaskChain};
 pub use power::PowerModel;
 pub use ratio::Ratio;
 pub use resources::{CoreType, Resources};
-pub use solution::{Solution, Stage, ValidationError};
+pub use solution::{period_of, stages_are_valid, used_cores_of, Solution, Stage, ValidationError};

@@ -4,7 +4,8 @@
 use crate::chain::TaskChain;
 use crate::ratio::Ratio;
 use crate::resources::{CoreType, Resources};
-use crate::solution::Solution;
+use crate::sched::SchedScratch;
+use crate::solution::{period_of, stages_are_valid, Solution, Stage};
 
 /// The closed search interval and tolerance used by [`schedule_binary_search`].
 #[derive(Clone, Copy, Debug)]
@@ -42,10 +43,17 @@ impl PeriodBounds {
         if total == 0 {
             return None;
         }
-        let types: Vec<CoreType> = CoreType::BOTH
-            .into_iter()
-            .filter(|&v| resources.of(v) > 0)
-            .collect();
+        // Fixed-size buffer instead of a `Vec<CoreType>`: bounds are
+        // recomputed on every solve, and the hot path must not allocate.
+        let mut type_buf = [CoreType::Big; 2];
+        let mut n_types = 0;
+        for v in CoreType::BOTH {
+            if resources.of(v) > 0 {
+                type_buf[n_types] = v;
+                n_types += 1;
+            }
+        }
+        let types = &type_buf[..n_types];
         let best_weight = |i: usize| {
             types
                 .iter()
@@ -77,10 +85,66 @@ impl PeriodBounds {
     }
 }
 
-/// `Schedule` (Algorithm 1): binary search for the smallest target period at
-/// which `compute_solution` produces a valid schedule. `compute_solution`
-/// receives the chain, the resources, and the target period, and returns a
-/// (possibly empty = failed) solution.
+/// `Schedule` (Algorithm 1), allocation-free: binary search for the
+/// smallest target period at which `compute_solution` fills a valid stage
+/// list. `compute_solution` receives the chain, the resources, the target
+/// period, the shared scratch, and the stage buffer to fill; it returns
+/// `false` (buffer contents then ignored) when the greedy fails at that
+/// period.
+///
+/// The best stage list so far lives in `out`; probes fill a candidate
+/// buffer rented from `scratch` and the two are swapped on improvement, so
+/// the search itself performs no heap allocation once the scratch pool has
+/// warmed up. Returns `false` — leaving `out` empty — only when no valid
+/// schedule exists at any period.
+pub fn schedule_binary_search_into<F>(
+    chain: &TaskChain,
+    resources: Resources,
+    scratch: &mut SchedScratch,
+    out: &mut Solution,
+    mut compute_solution: F,
+) -> bool
+where
+    F: FnMut(&TaskChain, Resources, Ratio, &mut SchedScratch, &mut Vec<Stage>) -> bool,
+{
+    out.stages_mut().clear();
+    let Some(bounds) = PeriodBounds::compute(chain, resources) else {
+        return false;
+    };
+    let mut p_min = bounds.lower;
+    let mut p_max = bounds.upper;
+
+    // Seed with the guaranteed-feasible upper bound so `p_max` always tracks
+    // the period of a concrete solution.
+    if !compute_solution(chain, resources, p_max, scratch, out.stages_mut())
+        || !stages_are_valid(chain, resources, p_max, out.stages())
+    {
+        out.stages_mut().clear();
+        return false;
+    }
+    p_max = period_of(chain, out.stages());
+
+    let mut candidate = scratch.rent_stages();
+    while p_max.saturating_sub(p_min) >= bounds.epsilon {
+        let p_mid = p_min.midpoint(p_max);
+        let ok = compute_solution(chain, resources, p_mid, scratch, &mut candidate);
+        if ok && stages_are_valid(chain, resources, p_mid, &candidate) {
+            // The target can only decrease from here.
+            p_max = period_of(chain, &candidate);
+            std::mem::swap(out.stages_mut(), &mut candidate);
+        } else {
+            // The target can only increase.
+            p_min = p_mid;
+        }
+    }
+    scratch.return_stages(candidate);
+    true
+}
+
+/// `Schedule` (Algorithm 1): the allocating convenience wrapper around
+/// [`schedule_binary_search_into`]. `compute_solution` receives the chain,
+/// the resources, and the target period, and returns a (possibly empty =
+/// failed) solution.
 ///
 /// Returns `None` only when no valid schedule exists at any period (no
 /// cores, or the greedy fails even at the single-stage upper bound — which
@@ -93,32 +157,21 @@ pub fn schedule_binary_search<F>(
 where
     F: FnMut(&TaskChain, Resources, Ratio) -> Solution,
 {
-    let bounds = PeriodBounds::compute(chain, resources)?;
-    let mut p_min = bounds.lower;
-    let mut p_max = bounds.upper;
-
-    // Seed with the guaranteed-feasible upper bound so `p_max` always tracks
-    // the period of a concrete solution.
-    let seed = compute_solution(chain, resources, p_max);
-    if !seed.is_valid(chain, resources, p_max) {
-        return None;
-    }
-    p_max = seed.period(chain);
-    let mut best = seed;
-
-    while p_max.saturating_sub(p_min) >= bounds.epsilon {
-        let p_mid = p_min.midpoint(p_max);
-        let candidate = compute_solution(chain, resources, p_mid);
-        if candidate.is_valid(chain, resources, p_mid) {
-            // The target can only decrease from here.
-            p_max = candidate.period(chain);
-            best = candidate;
-        } else {
-            // The target can only increase.
-            p_min = p_mid;
-        }
-    }
-    Some(best)
+    let mut scratch = SchedScratch::new();
+    let mut out = Solution::empty();
+    schedule_binary_search_into(
+        chain,
+        resources,
+        &mut scratch,
+        &mut out,
+        |c, r, p, _scratch, buf| {
+            let s = compute_solution(c, r, p);
+            buf.clear();
+            buf.extend_from_slice(s.stages());
+            !buf.is_empty()
+        },
+    )
+    .then_some(out)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 use crate::chain::TaskChain;
 use crate::ratio::Ratio;
 use crate::resources::{CoreType, Resources};
-use crate::sched::Scheduler;
+use crate::sched::{SchedScratch, Scheduler};
 use crate::solution::{Solution, Stage};
 
 /// Exhaustive optimal scheduler for tiny instances (tests only, O(exp)).
@@ -26,11 +26,28 @@ impl Scheduler for BruteForce {
         "BruteForce"
     }
 
-    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution> {
+    // The oracle is tests-only and exponential anyway, so it ignores the
+    // scratch and allocates freely — only the result contract matters.
+    fn schedule_into(
+        &self,
+        chain: &TaskChain,
+        resources: Resources,
+        _scratch: &mut SchedScratch,
+        out: &mut Solution,
+    ) -> bool {
         let mut best: Option<(Ratio, Resources, Solution)> = None;
         let mut stages = Vec::new();
         explore(chain, 0, resources, Ratio::ZERO, &mut stages, &mut best);
-        best.map(|(_, _, s)| s)
+        match best {
+            Some((_, _, s)) => {
+                *out = s;
+                true
+            }
+            None => {
+                out.stages_mut().clear();
+                false
+            }
+        }
     }
 }
 

@@ -6,9 +6,9 @@
 use crate::chain::TaskChain;
 use crate::ratio::Ratio;
 use crate::resources::{CoreType, Resources};
-use crate::sched::binary_search::schedule_binary_search;
+use crate::sched::binary_search::schedule_binary_search_into;
 use crate::sched::support::{compute_stage, stage_fits};
-use crate::sched::Scheduler;
+use crate::sched::{SchedScratch, Scheduler};
 use crate::solution::{Solution, Stage};
 
 /// The FERTAC scheduler. Stateless; construct freely.
@@ -20,40 +20,51 @@ impl Scheduler for Fertac {
         "FERTAC"
     }
 
-    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution> {
-        schedule_binary_search(chain, resources, |c, r, p| compute_solution(c, 0, r, p))
+    fn schedule_into(
+        &self,
+        chain: &TaskChain,
+        resources: Resources,
+        scratch: &mut SchedScratch,
+        out: &mut Solution,
+    ) -> bool {
+        schedule_binary_search_into(chain, resources, scratch, out, |c, r, p, _scratch, buf| {
+            compute_solution_into(c, r, p, buf)
+        })
     }
 }
 
-/// `ComputeSolution` for FERTAC (Algorithm 4): builds the stage starting at
-/// `start` with little cores, retries with big cores if that fails, then
-/// recurses on the remaining tasks. Returns the empty solution on failure.
-fn compute_solution(
+/// `ComputeSolution` for FERTAC (Algorithm 4): builds each stage with
+/// little cores first, falling back to big cores when the target period
+/// cannot be respected otherwise. Algorithm 4's recursion is linear — a
+/// stage never has to be revisited once its successor stages are built, and
+/// a non-empty suffix is always valid at the target — so this runs it as a
+/// left-to-right loop filling `out` in chain order, with no allocation
+/// beyond the caller's buffer. Returns `false` (clearing `out`) on failure.
+fn compute_solution_into(
     chain: &TaskChain,
-    start: usize,
     resources: Resources,
     target: Ratio,
-) -> Solution {
+    out: &mut Vec<Stage>,
+) -> bool {
+    out.clear();
     let n = chain.len();
-    // Little cores first; big cores only when the little stage is invalid.
-    let mut stage = try_stage(chain, start, resources, CoreType::Little, target);
-    if stage.is_none() {
-        stage = try_stage(chain, start, resources, CoreType::Big, target);
+    let mut start = 0;
+    let mut left = resources;
+    while start < n {
+        // Little cores first; big cores only when the little stage is invalid.
+        let mut stage = try_stage(chain, start, left, CoreType::Little, target);
+        if stage.is_none() {
+            stage = try_stage(chain, start, left, CoreType::Big, target);
+        }
+        let Some(stage) = stage else {
+            out.clear();
+            return false;
+        };
+        out.push(stage);
+        left = left.minus(stage.core_type, stage.cores);
+        start = stage.end + 1;
     }
-    let Some(stage) = stage else {
-        return Solution::empty();
-    };
-    if stage.end == n - 1 {
-        return Solution::new(vec![stage]);
-    }
-    let remaining = resources.minus(stage.core_type, stage.cores);
-    let mut rest = compute_solution(chain, stage.end + 1, remaining, target);
-    if rest.is_valid(chain, remaining, target) {
-        rest.prepend(stage);
-        rest
-    } else {
-        Solution::empty()
-    }
+    true
 }
 
 /// Builds one stage with cores of type `v`, returning it only when valid.

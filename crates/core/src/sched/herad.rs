@@ -18,7 +18,7 @@
 use crate::chain::TaskChain;
 use crate::ratio::Ratio;
 use crate::resources::{CoreType, Resources};
-use crate::sched::Scheduler;
+use crate::sched::{SchedScratch, Scheduler};
 use crate::solution::{Solution, Stage};
 
 /// Candidate-skipping policy for HeRAD's inner loops.
@@ -64,10 +64,23 @@ impl Herad {
     /// extracting the schedule.
     #[must_use]
     pub fn optimal_period(&self, chain: &TaskChain, resources: Resources) -> Option<Ratio> {
+        let mut scratch = SchedScratch::new();
+        self.optimal_period_with(chain, resources, &mut scratch)
+    }
+
+    /// [`Herad::optimal_period`] reusing the caller's scratch
+    /// (allocation-free once the DP table has warmed up).
+    #[must_use]
+    pub fn optimal_period_with(
+        &self,
+        chain: &TaskChain,
+        resources: Resources,
+        scratch: &mut SchedScratch,
+    ) -> Option<Ratio> {
         if resources.is_exhausted() {
             return None;
         }
-        let dp = Dp::run(chain, resources, self.pruning);
+        let dp = Dp::run(chain, resources, self.pruning, &mut scratch.herad_cells);
         let p = dp.cell(chain.len(), resources.big, resources.little).pbest;
         p.is_finite().then_some(p)
     }
@@ -78,19 +91,59 @@ impl Scheduler for Herad {
         "HeRAD"
     }
 
-    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution> {
+    /// Consults the scratch's replay memo first: when the instance is
+    /// bit-identical to the previous solve (same weights, replicability,
+    /// pool and pruning), the stored solution is replayed verbatim —
+    /// the DP is deterministic, so the replay *is* the recomputation.
+    /// Any difference falls through to a full solve, which then refreshes
+    /// the memo.
+    fn schedule_into(
+        &self,
+        chain: &TaskChain,
+        resources: Resources,
+        scratch: &mut SchedScratch,
+        out: &mut Solution,
+    ) -> bool {
+        out.stages_mut().clear();
         if resources.is_exhausted() {
-            return None;
+            return false;
         }
-        let dp = Dp::run(chain, resources, self.pruning);
-        dp.extract_solution(chain)
-            .map(|s| s.merged_replicable_stages(chain))
+        if let Some(memo) = &scratch.herad_memo {
+            if memo.matches(self.pruning, chain, resources) {
+                out.stages_mut().extend_from_slice(&memo.stages);
+                return memo.feasible;
+            }
+        }
+        let feasible = {
+            let dp = Dp::run(chain, resources, self.pruning, &mut scratch.herad_cells);
+            dp.extract_solution_into(chain, out.stages_mut())
+        };
+        if feasible {
+            out.merge_replicable_stages_in_place(chain);
+        }
+        let memo = scratch
+            .herad_memo
+            .get_or_insert_with(crate::sched::scratch::HeradMemo::empty);
+        memo.pruning = self.pruning;
+        memo.resources = resources;
+        memo.feasible = feasible;
+        memo.tasks.clear();
+        memo.tasks.extend(
+            chain
+                .tasks()
+                .iter()
+                .map(|t| (t.weight_big, t.weight_little, t.replicable)),
+        );
+        memo.stages.clear();
+        memo.stages.extend_from_slice(out.stages());
+        feasible
     }
 }
 
 /// One cell of the solution matrix `S[j][b][l]` (Algorithm 7, lines 1–7).
+/// `pub(crate)` so [`SchedScratch`] can park the table between runs.
 #[derive(Clone, Copy, Debug)]
-struct Cell {
+pub(crate) struct Cell {
     /// `S_Pbest`: minimal maximum period.
     pbest: Ratio,
     /// `S_prev`: big and little cores available to the previous stages.
@@ -148,24 +201,52 @@ fn compare_cells(c: Cell, n: Cell) -> Cell {
     }
 }
 
-struct Dp {
-    cells: Vec<Cell>,
+struct Dp<'a> {
+    cells: &'a mut Vec<Cell>,
     b: usize,
     l: usize,
     resources: Resources,
 }
 
-impl Dp {
-    fn run(chain: &TaskChain, resources: Resources, pruning: Pruning) -> Dp {
+impl<'a> Dp<'a> {
+    /// Runs the DP on a caller-provided cell table, growing it when the
+    /// shape needs more cells but never refilling what it already has.
+    ///
+    /// Skipping the full `EMPTY_CELL` fill is safe because the recurrence
+    /// writes every cell it will ever read *within the same run*:
+    /// `single_stage_solution(t)` overwrites all of row `t` except
+    /// `(t, 0, 0)` before `recompute_cell` touches row `t`, prefix reads
+    /// only reach rows already recomputed (or the virtual `ZERO_CELL`),
+    /// and extraction follows only finite cells, whose back-pointers were
+    /// written this run. The single exception — the `(j, 0, 0)` column,
+    /// read by `single_stage_solution`'s big-core loop at `rl == 0` and
+    /// by neighbour propagation — is reset explicitly below. Stale cells
+    /// from an earlier, differently-shaped run (even ones holding finite
+    /// periods at remapped indices) are therefore never observed, and a
+    /// warm run is bit-for-bit identical to a cold one.
+    fn run(
+        chain: &TaskChain,
+        resources: Resources,
+        pruning: Pruning,
+        cells: &'a mut Vec<Cell>,
+    ) -> Dp<'a> {
         let n = chain.len();
         let b = usize::try_from(resources.big).expect("core count fits usize");
         let l = usize::try_from(resources.little).expect("core count fits usize");
+        let len = n * (b + 1) * (l + 1);
+        if cells.len() < len {
+            cells.resize(len, EMPTY_CELL);
+        }
         let mut dp = Dp {
-            cells: vec![EMPTY_CELL; n * (b + 1) * (l + 1)],
+            cells,
             b,
             l,
             resources,
         };
+        for j in 1..=n {
+            let i = dp.idx(j, 0, 0);
+            dp.cells[i] = EMPTY_CELL;
+        }
         dp.single_stage_solution(chain, 1);
         for j in 2..=n {
             dp.single_stage_solution(chain, j);
@@ -354,14 +435,16 @@ impl Dp {
 
     /// `ExtractSolution` (Algorithm 11): walks the matrix backwards from
     /// `S[n][b][l]`, reconstructing each stage's interval, core type and
-    /// core count (from the difference of accumulated usages).
-    fn extract_solution(&self, chain: &TaskChain) -> Option<Solution> {
+    /// core count (from the difference of accumulated usages) into the
+    /// caller's buffer. Returns `false` (buffer left empty) when the
+    /// instance is infeasible.
+    fn extract_solution_into(&self, chain: &TaskChain, stages: &mut Vec<Stage>) -> bool {
+        stages.clear();
         let n = chain.len();
         let final_cell = self.cell(n, self.resources.big, self.resources.little);
         if final_cell.pbest.is_infinite() {
-            return None;
+            return false;
         }
-        let mut stages = Vec::new();
         let mut e = n;
         let mut rb = self.resources.big;
         let mut rl = self.resources.little;
@@ -387,7 +470,7 @@ impl Dp {
             rl = pl;
         }
         stages.reverse();
-        Some(Solution::new(stages))
+        true
     }
 }
 
@@ -514,6 +597,121 @@ mod tests {
         let s = Herad::new().schedule(&c, Resources::new(3, 0)).unwrap();
         assert_eq!(s.num_stages(), 1);
         assert_eq!(s.period(&c), Ratio::from_int(10));
+    }
+
+    #[test]
+    fn scratch_reuse_across_shrinking_and_growing_shapes_matches_fresh() {
+        // One shared scratch across instances whose (n, B, L) shrink and
+        // grow between calls: stale DP cells from a larger run must never
+        // leak into a smaller one — every warm answer is bit-identical to
+        // a fresh allocating solve.
+        let wide = TaskChain::new(vec![
+            Task::new(5, 5, true),
+            Task::new(3, 9, false),
+            Task::new(8, 8, true),
+            Task::new(2, 7, true),
+            Task::new(6, 6, false),
+            Task::new(1, 4, true),
+            Task::new(9, 9, true),
+        ]);
+        let tiny = TaskChain::new(vec![Task::new(7, 9, true)]);
+        let unit = TaskChain::new(vec![Task::new(1, 1, false)]);
+        let shapes: Vec<(&TaskChain, Resources)> = vec![
+            (&wide, Resources::new(4, 4)), // big table
+            (&tiny, Resources::new(1, 1)), // n shrinks 7 -> 1
+            (&wide, Resources::new(1, 0)), // pool shrinks to (1, 0)
+            (&wide, Resources::new(6, 2)), // pool grows past the first shape
+            (&unit, Resources::new(0, 1)), // everything shrinks at once
+            (&unit, Resources::new(0, 0)), // infeasible in between
+            (&wide, Resources::new(4, 4)), // back to the big shape
+        ];
+        for pruning in [Pruning::None, Pruning::Lossless, Pruning::Aggressive] {
+            let mut scratch = SchedScratch::new();
+            let mut out = Solution::empty();
+            for &(c, r) in &shapes {
+                let herad = Herad::with_pruning(pruning);
+                let warm = herad
+                    .schedule_into(c, r, &mut scratch, &mut out)
+                    .then(|| out.clone());
+                assert_eq!(
+                    warm,
+                    herad.schedule(c, r),
+                    "warm {pruning:?} diverges from fresh at {r}"
+                );
+                assert_eq!(
+                    herad.optimal_period_with(c, r, &mut scratch),
+                    herad.optimal_period(c, r),
+                    "warm optimal_period diverges at {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_memo_never_hits_on_near_miss_instances() {
+        // Each instance differs from the previous one in exactly one
+        // component of the memo key (a weight, the replicable flag, the
+        // pool, the pruning); every warm answer must match a fresh solve,
+        // i.e. the memo must detect the difference and recompute.
+        let base = vec![
+            Task::new(3, 6, false),
+            Task::new(2, 4, true),
+            Task::new(4, 8, true),
+        ];
+        let mut bumped_weight = base.clone();
+        bumped_weight[1].weight_little += 1;
+        let mut flipped_rep = base.clone();
+        flipped_rep[2].replicable = false;
+        let chains = [
+            TaskChain::new(base.clone()),
+            TaskChain::new(bumped_weight),
+            TaskChain::new(flipped_rep),
+            TaskChain::new(base),
+        ];
+        let mut scratch = SchedScratch::new();
+        let mut out = Solution::empty();
+        for pruning in [Pruning::Aggressive, Pruning::Lossless] {
+            for chain in &chains {
+                for r in [Resources::new(2, 2), Resources::new(2, 1)] {
+                    let herad = Herad::with_pruning(pruning);
+                    let warm = herad
+                        .schedule_into(chain, r, &mut scratch, &mut out)
+                        .then(|| out.clone());
+                    assert_eq!(warm, herad.schedule(chain, r), "memo leaked at {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_memo_ignores_task_names() {
+        // Scheduling depends only on weights and replicability, so the
+        // memo key deliberately drops names: a renamed copy of the same
+        // chain may replay, and the replay must equal its fresh solve.
+        let mut named = vec![Task::new(5, 9, true), Task::new(2, 2, false)];
+        named[0].name = "acquire".into();
+        named[1].name = "decode".into();
+        let anon = TaskChain::new(vec![Task::new(5, 9, true), Task::new(2, 2, false)]);
+        let named = TaskChain::new(named);
+        let r = Resources::new(2, 2);
+        let mut scratch = SchedScratch::new();
+        let mut out = Solution::empty();
+        assert!(Herad::new().schedule_into(&anon, r, &mut scratch, &mut out));
+        assert!(Herad::new().schedule_into(&named, r, &mut scratch, &mut out));
+        assert_eq!(Some(out.clone()), Herad::new().schedule(&named, r));
+    }
+
+    #[test]
+    fn repeated_warm_solves_are_stable() {
+        let c = chain();
+        let r = Resources::new(3, 2);
+        let cold = Herad::new().schedule(&c, r).unwrap();
+        let mut scratch = SchedScratch::new();
+        let mut out = Solution::empty();
+        for _ in 0..5 {
+            assert!(Herad::new().schedule_into(&c, r, &mut scratch, &mut out));
+            assert_eq!(out, cold);
+        }
     }
 
     #[test]

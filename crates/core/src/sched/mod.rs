@@ -2,11 +2,13 @@
 //! 2CATAC (Section IV), the optimal dynamic program HeRAD (Section V), the
 //! homogeneous baseline OTAC, and an exhaustive oracle for tests.
 
+pub mod batch;
 pub mod binary_search;
 pub mod brute;
 pub mod fertac;
 pub mod herad;
 pub mod otac;
+pub mod scratch;
 pub mod support;
 pub mod twocatac;
 
@@ -14,22 +16,50 @@ use crate::chain::TaskChain;
 use crate::resources::Resources;
 use crate::solution::Solution;
 
-pub use binary_search::{schedule_binary_search, PeriodBounds};
+pub use batch::{schedule_chains, schedule_many};
+pub use binary_search::{schedule_binary_search, schedule_binary_search_into, PeriodBounds};
 pub use brute::{all_optimal_solutions, optimal_period, optimal_usage_front, BruteForce};
 pub use fertac::Fertac;
 pub use herad::{Herad, Pruning};
 pub use otac::Otac;
+pub use scratch::SchedScratch;
 pub use twocatac::Twocatac;
 
 /// A scheduling strategy: maps a task chain and a resource pool to a
 /// pipelined/replicated solution (or `None` when no valid mapping exists,
 /// e.g. without cores).
-pub trait Scheduler {
+///
+/// [`Scheduler::schedule_into`] is the hot path: it reuses the caller's
+/// [`SchedScratch`] and output [`Solution`], so repeated solves allocate
+/// nothing once those have warmed up on the largest shape seen.
+/// [`Scheduler::schedule`] is the allocating convenience wrapper. Both
+/// return bit-identical solutions — the conformance suite pins that.
+///
+/// `Send + Sync` is a supertrait so strategies (all stateless values) can
+/// be shared across the [`schedule_many`] worker pool as trait objects.
+pub trait Scheduler: Send + Sync {
     /// Display name, matching the paper's tables (`HeRAD`, `2CATAC`, ...).
     fn name(&self) -> &'static str;
 
-    /// Computes a schedule for `chain` on `resources`.
-    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution>;
+    /// Computes a schedule for `chain` on `resources` into `out`,
+    /// reusing `scratch`'s buffers. Returns `false` — leaving `out`
+    /// empty — when no valid mapping exists.
+    fn schedule_into(
+        &self,
+        chain: &TaskChain,
+        resources: Resources,
+        scratch: &mut SchedScratch,
+        out: &mut Solution,
+    ) -> bool;
+
+    /// Computes a schedule for `chain` on `resources`, allocating fresh
+    /// scratch and output (the legacy signature).
+    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution> {
+        let mut scratch = SchedScratch::new();
+        let mut out = Solution::empty();
+        self.schedule_into(chain, resources, &mut scratch, &mut out)
+            .then_some(out)
+    }
 }
 
 /// The paper's five evaluated strategies, in Table I order, as trait

@@ -10,9 +10,9 @@
 use crate::chain::TaskChain;
 use crate::ratio::Ratio;
 use crate::resources::{CoreType, Resources};
-use crate::sched::binary_search::schedule_binary_search;
+use crate::sched::binary_search::schedule_binary_search_into;
 use crate::sched::support::{compute_stage, stage_fits};
-use crate::sched::Scheduler;
+use crate::sched::{SchedScratch, Scheduler};
 use crate::solution::{Solution, Stage};
 
 /// OTAC on a single core type. `Otac::big()` ignores little cores;
@@ -54,33 +54,49 @@ impl Scheduler for Otac {
         }
     }
 
-    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution> {
+    fn schedule_into(
+        &self,
+        chain: &TaskChain,
+        resources: Resources,
+        scratch: &mut SchedScratch,
+        out: &mut Solution,
+    ) -> bool {
         let v = self.core_type;
         let masked = match v {
             CoreType::Big => Resources::new(resources.big, 0),
             CoreType::Little => Resources::new(0, resources.little),
         };
-        schedule_binary_search(chain, masked, |c, r, p| greedy(c, r, v, p))
+        schedule_binary_search_into(chain, masked, scratch, out, |c, r, p, _scratch, buf| {
+            greedy_into(c, r, v, p, buf)
+        })
     }
 }
 
 /// Greedy stage construction over a single core type (OTAC's
-/// ComputeSolution).
-fn greedy(chain: &TaskChain, resources: Resources, v: CoreType, target: Ratio) -> Solution {
+/// ComputeSolution), filling the caller's buffer. Returns `false`
+/// (clearing `out`) when the target period is unreachable.
+fn greedy_into(
+    chain: &TaskChain,
+    resources: Resources,
+    v: CoreType,
+    target: Ratio,
+    out: &mut Vec<Stage>,
+) -> bool {
+    out.clear();
     let n = chain.len();
-    let mut stages = Vec::new();
     let mut left = resources.of(v);
     let mut start = 0;
     while start < n {
         let (end, used) = compute_stage(chain, start, left, v, target);
         if !stage_fits(chain, start, end, used, left, v, target) {
-            return Solution::empty();
+            out.clear();
+            return false;
         }
-        stages.push(Stage::new(start, end, used, v));
+        out.push(Stage::new(start, end, used, v));
         left -= used;
         start = end + 1;
     }
-    Solution::new(stages)
+    true
 }
 
 #[cfg(test)]

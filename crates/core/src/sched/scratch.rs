@@ -1,0 +1,139 @@
+//! Reusable scheduling scratch: the arena that makes repeated solves
+//! allocation-free.
+//!
+//! Every strategy's hot path ([`Scheduler::schedule_into`]) threads a
+//! [`SchedScratch`] through its internals instead of allocating:
+//!
+//! * HeRAD parks its `n·(B+1)·(L+1)` DP cell table here and only *grows*
+//!   it, never refilling cells that the recurrence overwrites anyway (see
+//!   `herad::Dp::run` for the staleness argument);
+//! * the `Schedule` binary search rents its candidate stage buffer from
+//!   the pool instead of building a fresh `Solution` per probe;
+//! * 2CATAC's two-choice recursion rents one stage buffer per candidate
+//!   per node and returns them on unwind, so the pool high-water mark is
+//!   `O(n)` and steady-state recursion allocates nothing.
+//!
+//! A scratch is reusable memory plus one *replay memo*: HeRAD remembers
+//! the last instance it solved (weights, replicability, pool, pruning)
+//! and replays the stored solution verbatim when the very next solve is
+//! the identical instance — the steady state of service resubmissions
+//! and portfolio re-solves. The memo never changes observable behaviour:
+//! a hit replays exactly what recomputation would produce (the DP is
+//! deterministic), a near-miss (any weight, flag, pool or pruning
+//! difference) recomputes. Scratches may be shared freely across
+//! strategies and across instances of *different* shapes (smaller or
+//! larger `n`, `B`, `L`), and always yield bit-identical solutions to
+//! the allocating paths — the conformance suite pins exactly that.
+//!
+//! [`Scheduler::schedule_into`]: crate::sched::Scheduler::schedule_into
+
+use crate::chain::TaskChain;
+use crate::resources::Resources;
+use crate::sched::herad::{Cell, Pruning};
+use crate::solution::Stage;
+
+/// HeRAD's last-solve replay memo. Task names are deliberately excluded
+/// from the key: scheduling depends only on weights and replicability,
+/// and storing `(u64, u64, bool)` projections keeps memo updates
+/// allocation-free on the steady state (no `String` clones).
+#[derive(Debug)]
+pub(crate) struct HeradMemo {
+    pub(crate) pruning: Pruning,
+    pub(crate) resources: Resources,
+    pub(crate) tasks: Vec<(u64, u64, bool)>,
+    pub(crate) stages: Vec<Stage>,
+    pub(crate) feasible: bool,
+}
+
+impl HeradMemo {
+    pub(crate) fn empty() -> Self {
+        HeradMemo {
+            pruning: Pruning::Aggressive,
+            resources: Resources { big: 0, little: 0 },
+            tasks: Vec::new(),
+            stages: Vec::new(),
+            feasible: false,
+        }
+    }
+
+    /// Whether the memo holds the solve of exactly this instance.
+    pub(crate) fn matches(
+        &self,
+        pruning: Pruning,
+        chain: &TaskChain,
+        resources: Resources,
+    ) -> bool {
+        self.pruning == pruning
+            && self.resources == resources
+            && self.tasks.len() == chain.len()
+            && self
+                .tasks
+                .iter()
+                .zip(chain.tasks())
+                .all(|(&(wb, wl, rep), t)| {
+                    wb == t.weight_big && wl == t.weight_little && rep == t.replicable
+                })
+    }
+}
+
+/// Reusable buffers for the scheduling hot paths. See the module docs.
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    /// HeRAD's DP cell table (grow-only; stale cells are provably
+    /// overwritten before any read).
+    pub(crate) herad_cells: Vec<Cell>,
+    /// HeRAD's last-solve replay memo (see [`HeradMemo`]).
+    pub(crate) herad_memo: Option<HeradMemo>,
+    /// Free-list of stage buffers for the binary search and the greedy
+    /// recursions.
+    stage_pool: Vec<Vec<Stage>>,
+}
+
+impl SchedScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        SchedScratch::default()
+    }
+
+    /// Rents a cleared stage buffer from the pool (allocation-free once
+    /// the pool has warmed up).
+    pub(crate) fn rent_stages(&mut self) -> Vec<Stage> {
+        let mut buf = self.stage_pool.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a rented buffer to the pool for reuse.
+    pub(crate) fn return_stages(&mut self, buf: Vec<Stage>) {
+        self.stage_pool.push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::CoreType;
+
+    #[test]
+    fn rented_buffers_come_back_cleared_with_capacity() {
+        let mut scratch = SchedScratch::new();
+        let mut buf = scratch.rent_stages();
+        buf.extend((0..32).map(|i| Stage::new(i, i, 1, CoreType::Big)));
+        let cap = buf.capacity();
+        scratch.return_stages(buf);
+        let again = scratch.rent_stages();
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap, "capacity must be preserved");
+    }
+
+    #[test]
+    fn pool_hands_out_distinct_buffers() {
+        let mut scratch = SchedScratch::new();
+        let a = scratch.rent_stages();
+        let b = scratch.rent_stages();
+        scratch.return_stages(a);
+        scratch.return_stages(b);
+        assert_eq!(scratch.stage_pool.len(), 2);
+    }
+}

@@ -6,10 +6,10 @@
 use crate::chain::TaskChain;
 use crate::ratio::Ratio;
 use crate::resources::{CoreType, Resources};
-use crate::sched::binary_search::schedule_binary_search;
+use crate::sched::binary_search::schedule_binary_search_into;
 use crate::sched::support::{compute_stage, stage_fits};
-use crate::sched::Scheduler;
-use crate::solution::{Solution, Stage};
+use crate::sched::{SchedScratch, Scheduler};
+use crate::solution::{stages_are_valid, used_cores_of, Solution, Stage};
 
 /// The 2CATAC scheduler.
 ///
@@ -45,31 +45,50 @@ impl Scheduler for Twocatac {
         "2CATAC"
     }
 
-    fn schedule(&self, chain: &TaskChain, resources: Resources) -> Option<Solution> {
-        schedule_binary_search(chain, resources, |c, r, p| {
+    fn schedule_into(
+        &self,
+        chain: &TaskChain,
+        resources: Resources,
+        scratch: &mut SchedScratch,
+        out: &mut Solution,
+    ) -> bool {
+        schedule_binary_search_into(chain, resources, scratch, out, |c, r, p, s, buf| {
             let mut nodes_left = self.node_budget.unwrap_or(u64::MAX);
-            compute_solution(c, 0, r, p, &mut nodes_left)
+            compute_solution_into(c, 0, r, p, &mut nodes_left, s, buf)
         })
     }
 }
 
 /// `ComputeSolution` for 2CATAC (Algorithm 5): builds the stage starting at
 /// `start` once per core type, recurses on both, and keeps the better
-/// combined solution.
-fn compute_solution(
+/// combined solution in `out`. The branch buffers are rented from the
+/// scratch stage pool, so a deep search reuses a handful of vectors instead
+/// of allocating one per node. Returns `false` (clearing `out`) when
+/// neither branch yields a valid suffix.
+fn compute_solution_into(
     chain: &TaskChain,
     start: usize,
     resources: Resources,
     target: Ratio,
     nodes_left: &mut u64,
-) -> Solution {
+    scratch: &mut SchedScratch,
+    out: &mut Vec<Stage>,
+) -> bool {
+    out.clear();
     if *nodes_left == 0 {
-        return Solution::empty();
+        return false;
     }
     *nodes_left -= 1;
     let n = chain.len();
-    let mut candidates = [Solution::empty(), Solution::empty()];
+    let mut big = scratch.rent_stages();
+    let mut little = scratch.rent_stages();
+    let mut filled = [false, false];
     for (slot, v) in CoreType::BOTH.into_iter().enumerate() {
+        let buf = if v == CoreType::Big {
+            &mut big
+        } else {
+            &mut little
+        };
         let available = resources.of(v);
         let (end, used) = compute_stage(chain, start, available, v, target);
         if !stage_fits(chain, start, end, used, available, v, target) {
@@ -77,24 +96,77 @@ fn compute_solution(
         }
         let stage = Stage::new(start, end, used, v);
         if end == n - 1 {
-            candidates[slot] = Solution::new(vec![stage]);
+            buf.clear();
+            buf.push(stage);
+            filled[slot] = true;
             continue;
         }
         let remaining = resources.minus(v, used);
-        let mut rest = compute_solution(chain, end + 1, remaining, target, nodes_left);
-        if rest.is_valid(chain, remaining, target) {
-            rest.prepend(stage);
-            candidates[slot] = rest;
+        if compute_solution_into(chain, end + 1, remaining, target, nodes_left, scratch, buf)
+            && stages_are_valid(chain, remaining, target, buf)
+        {
+            buf.insert(0, stage); // the `·` concatenation of Algorithm 5
+            filled[slot] = true;
         }
     }
-    let [big, little] = candidates;
-    choose_best_solution(big, little, chain, resources, target)
+    let big_valid = filled[0] && stages_are_valid(chain, resources, target, &big);
+    let little_valid = filled[1] && stages_are_valid(chain, resources, target, &little);
+    let winner = choose_winner(
+        big_valid,
+        little_valid,
+        used_cores_of(&big),
+        used_cores_of(&little),
+    );
+    let ok = match winner {
+        Some(CoreType::Big) => {
+            std::mem::swap(out, &mut big);
+            true
+        }
+        Some(CoreType::Little) => {
+            std::mem::swap(out, &mut little);
+            true
+        }
+        None => false,
+    };
+    scratch.return_stages(big);
+    scratch.return_stages(little);
+    ok
 }
 
-/// `ChooseBestSolution` (Algorithm 6): picks among the big-built and
-/// little-built solutions the valid one; when both are valid, the one that
-/// better exchanges big cores for little ones, then the one using fewer
-/// cores in total (ties favour the little-built solution).
+/// The decision core of `ChooseBestSolution` (Algorithm 6) on usage
+/// summaries alone: which of the big-built / little-built candidates wins,
+/// or `None` when neither is valid. When both are valid: prefer the one
+/// that better exchanges big cores for little ones, then the one using
+/// fewer cores in total (ties favour the little-built solution).
+fn choose_winner(
+    big_valid: bool,
+    little_valid: bool,
+    ub: Resources,
+    ul: Resources,
+) -> Option<CoreType> {
+    match (big_valid, little_valid) {
+        (true, false) => Some(CoreType::Big),
+        (false, true) => Some(CoreType::Little),
+        (false, false) => None,
+        (true, true) => {
+            if ub.little > ul.little && ub.big < ul.big {
+                // the big-built solution makes better usage of little cores
+                Some(CoreType::Big)
+            } else if ub.little < ul.little && ub.big > ul.big {
+                Some(CoreType::Little)
+            } else if ub.total() < ul.total() {
+                Some(CoreType::Big) // fewer cores in total
+            } else {
+                Some(CoreType::Little)
+            }
+        }
+    }
+}
+
+/// `ChooseBestSolution` (Algorithm 6) on whole solutions — the allocating
+/// twin of [`choose_winner`], kept so tests can exercise the Algorithm 6
+/// ordering on hand-built solutions.
+#[cfg(test)]
 fn choose_best_solution(
     s_big: Solution,
     s_little: Solution,
@@ -102,25 +174,15 @@ fn choose_best_solution(
     resources: Resources,
     target: Ratio,
 ) -> Solution {
-    let big_valid = s_big.is_valid(chain, resources, target);
-    let little_valid = s_little.is_valid(chain, resources, target);
-    match (big_valid, little_valid) {
-        (true, false) => s_big,
-        (false, true) => s_little,
-        (false, false) => Solution::empty(),
-        (true, true) => {
-            let ub = s_big.used_cores();
-            let ul = s_little.used_cores();
-            if ub.little > ul.little && ub.big < ul.big {
-                s_big // the big-built solution makes better usage of little cores
-            } else if ub.little < ul.little && ub.big > ul.big {
-                s_little
-            } else if ub.total() < ul.total() {
-                s_big // fewer cores in total
-            } else {
-                s_little
-            }
-        }
+    match choose_winner(
+        s_big.is_valid(chain, resources, target),
+        s_little.is_valid(chain, resources, target),
+        s_big.used_cores(),
+        s_little.used_cores(),
+    ) {
+        Some(CoreType::Big) => s_big,
+        Some(CoreType::Little) => s_little,
+        None => Solution::empty(),
     }
 }
 

@@ -138,6 +138,51 @@ impl fmt::Display for ValidationError {
 
 impl std::error::Error for ValidationError {}
 
+/// The period of a stage slice (Eq. (2)): the largest stage weight, or
+/// infinity for an empty slice. Slice-level twin of [`Solution::period`]
+/// for hot paths that work on rented buffers instead of [`Solution`]s.
+#[must_use]
+pub fn period_of(chain: &TaskChain, stages: &[Stage]) -> Ratio {
+    stages
+        .iter()
+        .map(|s| s.weight(chain))
+        .max()
+        .unwrap_or(Ratio::INFINITY)
+}
+
+/// Cores used per type by a stage slice. Slice-level twin of
+/// [`Solution::used_cores`].
+#[must_use]
+pub fn used_cores_of(stages: &[Stage]) -> Resources {
+    let mut used = Resources::new(0, 0);
+    for s in stages {
+        match s.core_type {
+            CoreType::Big => used.big += s.cores,
+            CoreType::Little => used.little += s.cores,
+        }
+    }
+    used
+}
+
+/// `IsValid` (Algorithm 3) over a stage slice: non-empty, period within
+/// `target`, resource constraints of Eq. (3). Slice-level twin of
+/// [`Solution::is_valid`].
+#[must_use]
+pub fn stages_are_valid(
+    chain: &TaskChain,
+    resources: Resources,
+    target: Ratio,
+    stages: &[Stage],
+) -> bool {
+    if stages.is_empty() {
+        return false;
+    }
+    let used = used_cores_of(stages);
+    used.big <= resources.big
+        && used.little <= resources.little
+        && period_of(chain, stages) <= target
+}
+
 /// A complete pipelined/replicated mapping of a task chain.
 ///
 /// Invariants (checked by [`Solution::validate`]): stages are contiguous,
@@ -167,6 +212,13 @@ impl Solution {
         &self.stages
     }
 
+    /// Mutable access to the stage vector for hot paths that fill a
+    /// reused `Solution` in place. Like [`Solution::new`], no invariant
+    /// is checked (see [`Solution::validate`]).
+    pub fn stages_mut(&mut self) -> &mut Vec<Stage> {
+        &mut self.stages
+    }
+
     /// Number of stages `|s|`.
     #[must_use]
     pub fn num_stages(&self) -> usize {
@@ -188,11 +240,7 @@ impl Solution {
     /// solution has an infinite period.
     #[must_use]
     pub fn period(&self, chain: &TaskChain) -> Ratio {
-        self.stages
-            .iter()
-            .map(|s| s.weight(chain))
-            .max()
-            .unwrap_or(Ratio::INFINITY)
+        period_of(chain, &self.stages)
     }
 
     /// Steady-state throughput in frames per time unit (`1 / P`).
@@ -209,25 +257,14 @@ impl Solution {
     /// Cores used per type `(Σ_{v_i=B} r_i, Σ_{v_i=L} r_i)`.
     #[must_use]
     pub fn used_cores(&self) -> Resources {
-        let mut used = Resources::new(0, 0);
-        for s in &self.stages {
-            match s.core_type {
-                CoreType::Big => used.big += s.cores,
-                CoreType::Little => used.little += s.cores,
-            }
-        }
-        used
+        used_cores_of(&self.stages)
     }
 
     /// `IsValid` (Algorithm 3): non-empty, period within `target`, and the
     /// resource constraints of Eq. (3).
     #[must_use]
     pub fn is_valid(&self, chain: &TaskChain, resources: Resources, target: Ratio) -> bool {
-        if self.stages.is_empty() {
-            return false;
-        }
-        let used = self.used_cores();
-        used.big <= resources.big && used.little <= resources.little && self.period(chain) <= target
+        stages_are_valid(chain, resources, target, &self.stages)
     }
 
     /// Full structural check: contiguous coverage of the whole chain,
@@ -282,21 +319,35 @@ impl Solution {
     /// them.
     #[must_use]
     pub fn merged_replicable_stages(&self, chain: &TaskChain) -> Solution {
-        let mut out: Vec<Stage> = Vec::with_capacity(self.stages.len());
-        for &s in &self.stages {
-            if let Some(prev) = out.last_mut() {
-                if prev.core_type == s.core_type
-                    && chain.is_replicable(prev.start, prev.end)
-                    && chain.is_replicable(s.start, s.end)
-                {
-                    prev.end = s.end;
-                    prev.cores += s.cores;
-                    continue;
-                }
-            }
-            out.push(s);
+        let mut merged = self.clone();
+        merged.merge_replicable_stages_in_place(chain);
+        merged
+    }
+
+    /// In-place, allocation-free form of
+    /// [`Solution::merged_replicable_stages`]: compacts the stage vector
+    /// with a read/write cursor pair instead of building a new one.
+    pub fn merge_replicable_stages_in_place(&mut self, chain: &TaskChain) {
+        let stages = &mut self.stages;
+        if stages.is_empty() {
+            return;
         }
-        Solution::new(out)
+        let mut w = 0;
+        for r in 1..stages.len() {
+            let s = stages[r];
+            let prev = &mut stages[w];
+            if prev.core_type == s.core_type
+                && chain.is_replicable(prev.start, prev.end)
+                && chain.is_replicable(s.start, s.end)
+            {
+                prev.end = s.end;
+                prev.cores += s.cores;
+            } else {
+                w += 1;
+                stages[w] = s;
+            }
+        }
+        stages.truncate(w + 1);
     }
 
     /// The paper's compact decomposition notation, e.g. `(5,1B),(4,5B),(4,1L)`
@@ -538,6 +589,60 @@ mod tests {
     fn decomposition_matches_paper_format() {
         assert_eq!(solution().decomposition(), "(1,1B),(2,2L),(2,1B)");
         assert_eq!(Solution::empty().to_string(), "(empty)");
+    }
+
+    #[test]
+    fn slice_helpers_match_solution_methods() {
+        let c = chain();
+        let s = solution();
+        assert_eq!(period_of(&c, s.stages()), s.period(&c));
+        assert_eq!(used_cores_of(s.stages()), s.used_cores());
+        assert!(stages_are_valid(
+            &c,
+            Resources::new(2, 2),
+            Ratio::new(15, 2),
+            s.stages()
+        ));
+        assert!(!stages_are_valid(
+            &c,
+            Resources::new(1, 2),
+            Ratio::new(15, 2),
+            s.stages()
+        ));
+        assert_eq!(period_of(&c, &[]), Ratio::INFINITY);
+        assert!(!stages_are_valid(
+            &c,
+            Resources::new(9, 9),
+            Ratio::INFINITY,
+            &[]
+        ));
+    }
+
+    #[test]
+    fn in_place_merge_matches_out_of_place() {
+        let c = TaskChain::new(vec![
+            Task::new(4, 8, true),
+            Task::new(2, 6, true),
+            Task::new(3, 9, false),
+            Task::new(1, 2, true),
+            Task::new(1, 2, true),
+        ]);
+        let cases = [
+            Solution::new(vec![
+                Stage::new(0, 0, 1, CoreType::Big),
+                Stage::new(1, 1, 2, CoreType::Big),
+                Stage::new(2, 2, 1, CoreType::Little),
+                Stage::new(3, 3, 1, CoreType::Little),
+                Stage::new(4, 4, 3, CoreType::Little),
+            ]),
+            Solution::new(vec![Stage::new(0, 4, 1, CoreType::Big)]),
+            Solution::empty(),
+        ];
+        for s in cases {
+            let mut in_place = s.clone();
+            in_place.merge_replicable_stages_in_place(&c);
+            assert_eq!(in_place, s.merged_replicable_stages(&c));
+        }
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! and core usage.
 
 use crate::stats::{slowdown_ratio, Summary};
-use amp_core::sched::{paper_strategies, Scheduler};
-use amp_core::{Resources, TaskChain};
+use amp_core::sched::{paper_strategies, schedule_chains};
+use amp_core::Resources;
 use amp_workload::SyntheticConfig;
 use serde::{Deserialize, Serialize};
 
@@ -113,56 +113,74 @@ impl SweepOutcome {
     }
 }
 
+/// Runs the campaign for one (R, SR) cell on the current thread — see
+/// [`run_campaign_with_workers`].
+#[must_use]
+pub fn run_campaign(config: &CampaignConfig) -> SweepOutcome {
+    run_campaign_with_workers(config, 1)
+}
+
 /// Runs the campaign for one (R, SR) cell: schedules every chain with the
 /// five paper strategies and records slowdowns vs HeRAD plus core usage.
+///
+/// Each strategy's batch goes through [`schedule_chains`], which fans the
+/// chains across `workers` threads with one scratch arena per worker; the
+/// recorded numbers are bit-identical for every worker count. HeRAD runs
+/// first so its periods serve as the slowdown reference for the rest.
 ///
 /// # Panics
 /// Panics if HeRAD fails to schedule (impossible with non-empty
 /// resources).
 #[must_use]
-pub fn run_campaign(config: &CampaignConfig) -> SweepOutcome {
+pub fn run_campaign_with_workers(config: &CampaignConfig, workers: usize) -> SweepOutcome {
     let workload = SyntheticConfig::paper(config.stateless_ratio);
     let chains = workload.generate_batch(config.seed, config.chains);
     let strategies = paper_strategies();
-    let mut stats: Vec<StrategyStats> = strategies
+
+    let solutions: Vec<_> = strategies
         .iter()
-        .map(|s| StrategyStats {
-            name: s.name().to_string(),
-            slowdowns: Vec::with_capacity(chains.len()),
-            cores: Vec::with_capacity(chains.len()),
+        .map(|s| schedule_chains(&**s, &chains, config.resources, workers))
+        .collect();
+    let optimal: Vec<_> = solutions[0]
+        .iter()
+        .zip(&chains)
+        .map(|(s, chain)| {
+            s.as_ref()
+                .expect("HeRAD always finds a schedule")
+                .period(chain)
         })
         .collect();
 
-    for chain in &chains {
-        let optimal = schedule_period(&*strategies[0], chain, config.resources)
-            .expect("HeRAD always finds a schedule");
-        for (i, strategy) in strategies.iter().enumerate() {
-            match strategy.schedule(chain, config.resources) {
-                Some(solution) => {
-                    let p = solution.period(chain);
-                    stats[i].slowdowns.push(slowdown_ratio(p, optimal));
-                    let used = solution.used_cores();
-                    stats[i].cores.push((used.big, used.little));
-                }
-                None => {
-                    stats[i].slowdowns.push(f64::INFINITY);
-                    stats[i].cores.push((0, 0));
+    let stats = strategies
+        .iter()
+        .zip(&solutions)
+        .map(|(strategy, batch)| {
+            let mut st = StrategyStats {
+                name: strategy.name().to_string(),
+                slowdowns: Vec::with_capacity(chains.len()),
+                cores: Vec::with_capacity(chains.len()),
+            };
+            for ((solution, chain), &opt) in batch.iter().zip(&chains).zip(&optimal) {
+                match solution {
+                    Some(solution) => {
+                        st.slowdowns
+                            .push(slowdown_ratio(solution.period(chain), opt));
+                        let used = solution.used_cores();
+                        st.cores.push((used.big, used.little));
+                    }
+                    None => {
+                        st.slowdowns.push(f64::INFINITY);
+                        st.cores.push((0, 0));
+                    }
                 }
             }
-        }
-    }
+            st
+        })
+        .collect();
     SweepOutcome {
         config: *config,
         strategies: stats,
     }
-}
-
-fn schedule_period(
-    strategy: &dyn Scheduler,
-    chain: &TaskChain,
-    resources: Resources,
-) -> Option<amp_core::Ratio> {
-    strategy.schedule(chain, resources).map(|s| s.period(chain))
 }
 
 #[cfg(test)]
@@ -229,6 +247,19 @@ mod tests {
         for (x, y) in a.strategies.iter().zip(&b.strategies) {
             assert_eq!(x.slowdowns, y.slowdowns);
             assert_eq!(x.cores, y.cores);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_outcome() {
+        let reference = run_campaign(&tiny());
+        for workers in [2, 8] {
+            let parallel = run_campaign_with_workers(&tiny(), workers);
+            for (x, y) in reference.strategies.iter().zip(&parallel.strategies) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.slowdowns, y.slowdowns, "{} at {workers} workers", x.name);
+                assert_eq!(x.cores, y.cores, "{} at {workers} workers", x.name);
+            }
         }
     }
 }

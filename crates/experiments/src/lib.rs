@@ -20,6 +20,8 @@ pub mod campaign;
 pub mod stats;
 pub mod timing;
 
-pub use campaign::{run_campaign, CampaignConfig, CoreUsage, StrategyStats, SweepOutcome};
+pub use campaign::{
+    run_campaign, run_campaign_with_workers, CampaignConfig, CoreUsage, StrategyStats, SweepOutcome,
+};
 pub use stats::{cdf_points, mean, median, slowdown_ratio, Summary};
 pub use timing::{time_strategies, StrategyTiming, TimingConfig};

@@ -20,7 +20,8 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use amp_core::sched::strategy_by_name;
+use amp_core::sched::{strategy_by_name, SchedScratch};
+use amp_core::Solution;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 
 use crate::cache::{CacheKey, CacheStats, SolutionCache};
@@ -226,11 +227,14 @@ fn worker_loop(
     cache: &SolutionCache,
     portfolio_cfg: &PortfolioConfig,
 ) {
+    // One scratch arena per worker, reused across every request the
+    // worker ever handles: steady-state scheduling allocates nothing.
+    let mut scratch = SchedScratch::new();
     // `recv` keeps returning queued jobs after the engine closes the
     // queue and only errors once it is both closed *and* empty — that is
     // exactly the drain-then-exit shutdown contract.
     while let Ok(job) = rx.recv() {
-        let result = handle(&job.request, metrics, cache, portfolio_cfg);
+        let result = handle(&job.request, metrics, cache, portfolio_cfg, &mut scratch);
         let is_error = result.is_err();
         let response = ScheduleResponse {
             id: job.request.id,
@@ -248,6 +252,7 @@ fn handle(
     metrics: &ServiceMetrics,
     cache: &SolutionCache,
     portfolio_cfg: &PortfolioConfig,
+    scratch: &mut SchedScratch,
 ) -> Result<ScheduleOutcome, ServiceError> {
     if request.tasks.is_empty() {
         return Err(ServiceError::EmptyChain);
@@ -265,9 +270,10 @@ fn handle(
         Policy::Strategy(name) => {
             let strategy = strategy_by_name(name)
                 .ok_or_else(|| ServiceError::UnknownStrategy { name: name.clone() })?;
-            let solution = strategy
-                .schedule(&chain, resources)
-                .ok_or(ServiceError::Infeasible)?;
+            let mut solution = Solution::empty();
+            if !strategy.schedule_into(&chain, resources, scratch, &mut solution) {
+                return Err(ServiceError::Infeasible);
+            }
             ScheduleOutcome::from_solution(strategy.name(), &solution, &chain, true)
         }
         Policy::Portfolio => {
@@ -278,7 +284,7 @@ fn handle(
             let deadline = request
                 .deadline_us
                 .map(|us| Instant::now() + Duration::from_micros(us));
-            let out = portfolio::run(&chain, resources, deadline, portfolio_cfg)
+            let out = portfolio::run(&chain, resources, deadline, portfolio_cfg, scratch)
                 .ok_or(ServiceError::Infeasible)?;
             metrics.record_portfolio(out.complete);
             ScheduleOutcome::from_solution(out.strategy, &out.solution, &chain, out.complete)

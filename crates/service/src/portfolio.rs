@@ -24,7 +24,7 @@
 use std::thread;
 use std::time::Instant;
 
-use amp_core::sched::{Fertac, Herad, Scheduler, Twocatac};
+use amp_core::sched::{Fertac, Herad, SchedScratch, Scheduler, Twocatac};
 use amp_core::{Ratio, Resources, Solution, TaskChain};
 use crossbeam::channel;
 
@@ -72,14 +72,18 @@ fn beats(cand_period: Ratio, cand: &Solution, inc_period: Ratio, inc: &Solution)
 
 /// Runs the portfolio for one instance. `deadline` bounds how long the
 /// caller waits for the racing strategies; `None` waits for all of them.
-/// Returns `None` only when *no* member (FERTAC included) found a valid
-/// mapping — e.g. an empty chain or a zero-core pool.
+/// `scratch` backs the inline FERTAC solve, so a worker that keeps its
+/// scratch across requests pays no allocation for the guaranteed member
+/// (the racers allocate their own state on their own threads). Returns
+/// `None` only when *no* member (FERTAC included) found a valid mapping —
+/// e.g. an empty chain or a zero-core pool.
 #[must_use]
 pub fn run(
     chain: &TaskChain,
     resources: Resources,
     deadline: Option<Instant>,
     cfg: &PortfolioConfig,
+    scratch: &mut SchedScratch,
 ) -> Option<PortfolioOutcome> {
     let (tx, rx) = channel::unbounded::<(&'static str, Option<Solution>)>();
     let racers: [Box<dyn Scheduler + Send>; 2] = [
@@ -98,9 +102,13 @@ pub fn run(
     }
     drop(tx);
 
+    let mut fertac_out = Solution::empty();
     let mut best: Option<(&'static str, Solution, Ratio)> = Fertac
-        .schedule(chain, resources)
-        .map(|s| (Fertac.name(), s.clone(), s.period(chain)));
+        .schedule_into(chain, resources, scratch, &mut fertac_out)
+        .then(|| {
+            let period = fertac_out.period(chain);
+            (Fertac.name(), fertac_out, period)
+        });
 
     let mut received = 0;
     let mut complete = true;
@@ -161,7 +169,14 @@ mod tests {
     fn unlimited_deadline_matches_herad_optimum() {
         let c = chain();
         let res = Resources::new(2, 2);
-        let out = run(&c, res, None, &PortfolioConfig::default()).expect("feasible");
+        let out = run(
+            &c,
+            res,
+            None,
+            &PortfolioConfig::default(),
+            &mut SchedScratch::new(),
+        )
+        .expect("feasible");
         let opt = Herad::new().optimal_period(&c, res).expect("feasible");
         assert_eq!(out.period, opt);
         assert!(out.complete);
@@ -174,8 +189,14 @@ mod tests {
         let c = chain();
         let res = Resources::new(2, 2);
         let deadline = Instant::now(); // already passed once we wait
-        let out = run(&c, res, Some(deadline), &PortfolioConfig::default())
-            .expect("FERTAC always reports");
+        let out = run(
+            &c,
+            res,
+            Some(deadline),
+            &PortfolioConfig::default(),
+            &mut SchedScratch::new(),
+        )
+        .expect("FERTAC always reports");
         assert!(out.solution.validate(&c).is_ok());
         assert!(out.solution.is_valid(&c, res, out.period));
         // FERTAC's period bounds the result from above even if a racer
@@ -187,7 +208,14 @@ mod tests {
     #[test]
     fn infeasible_instance_returns_none() {
         let c = chain();
-        assert!(run(&c, Resources::new(0, 0), None, &PortfolioConfig::default()).is_none());
+        assert!(run(
+            &c,
+            Resources::new(0, 0),
+            None,
+            &PortfolioConfig::default(),
+            &mut SchedScratch::new(),
+        )
+        .is_none());
     }
 
     #[test]

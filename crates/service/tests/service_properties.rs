@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use amp_core::sched::{Herad, Scheduler};
+use amp_core::sched::{Herad, SchedScratch, Scheduler};
 use amp_core::{Resources, Task, TaskChain};
 use amp_service::{
     portfolio, CacheKey, Engine, EngineConfig, Policy, PortfolioConfig, ScheduleRequest,
@@ -78,7 +78,7 @@ proptest! {
         prop_assert_eq!(&ka, &kb);
         prop_assert_eq!(ka.fingerprint(), kb.fingerprint());
 
-        let out = portfolio::run(&chain, res, None, &PortfolioConfig::default());
+        let out = portfolio::run(&chain, res, None, &PortfolioConfig::default(), &mut SchedScratch::new());
         prop_assume!(out.is_some());
         let out = out.unwrap();
         let outcome = amp_service::ScheduleOutcome::from_solution(
@@ -95,7 +95,7 @@ proptest! {
     /// is the instance's optimum.
     #[test]
     fn unlimited_deadline_is_herad_optimal((chain, res) in instance()) {
-        let out = portfolio::run(&chain, res, None, &PortfolioConfig::default())
+        let out = portfolio::run(&chain, res, None, &PortfolioConfig::default(), &mut SchedScratch::new())
             .expect("at least one core is available");
         prop_assert!(out.complete);
         let opt = Herad::new().optimal_period(&chain, res).unwrap();
@@ -109,7 +109,7 @@ proptest! {
     #[test]
     fn tight_deadline_is_valid_and_fertac_or_better((chain, res) in instance()) {
         let deadline = Some(Instant::now());
-        let out = portfolio::run(&chain, res, deadline, &PortfolioConfig::default())
+        let out = portfolio::run(&chain, res, deadline, &PortfolioConfig::default(), &mut SchedScratch::new())
             .expect("FERTAC always answers feasible instances");
         prop_assert!(out.solution.validate(&chain).is_ok());
         prop_assert!(out.solution.is_valid(&chain, res, out.period));

@@ -8,7 +8,7 @@
 //! (arguments: big cores, little cores, stateless ratio; `--seed SEED`
 //! picks the chain-generation seed, default 2024 — the paper-repro value)
 
-use amp_core::sched::paper_strategies;
+use amp_core::sched::{paper_strategies, schedule_chains};
 use amp_core::Resources;
 use amp_workload::SyntheticConfig;
 
@@ -39,18 +39,31 @@ fn main() {
         chains.len()
     );
 
+    // Batch each strategy across a small worker pool; per-worker scratch
+    // arenas keep the sweep allocation-free after warm-up, and the results
+    // are bit-identical to sequential `schedule` calls.
+    let workers = std::thread::available_parallelism().map_or(4, usize::from);
     let strategies = paper_strategies();
+    let batches: Vec<_> = strategies
+        .iter()
+        .map(|s| schedule_chains(&**s, &chains, resources, workers))
+        .collect();
+    let best: Vec<f64> = batches[0]
+        .iter()
+        .zip(&chains)
+        .map(|(sol, chain)| {
+            sol.as_ref()
+                .expect("HeRAD schedules everything")
+                .period(chain)
+                .to_f64()
+        })
+        .collect();
     let mut slowdowns = vec![Vec::new(); strategies.len()];
     let mut cores = vec![(0u64, 0u64); strategies.len()];
-    for chain in &chains {
-        let best = strategies[0]
-            .schedule(chain, resources)
-            .expect("HeRAD schedules everything")
-            .period(chain);
-        for (i, s) in strategies.iter().enumerate() {
-            if let Some(sol) = s.schedule(chain, resources) {
-                let p = sol.period(chain);
-                slowdowns[i].push(p.to_f64() / best.to_f64());
+    for (i, batch) in batches.iter().enumerate() {
+        for ((sol, chain), best) in batch.iter().zip(&chains).zip(&best) {
+            if let Some(sol) = sol {
+                slowdowns[i].push(sol.period(chain).to_f64() / best);
                 let u = sol.used_cores();
                 cores[i].0 += u.big;
                 cores[i].1 += u.little;

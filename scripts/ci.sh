@@ -12,3 +12,7 @@ cargo test -q
 # batch of seeded instances (small n so the exhaustive oracle stays fast)
 # against the oracle, the metamorphic properties and the service engine.
 cargo run --release -p amp-conformance -- --seeds 500 --max-tasks 8 --max-big 4 --max-little 4
+
+# Perf gate: a small deterministic sweep through the perf runner; fails
+# if warm-scratch HeRAD performs any steady-state heap allocation.
+cargo run --release -p amp-bench --bin perf -- --smoke --out BENCH_sched.json

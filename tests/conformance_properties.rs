@@ -3,9 +3,11 @@
 //! `conformance` fuzz runner applies at scale, here wired into `cargo
 //! test` through proptest with small bounds.
 
-use amp_conformance::checks::{check_core, check_metamorphic, check_service};
+use amp_conformance::checks::{check_core, check_metamorphic, check_scratch, check_service};
 use amp_conformance::gen::{instance_for_seed, instance_strategy, GenConfig};
 use amp_conformance::{corpus, shrink};
+use amp_core::sched::{optimal_period, paper_strategies, schedule_many, SchedScratch};
+use amp_core::{Resources, Solution, TaskChain};
 use amp_service::{Engine, EngineConfig};
 use proptest::prelude::*;
 
@@ -46,7 +48,7 @@ fn service_responses_match_library_calls() {
 }
 
 /// The checked-in regression corpus replays clean through the library
-/// checks.
+/// checks, including the scratch/batch hot-path differential.
 #[test]
 fn regression_corpus_replays_clean() {
     let corpus = corpus::load_dir(&corpus::default_corpus_dir()).expect("corpus loads");
@@ -54,7 +56,97 @@ fn regression_corpus_replays_clean() {
     for inst in &corpus {
         let mut mismatches = check_core(inst);
         mismatches.extend(check_metamorphic(inst));
+        mismatches.extend(check_scratch(inst));
         assert!(mismatches.is_empty(), "{}: {mismatches:#?}", inst.name);
+    }
+}
+
+/// 1000 seeded instances per strategy: the scratch-reusing and batched
+/// hot paths return bit-identical `Solution`s (stages, assignments,
+/// period, used cores all live in the compared struct) to the allocating
+/// path, feasibility always agrees with the brute oracle, and HeRAD's
+/// period equals the oracle optimum. One scratch per strategy persists
+/// across all 1000 instances, so shape changes between seeds are part of
+/// what is tested.
+#[test]
+fn hot_paths_match_allocating_paths_and_oracle_over_1000_seeds() {
+    let cfg = GenConfig::small();
+    let strategies = paper_strategies();
+    let mut scratches: Vec<SchedScratch> = strategies.iter().map(|_| SchedScratch::new()).collect();
+    for seed in 0..1000u64 {
+        let inst = instance_for_seed(seed, &cfg);
+        let chain = inst.chain();
+        let resources = inst.resources();
+        let oracle = optimal_period(&chain, resources);
+        for (strategy, scratch) in strategies.iter().zip(&mut scratches) {
+            let name = strategy.name();
+            // OTAC only sees one side of the pool; judge its feasibility
+            // against the oracle on that homogeneous sub-pool.
+            let oracle = match name {
+                "OTAC (B)" => optimal_period(&chain, Resources::new(resources.big, 0)),
+                "OTAC (L)" => optimal_period(&chain, Resources::new(0, resources.little)),
+                _ => oracle,
+            };
+            let legacy = strategy.schedule(&chain, resources);
+            let mut warm = Solution::empty();
+            let warm = strategy
+                .schedule_into(&chain, resources, scratch, &mut warm)
+                .then_some(warm);
+            assert_eq!(warm, legacy, "{name}: warm path diverges at seed {seed}");
+            let batched = schedule_many(&**strategy, &[(&chain, resources)], 2);
+            assert_eq!(
+                batched,
+                vec![legacy.clone()],
+                "{name}: batched path diverges at seed {seed}"
+            );
+            assert_eq!(
+                legacy.is_some(),
+                oracle.is_some(),
+                "{name}: feasibility disagrees with the oracle at seed {seed}"
+            );
+            if name == "HeRAD" {
+                assert_eq!(
+                    legacy.as_ref().map(|s| s.period(&chain)),
+                    oracle,
+                    "HeRAD misses the oracle optimum at seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+/// `schedule_many` is worker-count invariant: the same jobs at 1, 2 and 8
+/// workers return identical result vectors — same length (no lost or
+/// duplicated instances), same order, bit-identical solutions — matching
+/// sequential `schedule` calls.
+#[test]
+fn schedule_many_results_are_worker_count_invariant() {
+    let cfg = GenConfig::small();
+    let instances: Vec<_> = (0..120u64).map(|s| instance_for_seed(s, &cfg)).collect();
+    let chains: Vec<TaskChain> = instances.iter().map(|i| i.chain()).collect();
+    let jobs: Vec<(&TaskChain, Resources)> = chains
+        .iter()
+        .zip(&instances)
+        .map(|(c, i)| (c, i.resources()))
+        .collect();
+    for strategy in paper_strategies() {
+        let sequential: Vec<Option<Solution>> =
+            jobs.iter().map(|&(c, r)| strategy.schedule(c, r)).collect();
+        for workers in [1, 2, 8] {
+            let batch = schedule_many(&*strategy, &jobs, workers);
+            assert_eq!(
+                batch.len(),
+                jobs.len(),
+                "{}: lost or duplicated jobs at {workers} workers",
+                strategy.name()
+            );
+            assert_eq!(
+                batch,
+                sequential,
+                "{}: results changed at {workers} workers",
+                strategy.name()
+            );
+        }
     }
 }
 
