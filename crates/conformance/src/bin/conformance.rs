@@ -24,6 +24,7 @@ const USAGE: &str = "usage: conformance [OPTIONS]
   --corpus DIR        regression corpus to replay (default: checked-in corpus)
   --no-corpus         skip the corpus replay
   --no-service        skip the amp-service equivalence checks
+  --no-chaos          skip the fault-injection (chaos) checks
   --save-failures DIR write shrunken failing instances as JSON into DIR
   --help              print this help";
 
@@ -49,6 +50,7 @@ fn parse_args(args: &[String]) -> Result<RunnerConfig, String> {
             "--corpus" => cfg.corpus_dir = Some(PathBuf::from(value("--corpus")?)),
             "--no-corpus" => cfg.corpus_dir = None,
             "--no-service" => cfg.check_service = false,
+            "--no-chaos" => cfg.check_chaos = false,
             "--save-failures" => {
                 cfg.save_failures = Some(PathBuf::from(value("--save-failures")?));
             }
@@ -112,6 +114,14 @@ mod tests {
         assert_eq!(cfg.gen, GenConfig::default());
         assert!(cfg.corpus_dir.is_some());
         assert!(cfg.check_service);
+        assert!(cfg.check_chaos);
+    }
+
+    #[test]
+    fn no_chaos_flag_disables_the_chaos_checks() {
+        let cfg = parse_args(&args(&["--no-chaos"])).unwrap();
+        assert!(!cfg.check_chaos);
+        assert!(cfg.check_service, "other checks stay on");
     }
 
     #[test]

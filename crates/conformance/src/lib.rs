@@ -13,6 +13,11 @@
 //!   tie-break), metamorphic properties of the optimal period, and
 //!   bit-identical equivalence between `amp-service` responses and
 //!   direct library calls;
+//! * [`chaos`] — fault injection against the amp-service engine: a
+//!   deterministic `Scheduler` wrapper injecting panics, delays and
+//!   invalid solutions, with per-instance invariant checks (one response
+//!   per request, no invalid or incomplete outcome cached) and end-of-run
+//!   metric reconciliation;
 //! * [`shrink`] — greedy minimization of failing instances (the vendored
 //!   proptest engine has no shrinking);
 //! * [`corpus`] + [`json`] — a checked-in regression corpus of JSON
@@ -23,6 +28,7 @@
 //! corpus replay first, then seeded fuzzing, shrinking and optionally
 //! persisting every failure.
 
+pub mod chaos;
 pub mod checks;
 pub mod corpus;
 pub mod gen;
@@ -31,6 +37,7 @@ pub mod json;
 pub mod runner;
 pub mod shrink;
 
+pub use chaos::{chaos_wrap, ChaosConfig, ChaosCounters, ChaosHarness, ChaosScheduler};
 pub use checks::{
     check_core, check_library, check_metamorphic, check_scratch, check_service, Mismatch,
 };

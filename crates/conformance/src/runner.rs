@@ -2,6 +2,7 @@
 //! checked-in regression corpus, then fuzz seeded random instances, and
 //! shrink whatever fails.
 
+use crate::chaos::{ChaosConfig, ChaosHarness};
 use crate::checks::{self, Mismatch};
 use crate::corpus;
 use crate::gen::{instance_for_seed, GenConfig};
@@ -23,6 +24,10 @@ pub struct RunnerConfig {
     pub corpus_dir: Option<PathBuf>,
     /// Also run the amp-service equivalence checks (spawns an engine).
     pub check_service: bool,
+    /// Also run the fault-injection (chaos) checks against a second,
+    /// deliberately chaotic engine (see [`crate::chaos`]). The injection
+    /// schedule is deterministic, so CI failures replay locally.
+    pub check_chaos: bool,
     /// Where to save shrunken failing instances; `None` keeps them
     /// in-memory only.
     pub save_failures: Option<PathBuf>,
@@ -36,6 +41,7 @@ impl Default for RunnerConfig {
             gen: GenConfig::default(),
             corpus_dir: Some(corpus::default_corpus_dir()),
             check_service: true,
+            check_chaos: true,
             save_failures: None,
         }
     }
@@ -100,6 +106,11 @@ pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corp
         }
         found
     };
+    // The chaotic engine is separate from the clean equivalence engine:
+    // injected faults must never contaminate the differential checks.
+    let chaos = cfg
+        .check_chaos
+        .then(|| ChaosHarness::new(ChaosConfig::default()));
 
     let mut report = Report::default();
     let record_failure = |inst: &Instance,
@@ -136,6 +147,24 @@ pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corp
             saved_to,
         });
     };
+    // Chaos failures are recorded without shrinking: the chaotic
+    // engine's cache and id counter advance with every check, so a
+    // shrink search would not replay the same injection state. The
+    // instance itself (plus the deterministic seed) *is* the repro.
+    let record_chaos_failure = |inst: &Instance,
+                                mismatches: Vec<Mismatch>,
+                                report: &mut Report,
+                                log: &mut dyn FnMut(&str)| {
+        for m in &mismatches {
+            log(&format!("FAIL {m}"));
+        }
+        report.failures.push(Failure {
+            instance: inst.clone(),
+            mismatches,
+            shrunk: inst.clone(),
+            saved_to: None,
+        });
+    };
 
     if let Some(dir) = &cfg.corpus_dir {
         let instances = corpus::load_dir(dir)?;
@@ -148,6 +177,12 @@ pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corp
             let mismatches = check(inst);
             if !mismatches.is_empty() {
                 record_failure(inst, mismatches, &mut report, log);
+            }
+            if let Some(chaos) = &chaos {
+                let chaos_mismatches = chaos.check(inst);
+                if !chaos_mismatches.is_empty() {
+                    record_chaos_failure(inst, chaos_mismatches, &mut report, log);
+                }
             }
             report.corpus_replayed += 1;
         }
@@ -168,9 +203,32 @@ pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corp
         if !mismatches.is_empty() {
             record_failure(&inst, mismatches, &mut report, log);
         }
+        if let Some(chaos) = &chaos {
+            let chaos_mismatches = chaos.check(&inst);
+            if !chaos_mismatches.is_empty() {
+                record_chaos_failure(&inst, chaos_mismatches, &mut report, log);
+            }
+        }
         report.fuzzed += 1;
     }
 
+    if let Some(chaos) = chaos {
+        let (panics, delays, invalids) = chaos.injected();
+        log(&format!(
+            "chaos: injected {panics} panic(s), {delays} delay(s), {invalids} invalid solution(s)"
+        ));
+        let accounting = chaos.final_accounting();
+        if !accounting.is_empty() {
+            let placeholder = Instance::new(
+                "chaos-final-accounting",
+                vec![crate::instance::TaskDef::new(1, 1, false)],
+                1,
+                1,
+            );
+            record_chaos_failure(&placeholder, accounting, &mut report, log);
+        }
+        chaos.shutdown();
+    }
     if let Some(engine) = engine {
         engine.shutdown();
     }
@@ -194,6 +252,7 @@ mod tests {
             gen: GenConfig::small(),
             corpus_dir: None,
             check_service: false,
+            check_chaos: false,
             save_failures: None,
         };
         let mut lines = Vec::new();
@@ -212,6 +271,7 @@ mod tests {
             gen: GenConfig::small(),
             corpus_dir: Some(corpus::default_corpus_dir()),
             check_service: false,
+            check_chaos: false,
             save_failures: None,
         };
         let report = run(&cfg, &mut |_| {}).expect("corpus loads");
@@ -227,6 +287,7 @@ mod tests {
             gen: GenConfig::small(),
             corpus_dir: Some(PathBuf::from("/nonexistent/corpus")),
             check_service: false,
+            check_chaos: false,
             save_failures: None,
         };
         assert!(run(&cfg, &mut |_| {}).is_err());

@@ -1,5 +1,5 @@
 //! The scheduling engine: a crossbeam worker pool with bounded queues,
-//! explicit backpressure and graceful shutdown.
+//! explicit backpressure, panic isolation and graceful shutdown.
 //!
 //! Clients hand the engine a [`ScheduleRequest`] plus a reply channel.
 //! Requests enter a *bounded* job queue: [`Engine::try_submit`] rejects
@@ -11,11 +11,36 @@
 //! [`portfolio`](crate::portfolio) — and send exactly one
 //! [`ScheduleResponse`] per request on the caller's reply channel.
 //!
+//! ## Robustness contract
+//!
+//! *No accepted request is ever dropped without a response* — even when
+//! the strategy panics. Every request's compute runs under
+//! [`catch_unwind`]: a panic becomes a typed
+//! [`ServiceError::Internal`] response, is counted in the
+//! `worker_panics` metric, and the worker's scratch arena is replaced
+//! (a half-written DP table is not trustworthy). Should anything
+//! *outside* the per-request guard unwind, a supervision loop catches
+//! it and revives the worker loop in place, so the pool never silently
+//! shrinks below its configured size (`workers_alive` in the metrics
+//! tracks this).
+//!
+//! Before any cache insert the winning solution is re-validated
+//! (structure and resource usage) as defense in depth: an invalid
+//! solution — reachable only through fault injection or a genuine
+//! scheduler bug — produces an `Internal` error response and is never
+//! cached or served.
+//!
+//! A zero-worker engine (test configurations probing backpressure) can
+//! never drain its queue, so the blocking paths refuse instead of
+//! deadlocking: [`Engine::submit`] degrades to the non-blocking reject
+//! once the queue fills, and [`Engine::schedule_blocking`] returns
+//! [`ServiceError::NoWorkers`] immediately.
+//!
 //! Shutdown is graceful: [`Engine::shutdown`] (or dropping the engine)
 //! closes the job queue, lets the workers drain every request already
-//! accepted, and joins them. No accepted request is ever dropped without
-//! a response.
+//! accepted, joins them, and only then tears down the racer pool.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -28,14 +53,21 @@ use crate::cache::{CacheKey, CacheStats, SolutionCache};
 use crate::error::ServiceError;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::portfolio::{self, PortfolioConfig};
+use crate::racer::{solution_is_sound, RacerPool, StrategyWrap};
 use crate::request::{Policy, ScheduleOutcome, ScheduleRequest, ScheduleResponse};
 
 /// Sizing and tuning of an [`Engine`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct EngineConfig {
     /// Worker threads. `0` is allowed (jobs queue but never execute) and
-    /// only useful in tests probing backpressure.
+    /// only useful in tests probing backpressure; the blocking
+    /// submission paths then reject instead of deadlocking.
     pub workers: usize,
+    /// Racer-pool threads backing the portfolio (see
+    /// [`RacerPool`](crate::racer::RacerPool)). `0` degrades every
+    /// portfolio request to its inline FERTAC member (reported
+    /// incomplete, never cached).
+    pub racer_threads: usize,
     /// Bound of the job queue; beyond it, `try_submit` rejects.
     pub queue_depth: usize,
     /// Total solution-cache entries (0 disables caching).
@@ -44,17 +76,39 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Portfolio tuning, applied to every `Policy::Portfolio` request.
     pub portfolio: PortfolioConfig,
+    /// Test-only fault-injection seam: wraps every scheduler the engine
+    /// is about to run. Leave `None` in production.
+    pub fault_wrap: Option<StrategyWrap>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
+        let workers = thread::available_parallelism().map_or(4, usize::from);
         EngineConfig {
-            workers: thread::available_parallelism().map_or(4, usize::from),
+            workers,
+            // Two racers per in-flight portfolio request; sized so every
+            // worker can have both of its racers running at once.
+            racer_threads: workers * 2,
             queue_depth: 1024,
             cache_capacity: 4096,
             cache_shards: 16,
             portfolio: PortfolioConfig::default(),
+            fault_wrap: None,
         }
+    }
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("workers", &self.workers)
+            .field("racer_threads", &self.racer_threads)
+            .field("queue_depth", &self.queue_depth)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("cache_shards", &self.cache_shards)
+            .field("portfolio", &self.portfolio)
+            .field("fault_wrap", &self.fault_wrap.is_some())
+            .finish()
     }
 }
 
@@ -72,35 +126,53 @@ pub struct Engine {
     /// hold their own clones.
     _job_rx: Receiver<Job>,
     workers: Vec<JoinHandle<()>>,
+    configured_workers: usize,
     metrics: Arc<ServiceMetrics>,
     cache: Arc<SolutionCache>,
+    racers: Arc<RacerPool>,
 }
 
 impl Engine {
-    /// Starts the worker pool.
+    /// Starts the worker pool and the portfolio racer pool.
     #[must_use]
     pub fn start(cfg: EngineConfig) -> Self {
         let (job_tx, job_rx) = channel::bounded::<Job>(cfg.queue_depth.max(1));
         let metrics = Arc::new(ServiceMetrics::new());
         let cache = Arc::new(SolutionCache::new(cfg.cache_capacity, cfg.cache_shards));
-        let workers = (0..cfg.workers)
-            .map(|i| {
+        let racers = Arc::new(RacerPool::new(cfg.racer_threads, cfg.fault_wrap.clone()));
+        let workers: Vec<JoinHandle<()>> = (0..cfg.workers)
+            .filter_map(|i| {
                 let rx = job_rx.clone();
-                let metrics = Arc::clone(&metrics);
+                let worker_metrics = Arc::clone(&metrics);
                 let cache = Arc::clone(&cache);
+                let racers = Arc::clone(&racers);
                 let portfolio_cfg = cfg.portfolio;
-                thread::Builder::new()
+                let spawned = thread::Builder::new()
                     .name(format!("amp-service-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &metrics, &cache, &portfolio_cfg))
-                    .expect("spawn worker thread")
+                    .spawn(move || {
+                        supervised_worker(&rx, &worker_metrics, &cache, &portfolio_cfg, &racers);
+                    });
+                match spawned {
+                    Ok(handle) => Some(handle),
+                    Err(_) => {
+                        // Same degradation policy as the racer pool: a
+                        // spawn failure shrinks the pool instead of
+                        // unwinding the constructor.
+                        metrics.record_spawn_failure();
+                        None
+                    }
+                }
             })
             .collect();
+        metrics.record_threads_spawned(workers.len() as u64 + racers.stats().threads_spawned);
         Engine {
             job_tx: Some(job_tx),
             _job_rx: job_rx,
+            configured_workers: workers.len(),
             workers,
             metrics,
             cache,
+            racers,
         }
     }
 
@@ -135,11 +207,18 @@ impl Engine {
     }
 
     /// Blocking submission: waits for a queue slot instead of rejecting.
+    ///
+    /// On a zero-worker engine no slot can ever free up, so once the
+    /// queue is full this degrades to the non-blocking path and returns
+    /// [`ServiceError::Overloaded`] instead of deadlocking.
     pub fn submit(
         &self,
         request: ScheduleRequest,
         reply: Sender<ScheduleResponse>,
     ) -> Result<(), ServiceError> {
+        if self.configured_workers == 0 {
+            return self.try_submit(request, reply);
+        }
         let job = Job {
             request,
             reply,
@@ -155,10 +234,17 @@ impl Engine {
     }
 
     /// Convenience for tests and synchronous callers: submits and waits
-    /// for the single response. Requires at least one worker.
+    /// for the single response. On a zero-worker engine the wait could
+    /// never end, so it returns [`ServiceError::NoWorkers`] immediately.
     #[must_use]
     pub fn schedule_blocking(&self, request: ScheduleRequest) -> ScheduleResponse {
         let id = request.id;
+        if self.configured_workers == 0 {
+            return ScheduleResponse {
+                id,
+                result: Err(ServiceError::NoWorkers),
+            };
+        }
         let (tx, rx) = channel::bounded(1);
         if let Err(e) = self.submit(request, tx) {
             return ScheduleResponse { id, result: Err(e) };
@@ -171,10 +257,16 @@ impl Engine {
         })
     }
 
-    /// Point-in-time service metrics.
+    /// Point-in-time service metrics, including the racer-pool counters.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        let racers = self.racers.stats();
+        snap.racer_panics = racers.panics;
+        snap.racer_invalid = racers.invalid;
+        snap.racer_cancelled = racers.cancelled;
+        snap.spawn_failures += racers.spawn_failures;
+        snap
     }
 
     /// Point-in-time cache counters.
@@ -212,6 +304,8 @@ impl Engine {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // The racer pool (shared via Arc) tears itself down when the
+        // last reference drops — after the workers, by construction.
     }
 }
 
@@ -221,11 +315,47 @@ impl Drop for Engine {
     }
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// The supervision shell around [`worker_loop`]: any unwind that escapes
+/// the per-request guard is caught here and the loop revived in place,
+/// so the pool's thread count never decays. A clean return (queue closed
+/// and drained) exits for real.
+fn supervised_worker(
+    rx: &Receiver<Job>,
+    metrics: &ServiceMetrics,
+    cache: &SolutionCache,
+    portfolio_cfg: &PortfolioConfig,
+    racers: &RacerPool,
+) {
+    metrics.record_worker_started();
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(rx, metrics, cache, portfolio_cfg, racers);
+        }));
+        match run {
+            Ok(()) => break,
+            Err(_) => metrics.record_worker_panic(),
+        }
+    }
+    metrics.record_worker_stopped();
+}
+
 fn worker_loop(
     rx: &Receiver<Job>,
     metrics: &ServiceMetrics,
     cache: &SolutionCache,
     portfolio_cfg: &PortfolioConfig,
+    racers: &RacerPool,
 ) {
     // One scratch arena per worker, reused across every request the
     // worker ever handles: steady-state scheduling allocates nothing.
@@ -234,7 +364,28 @@ fn worker_loop(
     // queue and only errors once it is both closed *and* empty — that is
     // exactly the drain-then-exit shutdown contract.
     while let Ok(job) = rx.recv() {
-        let result = handle(&job.request, metrics, cache, portfolio_cfg, &mut scratch);
+        // Panic isolation: an unwinding strategy (or any compute-path
+        // bug) still yields exactly one typed response for the request.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            handle(
+                &job.request,
+                metrics,
+                cache,
+                portfolio_cfg,
+                racers,
+                &mut scratch,
+            )
+        }))
+        .unwrap_or_else(|panic| {
+            metrics.record_worker_panic();
+            // The interrupted solve may have left the arena mid-write;
+            // recycle it rather than trust it.
+            scratch = SchedScratch::new();
+            Err(ServiceError::Internal(format!(
+                "worker panicked while scheduling: {}",
+                panic_message(panic.as_ref())
+            )))
+        });
         let is_error = result.is_err();
         let response = ScheduleResponse {
             id: job.request.id,
@@ -252,6 +403,7 @@ fn handle(
     metrics: &ServiceMetrics,
     cache: &SolutionCache,
     portfolio_cfg: &PortfolioConfig,
+    racers: &RacerPool,
     scratch: &mut SchedScratch,
 ) -> Result<ScheduleOutcome, ServiceError> {
     if request.tasks.is_empty() {
@@ -266,14 +418,32 @@ fn handle(
     }
     let chain = request.chain();
     let resources = request.resources();
+    // Defense in depth before anything is served or cached: re-validate
+    // the winning stages against the chain and the pool. An invalid
+    // solution here means a scheduler bug (or an injected fault) — fail
+    // loudly instead of persisting garbage. The vet runs on the raw
+    // solution, before any outcome derivation touches the chain with
+    // possibly out-of-range stage indices.
+    let vet = |strategy: &str, solution: &Solution| -> Result<(), ServiceError> {
+        if solution_is_sound(solution, &chain, resources) {
+            Ok(())
+        } else {
+            metrics.record_invalid_solution();
+            Err(ServiceError::Internal(format!(
+                "strategy {strategy} produced an invalid solution; refusing to serve or cache it"
+            )))
+        }
+    };
     let outcome = match &request.policy {
         Policy::Strategy(name) => {
             let strategy = strategy_by_name(name)
                 .ok_or_else(|| ServiceError::UnknownStrategy { name: name.clone() })?;
+            let strategy = racers.wrapped(strategy);
             let mut solution = Solution::empty();
             if !strategy.schedule_into(&chain, resources, scratch, &mut solution) {
                 return Err(ServiceError::Infeasible);
             }
+            vet(strategy.name(), &solution)?;
             ScheduleOutcome::from_solution(strategy.name(), &solution, &chain, true)
         }
         Policy::Portfolio => {
@@ -284,15 +454,17 @@ fn handle(
             let deadline = request
                 .deadline_us
                 .map(|us| Instant::now() + Duration::from_micros(us));
-            let out = portfolio::run(&chain, resources, deadline, portfolio_cfg, scratch)
+            let out = portfolio::run(&chain, resources, deadline, portfolio_cfg, scratch, racers)
                 .ok_or(ServiceError::Infeasible)?;
             metrics.record_portfolio(out.complete);
+            vet(out.strategy, &out.solution)?;
             ScheduleOutcome::from_solution(out.strategy, &out.solution, &chain, out.complete)
         }
     };
     // Only complete outcomes are sound to replay: a deadline-truncated
-    // portfolio answer may be improvable, and caching it would pin the
-    // worse solution for every later identical request.
+    // (or racer-failure-truncated) portfolio answer may be improvable,
+    // and caching it would pin the worse solution for every later
+    // identical request.
     if outcome.complete {
         cache.insert(key, outcome.clone());
     }
@@ -302,6 +474,7 @@ fn handle(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amp_core::sched::Scheduler;
     use amp_core::{Resources, Task, TaskChain};
 
     fn chain() -> TaskChain {
@@ -316,10 +489,11 @@ mod tests {
     fn engine(workers: usize) -> Engine {
         Engine::start(EngineConfig {
             workers,
+            racer_threads: 2,
             queue_depth: 64,
             cache_capacity: 128,
             cache_shards: 4,
-            portfolio: PortfolioConfig::default(),
+            ..EngineConfig::default()
         })
     }
 
@@ -396,10 +570,11 @@ mod tests {
         // No workers: accepted jobs stay queued, so the bound is exact.
         let e = Engine::start(EngineConfig {
             workers: 0,
+            racer_threads: 0,
             queue_depth: 2,
             cache_capacity: 0,
             cache_shards: 1,
-            portfolio: PortfolioConfig::default(),
+            ..EngineConfig::default()
         });
         let (tx, _rx) = channel::unbounded();
         let req = ScheduleRequest::from_chain(0, &chain(), Resources::new(1, 1), Policy::Portfolio);
@@ -408,6 +583,34 @@ mod tests {
         assert_eq!(e.try_submit(req, tx).unwrap_err(), ServiceError::Overloaded);
         let m = e.metrics();
         assert_eq!((m.requests, m.rejected), (2, 1));
+    }
+
+    /// Regression: `submit` on a zero-worker engine used to block forever
+    /// once the queue filled; it now rejects with `Overloaded`, and
+    /// `schedule_blocking` refuses up front with `NoWorkers`.
+    #[test]
+    fn zero_worker_engine_rejects_instead_of_deadlocking() {
+        let e = Engine::start(EngineConfig {
+            workers: 0,
+            racer_threads: 0,
+            queue_depth: 2,
+            cache_capacity: 0,
+            cache_shards: 1,
+            ..EngineConfig::default()
+        });
+        let (tx, _rx) = channel::unbounded();
+        let req = ScheduleRequest::from_chain(0, &chain(), Resources::new(1, 1), Policy::Portfolio);
+        assert!(e.submit(req.clone(), tx.clone()).is_ok());
+        assert!(e.submit(req.clone(), tx.clone()).is_ok());
+        // Queue full: a blocking submit would previously never return.
+        assert_eq!(
+            e.submit(req.clone(), tx).unwrap_err(),
+            ServiceError::Overloaded
+        );
+        assert_eq!(
+            e.schedule_blocking(req).result.unwrap_err(),
+            ServiceError::NoWorkers
+        );
     }
 
     #[test]
@@ -424,5 +627,180 @@ mod tests {
         let mut ids: Vec<u64> = rx.iter().map(|r: ScheduleResponse| r.id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..32).collect::<Vec<_>>());
+    }
+
+    /// A panic injected into the compute path still yields exactly one
+    /// typed `Internal` response, the panic is counted, and the worker
+    /// keeps serving afterwards.
+    #[test]
+    fn injected_panic_yields_one_internal_response_and_worker_survives() {
+        struct Bomb {
+            inner: Box<dyn Scheduler>,
+        }
+        impl Scheduler for Bomb {
+            fn name(&self) -> &'static str {
+                self.inner.name()
+            }
+            fn schedule_into(
+                &self,
+                _: &TaskChain,
+                _: Resources,
+                _: &mut SchedScratch,
+                _: &mut Solution,
+            ) -> bool {
+                panic!("injected fault");
+            }
+        }
+        let wrap: StrategyWrap = Arc::new(|inner: Box<dyn Scheduler>| -> Box<dyn Scheduler> {
+            if inner.name() == "FERTAC" {
+                Box::new(Bomb { inner })
+            } else {
+                inner
+            }
+        });
+        let e = Engine::start(EngineConfig {
+            workers: 1,
+            racer_threads: 2,
+            queue_depth: 8,
+            cache_capacity: 16,
+            cache_shards: 1,
+            fault_wrap: Some(wrap),
+            ..EngineConfig::default()
+        });
+        let req = ScheduleRequest::from_chain(
+            9,
+            &chain(),
+            Resources::new(2, 2),
+            Policy::Strategy("FERTAC".to_string()),
+        );
+        let resp = e.schedule_blocking(req);
+        assert_eq!(resp.id, 9);
+        match resp.result {
+            Err(ServiceError::Internal(msg)) => assert!(msg.contains("panicked"), "{msg}"),
+            other => panic!("expected Internal error, got {other:?}"),
+        }
+        // The same (sole) worker answers the next request: not dead.
+        let ok = e.schedule_blocking(ScheduleRequest::from_chain(
+            10,
+            &chain(),
+            Resources::new(2, 2),
+            Policy::Strategy("HeRAD".to_string()),
+        ));
+        assert!(ok.result.is_ok());
+        let m = e.metrics();
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.workers_alive, 1);
+        assert_eq!(m.responses, 2);
+    }
+
+    /// The acceptance-criteria regression: a portfolio whose racer dies
+    /// reports `complete == false` and the outcome is NOT cached — a
+    /// resubmission recomputes instead of replaying.
+    #[test]
+    fn dead_racer_outcome_is_incomplete_and_uncached() {
+        struct Bomb {
+            inner: Box<dyn Scheduler>,
+        }
+        impl Scheduler for Bomb {
+            fn name(&self) -> &'static str {
+                self.inner.name()
+            }
+            fn schedule_into(
+                &self,
+                _: &TaskChain,
+                _: Resources,
+                _: &mut SchedScratch,
+                _: &mut Solution,
+            ) -> bool {
+                panic!("racer killed");
+            }
+        }
+        let wrap: StrategyWrap = Arc::new(|inner: Box<dyn Scheduler>| -> Box<dyn Scheduler> {
+            if inner.name() == "HeRAD" {
+                Box::new(Bomb { inner })
+            } else {
+                inner
+            }
+        });
+        let e = Engine::start(EngineConfig {
+            workers: 1,
+            racer_threads: 2,
+            queue_depth: 8,
+            cache_capacity: 16,
+            cache_shards: 1,
+            fault_wrap: Some(wrap),
+            ..EngineConfig::default()
+        });
+        let req = ScheduleRequest::from_chain(1, &chain(), Resources::new(2, 2), Policy::Portfolio);
+        let first = e.schedule_blocking(req.clone()).result.expect("feasible");
+        assert!(!first.complete, "dead racer must clear complete");
+        let second = e
+            .schedule_blocking(ScheduleRequest { id: 2, ..req })
+            .result
+            .expect("feasible");
+        assert!(!second.cache_hit, "incomplete outcomes must not be cached");
+        let m = e.metrics();
+        assert_eq!(m.racer_panics, 2, "one per (uncached) submission");
+        assert_eq!(m.portfolio_truncated, 2);
+        assert_eq!(m.portfolio_complete, 0);
+        assert_eq!(e.cache_stats().insertions, 0);
+    }
+
+    /// Defense in depth: an injected invalid solution on the
+    /// single-strategy path becomes a typed `Internal` error and never
+    /// reaches the cache.
+    #[test]
+    fn invalid_solution_is_refused_and_never_cached() {
+        struct Liar {
+            inner: Box<dyn Scheduler>,
+        }
+        impl Scheduler for Liar {
+            fn name(&self) -> &'static str {
+                self.inner.name()
+            }
+            fn schedule_into(
+                &self,
+                chain: &TaskChain,
+                _: Resources,
+                _: &mut SchedScratch,
+                out: &mut Solution,
+            ) -> bool {
+                *out = Solution::new(vec![amp_core::Stage::new(
+                    0,
+                    chain.len(),
+                    1,
+                    amp_core::CoreType::Big,
+                )]);
+                true
+            }
+        }
+        let wrap: StrategyWrap = Arc::new(|inner: Box<dyn Scheduler>| -> Box<dyn Scheduler> {
+            if inner.name() == "FERTAC" {
+                Box::new(Liar { inner })
+            } else {
+                inner
+            }
+        });
+        let e = Engine::start(EngineConfig {
+            workers: 1,
+            racer_threads: 0,
+            queue_depth: 8,
+            cache_capacity: 16,
+            cache_shards: 1,
+            fault_wrap: Some(wrap),
+            ..EngineConfig::default()
+        });
+        let req = ScheduleRequest::from_chain(
+            1,
+            &chain(),
+            Resources::new(2, 2),
+            Policy::Strategy("FERTAC".to_string()),
+        );
+        match e.schedule_blocking(req).result {
+            Err(ServiceError::Internal(msg)) => assert!(msg.contains("invalid"), "{msg}"),
+            other => panic!("expected Internal error, got {other:?}"),
+        }
+        assert_eq!(e.cache_stats().insertions, 0);
+        assert_eq!(e.metrics().invalid_solutions, 1);
     }
 }

@@ -29,6 +29,10 @@ pub enum ServiceError {
     Overloaded,
     /// The engine is shutting down and no longer accepts requests.
     ShuttingDown,
+    /// The engine was configured with zero workers, so a blocking call
+    /// could never be answered; it refuses up front instead of
+    /// deadlocking.
+    NoWorkers,
     /// An internal invariant was violated (a worker panicked, a channel
     /// closed unexpectedly, ...). Carries a diagnostic message.
     Internal(String),
@@ -45,6 +49,7 @@ impl ServiceError {
             ServiceError::Infeasible => "INFEASIBLE",
             ServiceError::Overloaded => "OVERLOADED",
             ServiceError::ShuttingDown => "SHUTTING_DOWN",
+            ServiceError::NoWorkers => "NO_WORKERS",
             ServiceError::Internal(_) => "INTERNAL",
         }
     }
@@ -65,6 +70,12 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "request queue full; try again later")
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::NoWorkers => {
+                write!(
+                    f,
+                    "engine has no workers; a blocking call would never return"
+                )
+            }
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -87,6 +98,7 @@ mod tests {
             ServiceError::Infeasible,
             ServiceError::Overloaded,
             ServiceError::ShuttingDown,
+            ServiceError::NoWorkers,
             ServiceError::Internal("boom".to_string()),
         ];
         let codes: Vec<&str> = all.iter().map(ServiceError::code).collect();
@@ -99,6 +111,7 @@ mod tests {
                 "INFEASIBLE",
                 "OVERLOADED",
                 "SHUTTING_DOWN",
+                "NO_WORKERS",
                 "INTERNAL"
             ]
         );

@@ -6,19 +6,28 @@
 //! resource pool, a strategy [`Policy`] and an optional deadline — over
 //! bounded channels and receive exactly one [`ScheduleResponse`] each.
 //!
-//! The service layers four mechanisms on top of the core algorithms:
+//! The service layers five mechanisms on top of the core algorithms:
 //!
 //! * **[`cache`]** — a sharded LRU keyed by the instance's canonical
 //!   fingerprint (weights, replicability mask, resource pool, policy), so
 //!   repeated instances are answered bit-identically without recomputing;
 //! * **[`portfolio`]** — a deadline-bounded strategy portfolio: FERTAC
 //!   inline for an instant feasible answer, HeRAD and a node-budgeted
-//!   2CATAC raced on spawned threads, best period (ties: fewest big
-//!   cores, then fewest cores — the paper's secondary objective) wins;
+//!   2CATAC raced on the persistent racer pool, best period (ties:
+//!   fewest big cores, then fewest cores — the paper's secondary
+//!   objective) wins; only runs where every member reported are marked
+//!   `complete` and thus cacheable;
+//! * **[`racer`]** — a persistent, bounded pool of racer threads with
+//!   cooperative per-request cancellation, panic containment and
+//!   racer-side solution validation (no per-request `thread::spawn`);
 //! * **[`engine`]** — a crossbeam worker pool with a bounded job queue,
-//!   explicit [`ServiceError::Overloaded`] backpressure and
+//!   explicit [`ServiceError::Overloaded`] backpressure, per-request
+//!   panic isolation (a panicking strategy becomes a typed
+//!   [`ServiceError::Internal`] response, never a dropped reply),
+//!   revive-in-place worker supervision, validate-before-cache and
 //!   drain-then-join graceful shutdown;
-//! * **[`metrics`]** — lock-free counters and a latency histogram
+//! * **[`metrics`]** — lock-free counters (including panic, invalid
+//!   solution and thread-accounting gauges) and a latency histogram
 //!   exported as a JSON snapshot.
 //!
 //! ## Quickstart
@@ -47,6 +56,7 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod portfolio;
+pub mod racer;
 pub mod request;
 
 pub use cache::{CacheKey, CacheStats, SolutionCache};
@@ -54,6 +64,7 @@ pub use engine::{Engine, EngineConfig};
 pub use error::ServiceError;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use portfolio::{PortfolioConfig, PortfolioOutcome};
+pub use racer::{solution_is_sound, RacerPool, RacerPoolStats, StrategyWrap};
 pub use request::{
     format_period, Policy, ScheduleOutcome, ScheduleRequest, ScheduleResponse, TaskSpec,
 };

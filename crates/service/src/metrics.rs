@@ -30,6 +30,18 @@ pub struct ServiceMetrics {
     portfolio_complete: AtomicU64,
     /// Portfolio runs truncated by their deadline.
     portfolio_truncated: AtomicU64,
+    /// Panics caught by a worker's per-request guard (or its
+    /// supervision shell) — each became a typed `Internal` response.
+    worker_panics: AtomicU64,
+    /// Solutions rejected by the engine's validate-before-cache vet.
+    invalid_solutions: AtomicU64,
+    /// Worker threads currently in their serve loop.
+    workers_alive: AtomicU64,
+    /// Worker/racer threads the engine failed to spawn (pool degraded).
+    spawn_failures: AtomicU64,
+    /// OS threads created over the engine's lifetime (workers + racers).
+    /// Constant after startup: steady-state requests spawn nothing.
+    threads_spawned: AtomicU64,
     /// End-to-end latency histogram (enqueue → response), ns buckets.
     latency: [AtomicU64; BUCKETS],
 }
@@ -45,6 +57,11 @@ impl ServiceMetrics {
             rejected: AtomicU64::new(0),
             portfolio_complete: AtomicU64::new(0),
             portfolio_truncated: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            invalid_solutions: AtomicU64::new(0),
+            workers_alive: AtomicU64::new(0),
+            spawn_failures: AtomicU64::new(0),
+            threads_spawned: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -79,6 +96,36 @@ impl ServiceMetrics {
         }
     }
 
+    /// Counts a panic caught on the worker compute path.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a solution refused by the validate-before-cache vet.
+    pub fn record_invalid_solution(&self) {
+        self.invalid_solutions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one worker as entering its serve loop.
+    pub fn record_worker_started(&self) {
+        self.workers_alive.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one worker as having exited its serve loop for good.
+    pub fn record_worker_stopped(&self) {
+        self.workers_alive.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts a failed thread spawn (the pool runs degraded).
+    pub fn record_spawn_failure(&self) {
+        self.spawn_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to the lifetime thread-creation count.
+    pub fn record_threads_spawned(&self, n: u64) {
+        self.threads_spawned.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of all counters (each
     /// counter is read atomically; the set is not a global snapshot).
     #[must_use]
@@ -94,6 +141,14 @@ impl ServiceMetrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             portfolio_complete: self.portfolio_complete.load(Ordering::Relaxed),
             portfolio_truncated: self.portfolio_truncated.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            invalid_solutions: self.invalid_solutions.load(Ordering::Relaxed),
+            workers_alive: self.workers_alive.load(Ordering::Relaxed),
+            spawn_failures: self.spawn_failures.load(Ordering::Relaxed),
+            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
+            racer_panics: 0,
+            racer_invalid: 0,
+            racer_cancelled: 0,
             latency,
         }
     }
@@ -120,7 +175,30 @@ pub struct MetricsSnapshot {
     pub portfolio_complete: u64,
     /// Portfolio runs truncated by a deadline.
     pub portfolio_truncated: u64,
-    /// Latency histogram; bucket `i` counts latencies below `2^i` ns.
+    /// Panics caught on worker compute paths (each answered with a
+    /// typed `Internal` response).
+    pub worker_panics: u64,
+    /// Solutions refused by the validate-before-cache vet.
+    pub invalid_solutions: u64,
+    /// Worker threads currently serving.
+    pub workers_alive: u64,
+    /// Failed thread spawns (worker or racer pool degraded).
+    pub spawn_failures: u64,
+    /// OS threads created over the engine's lifetime.
+    pub threads_spawned: u64,
+    /// Panics caught inside portfolio racer threads.
+    /// ([`Engine::metrics`](crate::Engine::metrics) fills this from the
+    /// racer pool; a bare [`ServiceMetrics::snapshot`] leaves it 0.)
+    pub racer_panics: u64,
+    /// Racer solutions rejected as invalid before reporting (same
+    /// sourcing as `racer_panics`).
+    pub racer_invalid: u64,
+    /// Racer jobs skipped because their request was already answered
+    /// (same sourcing as `racer_panics`).
+    pub racer_cancelled: u64,
+    /// Latency histogram; bucket `i` counts latencies in the disjoint
+    /// range `[2^(i-1), 2^i)` ns (bucket 0: below 1 ns; bucket 63 also
+    /// absorbs everything at or above `2^63` ns).
     pub latency: [u64; BUCKETS],
 }
 
@@ -166,6 +244,14 @@ impl MetricsSnapshot {
         field(&mut s, "rejected", self.rejected);
         field(&mut s, "portfolio_complete", self.portfolio_complete);
         field(&mut s, "portfolio_truncated", self.portfolio_truncated);
+        field(&mut s, "worker_panics", self.worker_panics);
+        field(&mut s, "invalid_solutions", self.invalid_solutions);
+        field(&mut s, "workers_alive", self.workers_alive);
+        field(&mut s, "spawn_failures", self.spawn_failures);
+        field(&mut s, "threads_spawned", self.threads_spawned);
+        field(&mut s, "racer_panics", self.racer_panics);
+        field(&mut s, "racer_invalid", self.racer_invalid);
+        field(&mut s, "racer_cancelled", self.racer_cancelled);
         field(&mut s, "latency_p50_ns", self.latency_quantile_ns(0.50));
         field(&mut s, "latency_p90_ns", self.latency_quantile_ns(0.90));
         field(&mut s, "latency_p99_ns", self.latency_quantile_ns(0.99));
@@ -219,8 +305,56 @@ mod tests {
         m.record_response(Duration::from_nanos(100), false);
         let json = m.snapshot().to_json();
         assert!(json.starts_with("{\"requests\":1,\"responses\":1,"));
+        assert!(json.contains("\"worker_panics\":0"));
+        assert!(json.contains("\"racer_panics\":0"));
         assert!(json.contains("\"latency_p99_ns\":"));
         assert!(json.ends_with('}'));
         assert_eq!(json.matches('{').count(), 1);
+    }
+
+    /// Pins the histogram's edge semantics: a zero-duration response
+    /// lands in bucket 0 (the `[0, 1)` ns range) and anything at or
+    /// beyond `2^63` ns saturates into bucket 63 instead of indexing
+    /// out of bounds.
+    #[test]
+    fn latency_buckets_pin_zero_and_saturation_edges() {
+        let m = ServiceMetrics::new();
+        m.record_response(Duration::ZERO, false);
+        let s = m.snapshot();
+        assert_eq!(s.latency[0], 1, "Duration::ZERO belongs in bucket 0");
+        assert_eq!(s.latency[1..].iter().sum::<u64>(), 0);
+
+        let m = ServiceMetrics::new();
+        // u64::MAX ns (and anything >= 2^63 ns, including the u128 →
+        // u64 clamp of absurd durations) must saturate into bucket 63.
+        m.record_response(Duration::from_nanos(u64::MAX), false);
+        m.record_response(Duration::from_secs(u64::MAX), false);
+        let s = m.snapshot();
+        assert_eq!(s.latency[63], 2);
+        assert_eq!(s.latency[..63].iter().sum::<u64>(), 0);
+        assert_eq!(s.latency_quantile_ns(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn robustness_counters_accumulate() {
+        let m = ServiceMetrics::new();
+        m.record_worker_started();
+        m.record_worker_started();
+        m.record_worker_panic();
+        m.record_invalid_solution();
+        m.record_spawn_failure();
+        m.record_threads_spawned(6);
+        m.record_worker_stopped();
+        let s = m.snapshot();
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.invalid_solutions, 1);
+        assert_eq!(s.workers_alive, 1);
+        assert_eq!(s.spawn_failures, 1);
+        assert_eq!(s.threads_spawned, 6);
+        // Racer counters are merged in by `Engine::metrics`, not here.
+        assert_eq!(
+            (s.racer_panics, s.racer_invalid, s.racer_cancelled),
+            (0, 0, 0)
+        );
     }
 }

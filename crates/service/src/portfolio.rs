@@ -3,8 +3,9 @@
 //! One request, three strategies, bounded wall-clock: FERTAC runs
 //! immediately on the calling thread (microseconds, always finishes),
 //! while HeRAD (optimal but `O(n²·b·l)` DP) and a node-budgeted 2CATAC
-//! race on freshly spawned threads. The portfolio then collects racer
-//! results until the deadline and returns the best solution seen:
+//! race on the engine's persistent [`RacerPool`]. The portfolio then
+//! collects racer reports until the deadline and returns the best
+//! solution seen:
 //!
 //! * primary objective — smallest period (the paper's throughput goal);
 //! * secondary objective — fewest big cores, then fewest cores overall
@@ -13,20 +14,34 @@
 //! With no deadline the portfolio waits for every racer, so its period
 //! equals HeRAD's optimum. With a deadline that already passed it still
 //! returns the inline FERTAC solution — a valid schedule, never an error,
-//! merely possibly improvable. The `complete` flag records which of the
-//! two happened; incomplete outcomes are not cacheable.
+//! merely possibly improvable.
 //!
-//! Racer threads are detached: a deadline abandons their *results*, not
-//! their execution, so a runaway HeRAD finishes in the background and its
-//! thread exits. The node budget keeps 2CATAC's worst-case exponential
-//! search bounded regardless.
+//! ## The `complete` flag, precisely
+//!
+//! `complete` is a *cacheability certificate*: it is `true` only when
+//! both racers were submitted, ran, and reported a usable verdict
+//! (solution or infeasible) before the deadline. Anything less — a
+//! deadline hit, a racer that panicked, an invalid racer solution, a
+//! full racer queue, a degraded (even empty) pool — clears it, because
+//! the result can no longer be proven HeRAD-optimal and caching it would
+//! replay a possibly-improvable answer bit-identical to every later
+//! identical request. In particular a racer that *dies without
+//! reporting* (channel disconnect with reports still missing) clears the
+//! flag: an earlier version left `complete == true` on that path and
+//! poisoned the cache.
+//!
+//! Racer execution is pooled, isolated and cancellable — see
+//! [`racer`](crate::racer) for the thread-lifecycle design.
 
-use std::thread;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use amp_core::sched::{Fertac, Herad, SchedScratch, Scheduler, Twocatac};
 use amp_core::{Ratio, Resources, Solution, TaskChain};
 use crossbeam::channel;
+
+use crate::racer::{self, RacerJob, RacerPool, RacerResult};
 
 /// Tuning knobs of the portfolio.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +59,9 @@ impl Default for PortfolioConfig {
     }
 }
 
+/// Number of racing strategies a portfolio run submits to the pool.
+pub const N_RACERS: usize = 2;
+
 /// The winning result of one portfolio run.
 #[derive(Clone, Debug)]
 pub struct PortfolioOutcome {
@@ -53,7 +71,8 @@ pub struct PortfolioOutcome {
     pub solution: Solution,
     /// Its period on the request chain.
     pub period: Ratio,
-    /// `true` when every member reported before the deadline.
+    /// `true` when every member reported a usable verdict in time; the
+    /// cacheability certificate (see the module docs).
     pub complete: bool,
 }
 
@@ -70,13 +89,25 @@ fn beats(cand_period: Ratio, cand: &Solution, inc_period: Ratio, inc: &Solution)
     c.total() < i.total()
 }
 
+/// Flips the request's cancellation flag when dropped, so queued racer
+/// jobs are skipped whether the collector returns normally, times out,
+/// or unwinds out of this function entirely (e.g. an injected panic in
+/// the inline member).
+struct CancelOnDrop(Arc<AtomicBool>);
+
+impl Drop for CancelOnDrop {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
 /// Runs the portfolio for one instance. `deadline` bounds how long the
 /// caller waits for the racing strategies; `None` waits for all of them.
 /// `scratch` backs the inline FERTAC solve, so a worker that keeps its
-/// scratch across requests pays no allocation for the guaranteed member
-/// (the racers allocate their own state on their own threads). Returns
-/// `None` only when *no* member (FERTAC included) found a valid mapping —
-/// e.g. an empty chain or a zero-core pool.
+/// scratch across requests pays no allocation for the guaranteed member;
+/// the racers reuse the pool threads' own arenas. Steady state spawns no
+/// OS threads. Returns `None` only when *no* member (FERTAC included)
+/// found a valid mapping — e.g. an empty chain or a zero-core pool.
 #[must_use]
 pub fn run(
     chain: &TaskChain,
@@ -84,35 +115,59 @@ pub fn run(
     deadline: Option<Instant>,
     cfg: &PortfolioConfig,
     scratch: &mut SchedScratch,
+    pool: &RacerPool,
 ) -> Option<PortfolioOutcome> {
-    let (tx, rx) = channel::unbounded::<(&'static str, Option<Solution>)>();
-    let racers: [Box<dyn Scheduler + Send>; 2] = [
+    let (tx, rx) = channel::bounded(N_RACERS);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let _cancel_guard = CancelOnDrop(Arc::clone(&cancel));
+    let generation = pool.next_generation();
+    let racers: [Box<dyn Scheduler>; N_RACERS] = [
         Box::new(Herad::new()),
         Box::new(Twocatac::with_node_budget(cfg.twocatac_node_budget)),
     ];
-    let n_racers = racers.len();
-    for racer in racers {
-        let tx = tx.clone();
-        let chain = chain.clone();
-        thread::spawn(move || {
-            // A send after the collector gave up just returns Err; the
-            // detached racer then exits quietly.
-            let _ = tx.send((racer.name(), racer.schedule(&chain, resources)));
+    let mut submitted = 0usize;
+    for strategy in racers {
+        let accepted = pool.try_submit(RacerJob {
+            strategy: pool.wrapped(strategy),
+            chain: chain.clone(),
+            resources,
+            generation,
+            cancel: Arc::clone(&cancel),
+            reply: tx.clone(),
         });
+        if accepted {
+            submitted += 1;
+        }
     }
     drop(tx);
 
+    // A racer the pool could not take (no live threads, full queue) is a
+    // member that will never report: the outcome cannot be complete.
+    let mut complete = submitted == N_RACERS;
+
+    // Vet the inline member before *anything* derives from its stages —
+    // an invalid FERTAC solution (possible only through fault injection
+    // or a real scheduler bug) must neither win nor certify
+    // completeness, and computing a period from out-of-range stages
+    // would panic.
+    let fertac = pool.wrapped(Box::new(Fertac));
     let mut fertac_out = Solution::empty();
-    let mut best: Option<(&'static str, Solution, Ratio)> = Fertac
-        .schedule_into(chain, resources, scratch, &mut fertac_out)
-        .then(|| {
-            let period = fertac_out.period(chain);
-            (Fertac.name(), fertac_out, period)
-        });
+    let mut best: Option<(&'static str, Solution, Ratio)> =
+        if fertac.schedule_into(chain, resources, scratch, &mut fertac_out) {
+            if racer::solution_is_sound(&fertac_out, chain, resources) {
+                let period = fertac_out.period(chain);
+                Some((fertac.name(), fertac_out, period))
+            } else {
+                pool.record_inline_invalid();
+                complete = false;
+                None
+            }
+        } else {
+            None
+        };
 
     let mut received = 0;
-    let mut complete = true;
-    while received < n_racers {
+    while received < submitted {
         let msg = match deadline {
             Some(d) => rx.recv_deadline(d),
             None => rx
@@ -120,24 +175,39 @@ pub fn run(
                 .map_err(|_| channel::RecvTimeoutError::Disconnected),
         };
         match msg {
-            Ok((name, Some(solution))) => {
+            Ok(report) => {
                 received += 1;
-                let period = solution.period(chain);
-                let better = match &best {
-                    Some((_, inc, inc_period)) => beats(period, &solution, *inc_period, inc),
-                    None => true,
-                };
-                if better {
-                    best = Some((name, solution, period));
+                match report.result {
+                    RacerResult::Solved(solution) => {
+                        let period = solution.period(chain);
+                        let better = match &best {
+                            Some((_, inc, inc_period)) => {
+                                beats(period, &solution, *inc_period, inc)
+                            }
+                            None => true,
+                        };
+                        if better {
+                            best = Some((report.name, solution, period));
+                        }
+                    }
+                    RacerResult::Infeasible => {}
+                    // A panicked or invalid racer reported, but nothing
+                    // usable: the result cannot be proven optimal.
+                    RacerResult::Failed => complete = false,
                 }
             }
-            Ok((_, None)) => received += 1,
             Err(channel::RecvTimeoutError::Timeout) => {
                 complete = false;
                 break;
             }
             Err(channel::RecvTimeoutError::Disconnected) => {
-                // All racer threads are gone; whatever arrived, arrived.
+                // Every sender is gone. If reports are still missing, a
+                // racer died (or was skipped) without reporting — the
+                // outcome is NOT complete. Leaving `complete` untouched
+                // here was the cache-poisoning bug this module fixes.
+                if received < submitted {
+                    complete = false;
+                }
                 break;
             }
         }
@@ -154,6 +224,7 @@ pub fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::racer::StrategyWrap;
     use amp_core::{CoreType, Stage, Task};
 
     fn chain() -> TaskChain {
@@ -165,16 +236,47 @@ mod tests {
         ])
     }
 
+    /// A wrap that panics inside the named strategy and passes every
+    /// other one through untouched.
+    fn panic_in(name: &'static str) -> StrategyWrap {
+        struct Bomb {
+            inner: Box<dyn Scheduler>,
+        }
+        impl Scheduler for Bomb {
+            fn name(&self) -> &'static str {
+                self.inner.name()
+            }
+            fn schedule_into(
+                &self,
+                _: &TaskChain,
+                _: Resources,
+                _: &mut SchedScratch,
+                _: &mut Solution,
+            ) -> bool {
+                panic!("injected panic in {}", self.inner.name());
+            }
+        }
+        Arc::new(move |inner: Box<dyn Scheduler>| -> Box<dyn Scheduler> {
+            if inner.name() == name {
+                Box::new(Bomb { inner })
+            } else {
+                inner
+            }
+        })
+    }
+
     #[test]
     fn unlimited_deadline_matches_herad_optimum() {
         let c = chain();
         let res = Resources::new(2, 2);
+        let pool = RacerPool::new(2, None);
         let out = run(
             &c,
             res,
             None,
             &PortfolioConfig::default(),
             &mut SchedScratch::new(),
+            &pool,
         )
         .expect("feasible");
         let opt = Herad::new().optimal_period(&c, res).expect("feasible");
@@ -188,6 +290,7 @@ mod tests {
     fn expired_deadline_still_returns_a_valid_solution() {
         let c = chain();
         let res = Resources::new(2, 2);
+        let pool = RacerPool::new(2, None);
         let deadline = Instant::now(); // already passed once we wait
         let out = run(
             &c,
@@ -195,6 +298,7 @@ mod tests {
             Some(deadline),
             &PortfolioConfig::default(),
             &mut SchedScratch::new(),
+            &pool,
         )
         .expect("FERTAC always reports");
         assert!(out.solution.validate(&c).is_ok());
@@ -207,15 +311,132 @@ mod tests {
 
     #[test]
     fn infeasible_instance_returns_none() {
-        let c = chain();
+        let pool = RacerPool::new(2, None);
         assert!(run(
-            &c,
+            &chain(),
             Resources::new(0, 0),
             None,
             &PortfolioConfig::default(),
             &mut SchedScratch::new(),
+            &pool,
         )
         .is_none());
+    }
+
+    /// The headline regression: a racer that panics (dies without a
+    /// usable report) must clear `complete`, with or without a deadline.
+    /// Before the fix, the disconnect path returned `complete == true`
+    /// and the engine cached the FERTAC answer as HeRAD-optimal.
+    #[test]
+    fn dead_racer_clears_the_complete_flag() {
+        let c = chain();
+        let res = Resources::new(2, 2);
+        let pool = RacerPool::new(2, Some(panic_in("HeRAD")));
+        let out = run(
+            &c,
+            res,
+            None,
+            &PortfolioConfig::default(),
+            &mut SchedScratch::new(),
+            &pool,
+        )
+        .expect("FERTAC and 2CATAC still answer");
+        assert!(
+            !out.complete,
+            "a panicked racer must not certify completeness"
+        );
+        assert!(out.solution.validate(&c).is_ok());
+        assert_eq!(pool.stats().panics, 1);
+    }
+
+    /// Satellite regression: the doc promise "an expired deadline still
+    /// returns the inline FERTAC solution — never an error" holds even
+    /// when a racer panics before FERTAC's result is collected.
+    #[test]
+    fn expired_deadline_with_panicking_racer_still_answers() {
+        let c = chain();
+        let res = Resources::new(2, 2);
+        let pool = RacerPool::new(2, Some(panic_in("HeRAD")));
+        let out = run(
+            &c,
+            res,
+            Some(Instant::now()),
+            &PortfolioConfig::default(),
+            &mut SchedScratch::new(),
+            &pool,
+        )
+        .expect("never an error on an expired deadline");
+        assert!(!out.complete);
+        assert!(out.solution.validate(&c).is_ok());
+        assert!(out.solution.is_valid(&c, res, out.period));
+    }
+
+    /// A degraded (zero-thread) pool serves FERTAC-only and reports the
+    /// outcome incomplete, so it is never cached as optimal.
+    #[test]
+    fn zero_thread_pool_degrades_to_fertac_only() {
+        let c = chain();
+        let res = Resources::new(2, 2);
+        let pool = RacerPool::new(0, None);
+        let out = run(
+            &c,
+            res,
+            None,
+            &PortfolioConfig::default(),
+            &mut SchedScratch::new(),
+            &pool,
+        )
+        .expect("inline FERTAC still answers");
+        assert_eq!(out.strategy, "FERTAC");
+        assert!(!out.complete);
+        let fertac = Fertac.schedule(&c, res).unwrap();
+        assert_eq!(out.period, fertac.period(&c));
+    }
+
+    /// An invalid racer solution is discarded (never wins) and clears
+    /// completeness.
+    #[test]
+    fn invalid_racer_solution_is_discarded() {
+        struct Liar {
+            inner: Box<dyn Scheduler>,
+        }
+        impl Scheduler for Liar {
+            fn name(&self) -> &'static str {
+                self.inner.name()
+            }
+            fn schedule_into(
+                &self,
+                chain: &TaskChain,
+                _: Resources,
+                _: &mut SchedScratch,
+                out: &mut Solution,
+            ) -> bool {
+                *out = Solution::new(vec![Stage::new(0, chain.len(), 1, CoreType::Big)]);
+                true
+            }
+        }
+        let wrap: StrategyWrap = Arc::new(|inner: Box<dyn Scheduler>| -> Box<dyn Scheduler> {
+            if inner.name() == "HeRAD" {
+                Box::new(Liar { inner })
+            } else {
+                inner
+            }
+        });
+        let c = chain();
+        let res = Resources::new(2, 2);
+        let pool = RacerPool::new(2, Some(wrap));
+        let out = run(
+            &c,
+            res,
+            None,
+            &PortfolioConfig::default(),
+            &mut SchedScratch::new(),
+            &pool,
+        )
+        .expect("other members answer");
+        assert!(!out.complete);
+        assert!(out.solution.validate(&c).is_ok());
+        assert_eq!(pool.stats().invalid, 1);
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Panic-safety suite: the engine's robustness contract under injected
+//! faults, at scale.
+//!
+//! The contract (see the `engine` module docs): no accepted request is
+//! ever dropped without a response, no response id is ever duplicated,
+//! a panicking strategy yields a typed `INTERNAL` error (not a dead
+//! worker), the worker pool stays at its configured size, incomplete or
+//! invalid outcomes never enter the cache, and the metrics account for
+//! every injected fault.
+//!
+//! Faults are injected through `EngineConfig::fault_wrap` — the same
+//! seam the conformance chaos layer uses — with a deterministic
+//! schedule: the wrapper decides per compute-call from a shared atomic
+//! call counter, so a given (engine, request stream) pair always
+//! injects the same faults.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use amp_core::sched::{SchedScratch, Scheduler};
+use amp_core::{Resources, Solution, Task, TaskChain};
+use amp_service::{
+    Engine, EngineConfig, Policy, PortfolioConfig, ScheduleRequest, ServiceError, StrategyWrap,
+};
+use crossbeam::channel;
+
+/// Panics on every `period`-th compute call (1 = always), otherwise
+/// delegates to the wrapped strategy.
+struct PeriodicBomb {
+    inner: Box<dyn Scheduler>,
+    calls: Arc<AtomicU64>,
+    period: u64,
+}
+
+impl Scheduler for PeriodicBomb {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn schedule_into(
+        &self,
+        chain: &TaskChain,
+        resources: Resources,
+        scratch: &mut SchedScratch,
+        out: &mut Solution,
+    ) -> bool {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.period) {
+            panic!("chaos: injected panic on compute call {n}");
+        }
+        self.inner.schedule_into(chain, resources, scratch, out)
+    }
+}
+
+/// Wraps every scheduler the engine runs in a [`PeriodicBomb`] sharing
+/// one call counter. Returns the wrap and the counter (for accounting).
+fn bomb_every(period: u64) -> (StrategyWrap, Arc<AtomicU64>) {
+    let calls = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&calls);
+    let wrap: StrategyWrap = Arc::new(move |inner: Box<dyn Scheduler>| -> Box<dyn Scheduler> {
+        Box::new(PeriodicBomb {
+            inner,
+            calls: Arc::clone(&calls),
+            period,
+        })
+    });
+    (wrap, counter)
+}
+
+/// A deterministic stream of distinct instances (splitmix-style PRNG),
+/// so the chaos run exercises cache misses, not one cached answer.
+fn chain_for(seed: u64) -> TaskChain {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let len = 1 + (next() % 10) as usize;
+    let tasks = (0..len)
+        .map(|_| {
+            let wb = 1 + next() % 100;
+            let slow = 1 + next() % 5;
+            Task::new(wb, wb * slow, next() % 2 == 0)
+        })
+        .collect();
+    TaskChain::new(tasks)
+}
+
+fn chaos_engine(workers: usize, wrap: StrategyWrap) -> Engine {
+    Engine::start(EngineConfig {
+        workers,
+        racer_threads: workers * 2,
+        queue_depth: 256,
+        cache_capacity: 512,
+        cache_shards: 4,
+        portfolio: PortfolioConfig::default(),
+        fault_wrap: Some(wrap),
+    })
+}
+
+/// The headline chaos run: ≥10k requests with a panic injected roughly
+/// every 97th compute call, mixed policies. Every accepted request gets
+/// exactly one response, every Ok outcome validates, the worker pool is
+/// still at full strength afterwards, and `status_json` reports the
+/// panics.
+#[test]
+fn chaos_run_loses_no_requests_and_restores_the_pool() {
+    const REQUESTS: u64 = 10_000;
+    let (wrap, calls) = bomb_every(97);
+    let engine = chaos_engine(4, wrap);
+    let (tx, rx) = channel::unbounded();
+
+    let mut accepted = 0u64;
+    for id in 0..REQUESTS {
+        let chain = chain_for(id % 500);
+        let policy = if id % 3 == 0 {
+            Policy::Strategy("HeRAD".to_string())
+        } else {
+            Policy::Portfolio
+        };
+        let req = ScheduleRequest::from_chain(id, &chain, Resources::new(2, 2), policy);
+        // Blocking submit: with live workers every request is accepted.
+        engine.submit(req, tx.clone()).expect("accepted");
+        accepted += 1;
+    }
+    drop(tx);
+
+    let mut seen = HashSet::new();
+    let mut internal_errors = 0u64;
+    for response in rx.iter() {
+        assert!(
+            seen.insert(response.id),
+            "duplicate response for id {}",
+            response.id
+        );
+        match response.result {
+            Ok(outcome) => {
+                let chain = chain_for(response.id % 500);
+                assert!(
+                    outcome.solution().validate(&chain).is_ok(),
+                    "served solution must validate (id {})",
+                    response.id
+                );
+            }
+            Err(ServiceError::Internal(msg)) => {
+                assert!(msg.contains("panic"), "unexpected internal error: {msg}");
+                internal_errors += 1;
+            }
+            Err(other) => panic!("unexpected error under chaos: {other:?}"),
+        }
+    }
+    assert_eq!(seen.len() as u64, accepted, "no response may be lost");
+
+    let m = engine.metrics();
+    assert_eq!(m.responses, accepted);
+    assert_eq!(m.workers_alive, 4, "pool must be restored to full size");
+    assert!(
+        calls.load(Ordering::Relaxed) >= REQUESTS,
+        "chaos actually ran"
+    );
+    assert!(
+        m.worker_panics + m.racer_panics > 0,
+        "at least one fault must have fired"
+    );
+    assert_eq!(
+        m.worker_panics, internal_errors,
+        "every worker panic is a typed Internal response, and vice versa"
+    );
+    // The JSON snapshot carries the panic counts for dashboards.
+    let json = engine.status_json();
+    assert!(json.contains(&format!("\"worker_panics\":{}", m.worker_panics)));
+    assert!(json.contains(&format!("\"racer_panics\":{}", m.racer_panics)));
+    engine.shutdown();
+}
+
+/// Panic on *every* compute call: every single-strategy request comes
+/// back as a typed `INTERNAL` error (never a hang, never a crash), and
+/// the pool still answers cleanly once the chaos wrap stops firing.
+#[test]
+fn always_panicking_strategy_yields_all_internal_errors() {
+    const REQUESTS: u64 = 200;
+    // period 1 => every call panics; flip off via this shared switch.
+    let armed = Arc::new(AtomicU64::new(1));
+    let armed_in_wrap = Arc::clone(&armed);
+    struct SwitchBomb {
+        inner: Box<dyn Scheduler>,
+        armed: Arc<AtomicU64>,
+    }
+    impl Scheduler for SwitchBomb {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn schedule_into(
+            &self,
+            chain: &TaskChain,
+            resources: Resources,
+            scratch: &mut SchedScratch,
+            out: &mut Solution,
+        ) -> bool {
+            if self.armed.load(Ordering::Relaxed) == 1 {
+                panic!("chaos: always panic");
+            }
+            self.inner.schedule_into(chain, resources, scratch, out)
+        }
+    }
+    let wrap: StrategyWrap = Arc::new(move |inner: Box<dyn Scheduler>| -> Box<dyn Scheduler> {
+        Box::new(SwitchBomb {
+            inner,
+            armed: Arc::clone(&armed_in_wrap),
+        })
+    });
+    let engine = chaos_engine(2, wrap);
+    for id in 0..REQUESTS {
+        let req = ScheduleRequest::from_chain(
+            id,
+            &chain_for(id),
+            Resources::new(2, 2),
+            Policy::Strategy("FERTAC".to_string()),
+        );
+        match engine.schedule_blocking(req).result {
+            Err(ServiceError::Internal(_)) => {}
+            other => panic!("expected Internal under total chaos, got {other:?}"),
+        }
+    }
+    let m = engine.metrics();
+    assert_eq!(m.worker_panics, REQUESTS);
+    assert_eq!(m.workers_alive, 2, "pool recovered after every panic");
+    // Disarm: the same engine, same workers, now serves normally.
+    armed.store(0, Ordering::Relaxed);
+    let ok = engine.schedule_blocking(ScheduleRequest::from_chain(
+        REQUESTS,
+        &chain_for(0),
+        Resources::new(2, 2),
+        Policy::Strategy("FERTAC".to_string()),
+    ));
+    assert!(
+        ok.result.is_ok(),
+        "engine must serve again once chaos stops"
+    );
+    engine.shutdown();
+}
+
+/// Racer-side chaos only: portfolio answers stay valid (inline FERTAC
+/// carries them), are reported incomplete, and are never cached — a
+/// replay of the same instance recomputes.
+#[test]
+fn racer_chaos_never_poisons_the_cache() {
+    struct RacerBomb {
+        inner: Box<dyn Scheduler>,
+    }
+    impl Scheduler for RacerBomb {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn schedule_into(
+            &self,
+            _: &TaskChain,
+            _: Resources,
+            _: &mut SchedScratch,
+            _: &mut Solution,
+        ) -> bool {
+            panic!("chaos: racer down");
+        }
+    }
+    // Kill HeRAD (the racer that certifies completeness); FERTAC inline
+    // and the 2CATAC racer still answer.
+    let wrap: StrategyWrap = Arc::new(|inner: Box<dyn Scheduler>| -> Box<dyn Scheduler> {
+        if inner.name() == "HeRAD" {
+            Box::new(RacerBomb { inner })
+        } else {
+            inner
+        }
+    });
+    let engine = chaos_engine(2, wrap);
+    for round in 0..3 {
+        for id in 0..50u64 {
+            let chain = chain_for(id);
+            let req = ScheduleRequest::from_chain(
+                round * 100 + id,
+                &chain,
+                Resources::new(2, 2),
+                Policy::Portfolio,
+            );
+            let outcome = engine.schedule_blocking(req).result.expect("feasible");
+            assert!(!outcome.complete, "a dead racer must clear `complete`");
+            assert!(
+                !outcome.cache_hit,
+                "incomplete outcomes must never be cached"
+            );
+            assert!(outcome.solution().validate(&chain).is_ok());
+        }
+    }
+    assert_eq!(engine.cache_stats().insertions, 0);
+    let m = engine.metrics();
+    assert_eq!(m.portfolio_complete, 0);
+    assert_eq!(m.portfolio_truncated, 150);
+    assert_eq!(m.racer_panics, 150, "one HeRAD death per request");
+    engine.shutdown();
+}

@@ -13,7 +13,7 @@ use std::time::Instant;
 use amp_core::sched::{Herad, SchedScratch, Scheduler};
 use amp_core::{Resources, Task, TaskChain};
 use amp_service::{
-    portfolio, CacheKey, Engine, EngineConfig, Policy, PortfolioConfig, ScheduleRequest,
+    portfolio, CacheKey, Engine, EngineConfig, Policy, PortfolioConfig, RacerPool, ScheduleRequest,
     SolutionCache,
 };
 use proptest::prelude::*;
@@ -31,10 +31,12 @@ fn instance() -> impl Strategy<Value = (TaskChain, Resources)> {
 fn small_engine() -> Engine {
     Engine::start(EngineConfig {
         workers: 2,
+        racer_threads: 4,
         queue_depth: 32,
         cache_capacity: 256,
         cache_shards: 4,
         portfolio: PortfolioConfig::default(),
+        fault_wrap: None,
     })
 }
 
@@ -78,7 +80,8 @@ proptest! {
         prop_assert_eq!(&ka, &kb);
         prop_assert_eq!(ka.fingerprint(), kb.fingerprint());
 
-        let out = portfolio::run(&chain, res, None, &PortfolioConfig::default(), &mut SchedScratch::new());
+        let pool = RacerPool::new(2, None);
+        let out = portfolio::run(&chain, res, None, &PortfolioConfig::default(), &mut SchedScratch::new(), &pool);
         prop_assume!(out.is_some());
         let out = out.unwrap();
         let outcome = amp_service::ScheduleOutcome::from_solution(
@@ -95,7 +98,8 @@ proptest! {
     /// is the instance's optimum.
     #[test]
     fn unlimited_deadline_is_herad_optimal((chain, res) in instance()) {
-        let out = portfolio::run(&chain, res, None, &PortfolioConfig::default(), &mut SchedScratch::new())
+        let pool = RacerPool::new(2, None);
+        let out = portfolio::run(&chain, res, None, &PortfolioConfig::default(), &mut SchedScratch::new(), &pool)
             .expect("at least one core is available");
         prop_assert!(out.complete);
         let opt = Herad::new().optimal_period(&chain, res).unwrap();
@@ -109,7 +113,8 @@ proptest! {
     #[test]
     fn tight_deadline_is_valid_and_fertac_or_better((chain, res) in instance()) {
         let deadline = Some(Instant::now());
-        let out = portfolio::run(&chain, res, deadline, &PortfolioConfig::default(), &mut SchedScratch::new())
+        let pool = RacerPool::new(2, None);
+        let out = portfolio::run(&chain, res, deadline, &PortfolioConfig::default(), &mut SchedScratch::new(), &pool)
             .expect("FERTAC always answers feasible instances");
         prop_assert!(out.solution.validate(&chain).is_ok());
         prop_assert!(out.solution.is_valid(&chain, res, out.period));

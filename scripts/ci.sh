@@ -10,8 +10,18 @@ cargo test -q
 
 # Conformance gate: replay the regression corpus, then fuzz a bounded
 # batch of seeded instances (small n so the exhaustive oracle stays fast)
-# against the oracle, the metamorphic properties and the service engine.
+# against the oracle, the metamorphic properties, the service engine and
+# the fault-injection (chaos) harness — deterministic injection keyed on
+# instance content, so any failure replays locally with the same seeds.
 cargo run --release -p amp-conformance -- --seeds 500 --max-tasks 8 --max-big 4 --max-little 4
+
+# Chaos gate: a second bounded seed window through the same runner with
+# only the service + chaos layers (skipping the oracle keeps it fast),
+# plus the service crate's panic-safety and thread-stability suites in
+# release mode (10k-request chaos run, pool-recovery and no-new-threads
+# assertions).
+cargo run --release -p amp-conformance -- --seeds 250 --seed-start 1000 --no-corpus --max-tasks 8 --max-big 4 --max-little 4
+cargo test --release -q -p amp-service --test panic_safety --test thread_stability
 
 # Perf gate: a small deterministic sweep through the perf runner; fails
 # if warm-scratch HeRAD performs any steady-state heap allocation.
