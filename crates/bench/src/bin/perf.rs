@@ -1,26 +1,44 @@
 //! `perf` — the reproducible scheduler perf runner.
 //!
-//! Times four hot paths per strategy over a deterministic, seeded
+//! Times five hot paths per strategy over a deterministic, seeded
 //! workload (the shared `amp-conformance` generator, filtered to chains
 //! long enough to exercise the DP table):
 //!
 //! * **cold** — the legacy allocating `schedule()` (fresh scratch and
-//!   output per solve), repeated per instance;
+//!   output per solve) at the fixed benchmark pool, repeated per
+//!   instance;
 //! * **warm** — `schedule_into()` re-solving the *same* instance on one
 //!   persistent [`SchedScratch`]: the steady state of service
 //!   resubmissions, where HeRAD's replay memo short-circuits the DP;
-//! * **warm_sweep** — `schedule_into()` across *distinct* consecutive
-//!   instances on one persistent scratch: the sweep steady state, where
-//!   only the arena (table + stage-pool reuse) helps;
-//! * **batched** — `schedule_many()` over the whole instance set with a
-//!   fixed worker count.
+//! * **cold_sweep / warm_sweep** — the same `(b, ℓ)` *grid sweep* (every
+//!   chain at every pool in `SWEEP_STEPS²`, chain-major) solved cold
+//!   versus on one persistent scratch. The sweep is the shape behind the
+//!   paper's Table II and the campaign heatmaps; the warm path is where
+//!   HeRAD's pool-delta warm starts turn sixteen solves per chain into
+//!   one incremental table. `sweep_speedup` is the ratio of the two
+//!   medians;
+//! * **batched** — `schedule_many_with()` over the whole grid with a
+//!   fixed worker count and *persistent* per-worker scratches, timed for
+//!   `2·reps` rounds after one untimed warm-up round (one wall-clock
+//!   sample per round, normalized to ns/solve — the rounds are the
+//!   sample population, so median and p99 are distinct order statistics).
 //!
 //! A separate, untimed pass counts heap allocations through the
-//! [`TrackingAllocator`] installed as the global allocator. The run
-//! writes `BENCH_sched.json` (median/p99 ns per solve plus allocation
-//! counts) and **exits non-zero if the warm HeRAD steady state performs
-//! any heap allocation** — the regression the scratch arena exists to
-//! prevent.
+//! [`TrackingAllocator`] installed as the global allocator (batched
+//! allocations are counted over a quiesced round, after the warm-up).
+//! A `ratio_cmp` micro-benchmark times `Ratio::cmp` on integer,
+//! equal-denominator and cross-denominator operand mixes — the DP inner
+//! loop compares stage weights that are overwhelmingly integers or
+//! same-core-count rationals, which is exactly the equal-denominator
+//! fast path.
+//!
+//! The run writes `BENCH_sched.json` and **exits non-zero** if any of
+//! the HeRAD gates fail:
+//!
+//! * the warm steady state performs any heap allocation;
+//! * `sweep_speedup < 1.5` (pool-delta warm starts regressed);
+//! * the batched median exceeds the cold median (batching must never be
+//!   slower than solving cold on one thread).
 //!
 //! ```text
 //! perf [--smoke] [--out PATH]
@@ -32,8 +50,8 @@
 
 use amp_bench::alloc_track::{self, TrackingAllocator};
 use amp_conformance::gen::{instance_for_seed, GenConfig};
-use amp_core::sched::{schedule_many, Fertac, Herad, Otac, SchedScratch, Scheduler, Twocatac};
-use amp_core::{Resources, Solution, TaskChain};
+use amp_core::sched::{schedule_many_with, Fertac, Herad, Otac, SchedScratch, Scheduler, Twocatac};
+use amp_core::{Ratio, Resources, Solution, TaskChain};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -44,12 +62,18 @@ static ALLOC: TrackingAllocator = TrackingAllocator;
 /// workload's feasible probes, small enough to bound the worst case.
 const TWOCATAC_NODE_BUDGET: u64 = 1 << 14;
 
-/// Fixed benchmark pool: every solve fills the full `n·(B+1)·(L+1)` DP
-/// table, so warm-vs-cold isolates the table reuse, not pool luck.
+/// Fixed benchmark pool: every cold/warm solve fills the full
+/// `n·(B+1)·(L+1)` DP table, so warm-vs-cold isolates the table reuse,
+/// not pool luck.
 const POOL: Resources = Resources {
     big: 12,
     little: 12,
 };
+
+/// Per-axis core counts of the sweep grid: every chain is solved at every
+/// `(b, ℓ) ∈ SWEEP_STEPS²`, ascending, chain-major — the Table II /
+/// campaign access pattern that pool-delta warm starts accelerate.
+const SWEEP_STEPS: [u64; 4] = [3, 6, 9, 12];
 
 /// Only chains with at least this many tasks enter the workload — the
 /// hot path the arena optimizes, not the trivial one-stage instances.
@@ -69,7 +93,11 @@ impl PerfConfig {
             smoke,
             instances: if smoke { 8 } else { 48 },
             reps: if smoke { 4 } else { 30 },
-            workers: 4,
+            // More workers than cores only adds scheduler noise (the
+            // batched path is compute-bound), so clamp to the machine.
+            workers: std::thread::available_parallelism()
+                .map_or(1, usize::from)
+                .min(4),
             gen: GenConfig {
                 max_tasks: 24,
                 max_weight: 16,
@@ -80,6 +108,14 @@ impl PerfConfig {
                 allow_empty_pool: false,
             },
         }
+    }
+
+    /// Timed batched rounds: each round is one wall-clock sample, so the
+    /// batched distribution needs its own population (with `reps` samples
+    /// the median and p99 order statistics collapse onto the same index —
+    /// the sampling bug this field fixes).
+    fn batched_rounds(&self) -> usize {
+        self.reps * 2
     }
 }
 
@@ -97,6 +133,19 @@ fn workload(cfg: &PerfConfig) -> Vec<TaskChain> {
         }
     }
     chains
+}
+
+/// The sweep job list: chain-major, pools ascending in `(b, ℓ)`.
+fn sweep_jobs(chains: &[TaskChain]) -> Vec<(&TaskChain, Resources)> {
+    let mut jobs = Vec::with_capacity(chains.len() * SWEEP_STEPS.len() * SWEEP_STEPS.len());
+    for chain in chains {
+        for &b in &SWEEP_STEPS {
+            for &l in &SWEEP_STEPS {
+                jobs.push((chain, Resources::new(b, l)));
+            }
+        }
+    }
+    jobs
 }
 
 #[derive(Clone, Copy)]
@@ -118,6 +167,7 @@ struct StrategyReport {
     name: &'static str,
     cold: Dist,
     warm: Dist,
+    cold_sweep: Dist,
     warm_sweep: Dist,
     batched: Dist,
     cold_allocs_per_solve: f64,
@@ -130,6 +180,7 @@ struct StrategyReport {
 fn bench_strategy(
     strategy: &dyn Scheduler,
     chains: &[TaskChain],
+    grid: &[(&TaskChain, Resources)],
     cfg: &PerfConfig,
 ) -> StrategyReport {
     let jobs: Vec<(&TaskChain, Resources)> = chains.iter().map(|c| (c, POOL)).collect();
@@ -167,37 +218,75 @@ fn bench_strategy(
         }
     }
 
-    // Warm sweep: distinct consecutive instances on the persistent
-    // scratch — the arena is hot, HeRAD's replay memo never hits.
-    let mut sweep_samples = Vec::with_capacity(cfg.reps * n);
+    // Cold sweep: every grid job solved from nothing — the baseline the
+    // pool-delta warm starts are measured against.
+    let mut cold_sweep_samples = Vec::with_capacity(cfg.reps * grid.len());
     for _ in 0..cfg.reps {
-        for &(chain, r) in &jobs {
+        for &(chain, r) in grid {
             let t = Instant::now();
-            let ok = strategy.schedule_into(black_box(chain), r, &mut scratch, &mut out);
+            let s = strategy.schedule(black_box(chain), r);
+            cold_sweep_samples.push(t.elapsed().as_nanos());
+            assert!(
+                black_box(s).is_some(),
+                "{}: infeasible sweep solve",
+                strategy.name()
+            );
+        }
+    }
+
+    // Warm sweep: the same grid on one persistent scratch. For HeRAD a
+    // chain's sixteen pools collapse into one rebuild plus incremental
+    // grows (most pools are covered sub-tables, pure extraction).
+    let mut sweep_scratch = SchedScratch::new();
+    let mut sweep_samples = Vec::with_capacity(cfg.reps * grid.len());
+    for _ in 0..cfg.reps {
+        for &(chain, r) in grid {
+            let t = Instant::now();
+            let ok = strategy.schedule_into(black_box(chain), r, &mut sweep_scratch, &mut out);
             sweep_samples.push(t.elapsed().as_nanos());
             assert!(black_box(ok));
         }
     }
 
-    // Batched: one sample per repetition, normalized to ns/solve.
-    let mut batched_samples = Vec::with_capacity(cfg.reps);
-    for _ in 0..cfg.reps {
+    // Batched: the grid through the chunked batch API on persistent
+    // per-worker scratches; one untimed round warms the arenas, then each
+    // timed round contributes one wall-clock sample (normalized per
+    // solve).
+    let mut batch_scratches: Vec<SchedScratch> =
+        (0..cfg.workers).map(|_| SchedScratch::new()).collect();
+    black_box(schedule_many_with(strategy, grid, &mut batch_scratches));
+    let mut batched_samples = Vec::with_capacity(cfg.batched_rounds());
+    for _ in 0..cfg.batched_rounds() {
         let t = Instant::now();
-        let results = schedule_many(strategy, &jobs, cfg.workers);
-        batched_samples.push(t.elapsed().as_nanos() / n as u128);
-        assert_eq!(black_box(results).len(), n);
+        let results = schedule_many_with(strategy, grid, &mut batch_scratches);
+        batched_samples.push(t.elapsed().as_nanos() / grid.len() as u128);
+        assert_eq!(black_box(results).len(), grid.len());
     }
 
     // Allocation pass (untimed). Cold and warm run on this thread, so
-    // the per-thread counter is exact; the batched pass spawns workers
-    // and is counted through the process-wide counter. The warm pass
-    // exercises both memo hits (same instance twice) and misses
-    // (instance changes between jobs).
+    // the per-thread counter is exact; the batched pass may spawn workers
+    // and is counted through the process-wide counter over a quiesced
+    // round (scratches already warm, so the count is results + solutions,
+    // not arena growth). The warm pass exercises both memo hits (same
+    // instance twice) and misses (instance changes between jobs).
     let (_, cold_allocs) = alloc_track::count_thread_allocs(|| {
         for &(chain, r) in &jobs {
             black_box(strategy.schedule(chain, r));
         }
     });
+    // Quiesce the shared scratch first by replaying the exact sequence
+    // the counted pass will run, so the count measures the steady state,
+    // not one-off warm-up growth. A small residual count can remain for
+    // strategies whose LIFO buffer-pool rotation keeps handing
+    // small-capacity buffers to large needs (2CATAC's branch swaps do
+    // this); that residue is real per-sequence behaviour, reported but
+    // only gated for HeRAD (which must be exactly zero).
+    for _ in 0..2 {
+        for &(chain, r) in &jobs {
+            assert!(strategy.schedule_into(chain, r, &mut scratch, &mut out));
+            assert!(strategy.schedule_into(chain, r, &mut scratch, &mut out));
+        }
+    }
     let (_, warm_steady_allocs) = alloc_track::count_thread_allocs(|| {
         for &(chain, r) in &jobs {
             assert!(strategy.schedule_into(chain, r, &mut scratch, &mut out));
@@ -205,40 +294,100 @@ fn bench_strategy(
         }
     });
     let batched_before = alloc_track::global_count();
-    black_box(schedule_many(strategy, &jobs, cfg.workers));
+    black_box(schedule_many_with(strategy, grid, &mut batch_scratches));
     let batched_allocs = alloc_track::global_count() - batched_before;
 
     let cold = dist(&mut cold_samples);
     let warm = dist(&mut warm_samples);
+    let cold_sweep = dist(&mut cold_sweep_samples);
     let warm_sweep = dist(&mut sweep_samples);
     StrategyReport {
         name: strategy.name(),
         cold,
         warm,
+        cold_sweep,
         warm_sweep,
         batched: dist(&mut batched_samples),
         cold_allocs_per_solve: cold_allocs as f64 / n as f64,
         warm_steady_allocs,
-        batched_allocs_per_solve: batched_allocs as f64 / n as f64,
+        batched_allocs_per_solve: batched_allocs as f64 / grid.len() as f64,
         warm_speedup: cold.median_ns as f64 / warm.median_ns.max(1) as f64,
-        sweep_speedup: cold.median_ns as f64 / warm_sweep.median_ns.max(1) as f64,
+        sweep_speedup: cold_sweep.median_ns as f64 / warm_sweep.median_ns.max(1) as f64,
+    }
+}
+
+struct RatioCmpReport {
+    integer_ns: f64,
+    equal_den_ns: f64,
+    cross_den_ns: f64,
+}
+
+/// Times `Ratio::cmp` per operand mix. Integer and equal-denominator
+/// pairs take the new numerator-only shortcut; cross-denominator pairs
+/// pay the two u128 multiplies. The DP inner loop is dominated by the
+/// first two shapes (integer weights, same-core-count candidates).
+fn bench_ratio_cmp() -> RatioCmpReport {
+    const PAIRS: usize = 256;
+    const ITERS: usize = 4000;
+    let build = |f: &dyn Fn(usize) -> (Ratio, Ratio)| -> Vec<(Ratio, Ratio)> {
+        (0..PAIRS).map(f).collect()
+    };
+    let integer = build(&|i| {
+        (
+            Ratio::new_raw(i as u128 + 1, 1),
+            Ratio::new_raw((i as u128 * 7) % 251 + 1, 1),
+        )
+    });
+    let equal_den = build(&|i| {
+        (
+            Ratio::new_raw(i as u128 + 3, 4),
+            Ratio::new_raw((i as u128 * 5) % 239 + 2, 4),
+        )
+    });
+    let cross_den = build(&|i| {
+        (
+            Ratio::new_raw(i as u128 + 3, 3),
+            Ratio::new_raw((i as u128 * 5) % 239 + 2, 5),
+        )
+    });
+    let time = |pairs: &[(Ratio, Ratio)]| -> f64 {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            for &(a, b) in pairs {
+                black_box(black_box(a).cmp(&black_box(b)));
+            }
+        }
+        t.elapsed().as_nanos() as f64 / (ITERS * PAIRS) as f64
+    };
+    RatioCmpReport {
+        integer_ns: time(&integer),
+        equal_den_ns: time(&equal_den),
+        cross_den_ns: time(&cross_den),
     }
 }
 
 /// Hand-rolled JSON (the workspace pins no JSON crate for binaries):
 /// stable key order, two-space indent.
-fn render_json(cfg: &PerfConfig, reports: &[StrategyReport]) -> String {
+fn render_json(cfg: &PerfConfig, reports: &[StrategyReport], ratio: &RatioCmpReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"amp-bench/perf/v1\",\n");
+    s.push_str("  \"schema\": \"amp-bench/perf/v2\",\n");
     s.push_str("  \"config\": {\n");
     s.push_str(&format!("    \"smoke\": {},\n", cfg.smoke));
     s.push_str(&format!("    \"instances\": {},\n", cfg.instances));
     s.push_str(&format!("    \"reps\": {},\n", cfg.reps));
+    s.push_str(&format!(
+        "    \"batched_rounds\": {},\n",
+        cfg.batched_rounds()
+    ));
     s.push_str(&format!("    \"workers\": {},\n", cfg.workers));
     s.push_str(&format!(
         "    \"pool\": {{ \"big\": {}, \"little\": {} }},\n",
         POOL.big, POOL.little
+    ));
+    s.push_str(&format!(
+        "    \"sweep_steps\": [{}],\n",
+        SWEEP_STEPS.map(|v| v.to_string()).join(", ")
     ));
     s.push_str(&format!(
         "    \"gen\": {{ \"max_tasks\": {}, \"max_weight\": {}, \"min_tasks\": {} }},\n",
@@ -249,6 +398,10 @@ fn render_json(cfg: &PerfConfig, reports: &[StrategyReport]) -> String {
         TWOCATAC_NODE_BUDGET
     ));
     s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"ratio_cmp\": {{ \"integer_ns\": {:.2}, \"equal_den_ns\": {:.2}, \"cross_den_ns\": {:.2} }},\n",
+        ratio.integer_ns, ratio.equal_den_ns, ratio.cross_den_ns
+    ));
     s.push_str("  \"strategies\": [\n");
     for (i, r) in reports.iter().enumerate() {
         s.push_str("    {\n");
@@ -260,6 +413,10 @@ fn render_json(cfg: &PerfConfig, reports: &[StrategyReport]) -> String {
         s.push_str(&format!(
             "      \"warm\": {{ \"median_ns\": {}, \"p99_ns\": {}, \"steady_state_allocs\": {} }},\n",
             r.warm.median_ns, r.warm.p99_ns, r.warm_steady_allocs
+        ));
+        s.push_str(&format!(
+            "      \"cold_sweep\": {{ \"median_ns\": {}, \"p99_ns\": {} }},\n",
+            r.cold_sweep.median_ns, r.cold_sweep.p99_ns
         ));
         s.push_str(&format!(
             "      \"warm_sweep\": {{ \"median_ns\": {}, \"p99_ns\": {} }},\n",
@@ -307,6 +464,7 @@ fn main() {
 
     let cfg = PerfConfig::new(smoke);
     let chains = workload(&cfg);
+    let grid = sweep_jobs(&chains);
     let strategies: Vec<Box<dyn Scheduler>> = vec![
         Box::new(Herad::new()),
         Box::new(Twocatac::with_node_budget(TWOCATAC_NODE_BUDGET)),
@@ -318,17 +476,22 @@ fn main() {
     let reports: Vec<StrategyReport> = strategies
         .iter()
         .map(|s| {
-            let r = bench_strategy(&**s, &chains, &cfg);
+            let r = bench_strategy(&**s, &chains, &grid, &cfg);
             eprintln!(
-                "{:<10} cold {:>9} ns  warm {:>7} ns  sweep {:>9} ns  batched {:>9} ns  speedup {:.2}x  warm allocs {}",
+                "{:<10} cold {:>9} ns  warm {:>7} ns  sweep {:>9}/{:>9} ns ({:.2}x)  batched {:>9} ns  warm allocs {}",
                 r.name, r.cold.median_ns, r.warm.median_ns, r.warm_sweep.median_ns,
-                r.batched.median_ns, r.warm_speedup, r.warm_steady_allocs
+                r.cold_sweep.median_ns, r.sweep_speedup, r.batched.median_ns, r.warm_steady_allocs
             );
             r
         })
         .collect();
+    let ratio = bench_ratio_cmp();
+    eprintln!(
+        "ratio_cmp  integer {:.2} ns  equal_den {:.2} ns  cross_den {:.2} ns",
+        ratio.integer_ns, ratio.equal_den_ns, ratio.cross_den_ns
+    );
 
-    let json = render_json(&cfg, &reports);
+    let json = render_json(&cfg, &reports, &ratio);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -337,12 +500,40 @@ fn main() {
 
     let herad = &reports[0];
     assert_eq!(herad.name, "HeRAD");
+    let mut failed = false;
     if herad.warm_steady_allocs != 0 {
         eprintln!(
             "FAIL: warm-scratch HeRAD performed {} heap allocations on the steady state",
             herad.warm_steady_allocs
         );
+        failed = true;
+    }
+    if herad.sweep_speedup < 1.5 {
+        eprintln!(
+            "FAIL: HeRAD sweep_speedup {:.2} < 1.5 (pool-delta warm starts regressed)",
+            herad.sweep_speedup
+        );
+        failed = true;
+    }
+    if herad.batched.median_ns > herad.cold.median_ns {
+        eprintln!(
+            "FAIL: HeRAD batched median {} ns exceeds cold median {} ns",
+            herad.batched.median_ns, herad.cold.median_ns
+        );
+        failed = true;
+    }
+    if herad.batched.median_ns > herad.cold_sweep.median_ns {
+        eprintln!(
+            "FAIL: HeRAD batched median {} ns exceeds cold sweep median {} ns",
+            herad.batched.median_ns, herad.cold_sweep.median_ns
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
-    eprintln!("OK: warm-scratch HeRAD steady state is allocation-free");
+    eprintln!(
+        "OK: HeRAD warm steady state allocation-free, sweep_speedup {:.2} >= 1.5, batched <= cold",
+        herad.sweep_speedup
+    );
 }

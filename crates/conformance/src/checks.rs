@@ -600,13 +600,124 @@ fn fmt_solution(s: &Option<Solution>) -> String {
     }
 }
 
-/// Runs the library-level checks (differential + metamorphic + hot-path)
-/// on one instance.
+/// Differential checks of HeRAD's pool-delta warm starts: one scratch is
+/// swept over the full `(b, ℓ)` grid up to one step *past* the instance
+/// pool (so both axes exercise the grow path), in ascending, descending
+/// and interleaved order. Every incremental solve — sub-table extraction
+/// or pool-delta grow — must be bit-identical to a fresh allocating
+/// solve, and the warm `optimal_period_with` must match the allocating
+/// `optimal_period`. Descending and interleaved orders force rebuilds and
+/// mixed grow/extract transitions; `Pruning::None` is checked on the
+/// ascending order to pin the unpruned recurrence too.
+#[must_use]
+pub fn check_sweep(inst: &Instance) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let chain = inst.chain();
+    let ascending: Vec<(u64, u64)> = (0..=inst.big + 1)
+        .flat_map(|b| (0..=inst.little + 1).map(move |l| (b, l)))
+        .collect();
+    let descending: Vec<(u64, u64)> = ascending.iter().rev().copied().collect();
+    // Interleave the two ends so small and large pools alternate: every
+    // step is either a rebuild-sized jump down or a grow-sized jump up.
+    let mut interleaved = Vec::with_capacity(ascending.len());
+    let (mut lo, mut hi) = (0usize, ascending.len());
+    while lo < hi {
+        interleaved.push(ascending[lo]);
+        lo += 1;
+        if lo < hi {
+            hi -= 1;
+            interleaved.push(ascending[hi]);
+        }
+    }
+    let orders: [(&str, &[(u64, u64)]); 3] = [
+        ("ascending", &ascending),
+        ("descending", &descending),
+        ("interleaved", &interleaved),
+    ];
+    for pruning in [Pruning::Aggressive, Pruning::None] {
+        for (label, order) in orders {
+            if pruning == Pruning::None && label != "ascending" {
+                continue;
+            }
+            let herad = Herad::with_pruning(pruning);
+            let mut scratch = SchedScratch::new();
+            let mut warm = Solution::empty();
+            for &(b, l) in order {
+                let r = Resources::new(b, l);
+                let fresh = herad.schedule(&chain, r);
+                let got = herad
+                    .schedule_into(&chain, r, &mut scratch, &mut warm)
+                    .then(|| warm.clone());
+                if got != fresh {
+                    out.push(Mismatch::new(
+                        "SWEEP_DIVERGE",
+                        inst,
+                        format!(
+                            "{pruning:?} {label} sweep at {r}: warm {} but fresh solve computes {}",
+                            fmt_solution(&got),
+                            fmt_solution(&fresh)
+                        ),
+                    ));
+                }
+                let warm_period = herad.optimal_period_with(&chain, r, &mut scratch);
+                let fresh_period = herad.optimal_period(&chain, r);
+                if warm_period != fresh_period {
+                    out.push(Mismatch::new(
+                        "SWEEP_PERIOD",
+                        inst,
+                        format!(
+                            "{pruning:?} {label} sweep at {r}: warm period {} but fresh is {}",
+                            fmt_period(warm_period),
+                            fmt_period(fresh_period)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Differential check of HeRAD's layer-parallel DP kernel against the
+/// sequential driver: forced-parallel solves at several worker counts
+/// (including more workers than table rows) must return bit-identical
+/// `Solution`s — period, stage decomposition and tie-break core usage —
+/// under every pruning policy.
+#[must_use]
+pub fn check_parallel(inst: &Instance) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let chain = inst.chain();
+    let resources = inst.resources();
+    for pruning in [Pruning::Aggressive, Pruning::Lossless, Pruning::None] {
+        let seq = Herad::with_pruning(pruning).schedule(&chain, resources);
+        for workers in [2, 3, 8] {
+            let par =
+                Herad::with_pruning_and_parallelism(pruning, workers).schedule(&chain, resources);
+            if par != seq {
+                out.push(Mismatch::new(
+                    "PAR_DIVERGE",
+                    inst,
+                    format!(
+                        "{pruning:?} at {workers} workers: parallel {} but sequential computes {}",
+                        fmt_solution(&par),
+                        fmt_solution(&seq)
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the library-level checks (differential + metamorphic + hot-path +
+/// sweep warm-start + parallel-kernel) on one instance.
 #[must_use]
 pub fn check_library(inst: &Instance) -> Vec<Mismatch> {
     let mut out = check_core(inst);
     out.extend(check_metamorphic(inst));
     out.extend(check_scratch(inst));
+    out.extend(check_sweep(inst));
+    out.extend(check_parallel(inst));
     out
 }
 

@@ -1,0 +1,107 @@
+//! Large-scale differential suite for HeRAD's layer-parallel DP kernel.
+//!
+//! The parallel kernel is required to be *bit-identical* to the
+//! sequential driver — same `Solution`, same period, same tie-break core
+//! usage — because both drive the exact same cell function over the same
+//! wavefront order; only the execution schedule differs. This suite
+//! hammers that claim with 1000 seeded instances at several worker
+//! counts, plus handcrafted degenerate shapes that stress the kernel's
+//! edge cases (more workers than table rows, single-layer tables,
+//! starved pools).
+
+use amp_conformance::{instance_for_seed, GenConfig, Instance, TaskDef};
+use amp_core::sched::{Herad, Pruning, Scheduler};
+
+const WORKERS: [usize; 4] = [1, 2, 3, 8];
+
+/// Asserts that forced-parallel solves match the sequential one exactly
+/// for every pruning policy and worker count.
+fn assert_bit_identical(inst: &Instance) {
+    let chain = inst.chain();
+    let resources = inst.resources();
+    for pruning in [Pruning::None, Pruning::Lossless, Pruning::Aggressive] {
+        let seq = Herad::with_pruning(pruning).schedule(&chain, resources);
+        for workers in WORKERS {
+            let par =
+                Herad::with_pruning_and_parallelism(pruning, workers).schedule(&chain, resources);
+            assert_eq!(
+                par,
+                seq,
+                "parallel HeRAD diverged: {pruning:?}, {workers} workers, {}",
+                inst.summary()
+            );
+            if let (Some(p), Some(s)) = (&par, &seq) {
+                assert_eq!(p.period(&chain), s.period(&chain));
+                assert_eq!(p.used_cores(), s.used_cores());
+            }
+        }
+    }
+}
+
+#[test]
+fn thousand_seeds_are_bit_identical_across_worker_counts() {
+    // Slightly larger than the fuzz default so multi-row tables (where
+    // the wavefront actually pipelines) are common.
+    let cfg = GenConfig {
+        max_tasks: 10,
+        max_weight: 12,
+        max_big: 5,
+        max_little: 5,
+        allow_empty_pool: true,
+    };
+    for seed in 0..1000 {
+        assert_bit_identical(&instance_for_seed(seed, &cfg));
+    }
+}
+
+#[test]
+fn degenerate_shapes_are_bit_identical() {
+    let cases = [
+        Instance::new("single-task", vec![TaskDef::new(5, 9, true)], 4, 4),
+        Instance::new(
+            "all-sequential",
+            vec![
+                TaskDef::new(3, 7, false),
+                TaskDef::new(2, 2, false),
+                TaskDef::new(8, 11, false),
+                TaskDef::new(1, 4, false),
+            ],
+            3,
+            3,
+        ),
+        Instance::new(
+            "starved-big",
+            vec![TaskDef::new(4, 6, true), TaskDef::new(2, 5, false)],
+            0,
+            4,
+        ),
+        Instance::new(
+            "starved-little",
+            vec![TaskDef::new(4, 6, true), TaskDef::new(2, 5, false)],
+            4,
+            0,
+        ),
+        Instance::new("empty-pool", vec![TaskDef::new(4, 6, true)], 0, 0),
+        Instance::new("unit-weights", vec![TaskDef::new(1, 1, true); 6], 2, 5),
+    ];
+    for inst in &cases {
+        assert_bit_identical(inst);
+    }
+}
+
+#[test]
+fn larger_chain_is_bit_identical() {
+    // One bigger instance (n = 20, the paper's chain length) so the
+    // kernel runs with many layers and a real wavefront; still fast
+    // because the pool stays small.
+    let tasks: Vec<TaskDef> = (0..20)
+        .map(|i| {
+            TaskDef::new(
+                1 + (i * 7) % 13,
+                1 + (i * 11) % 17,
+                i % 3 != 0, // mixed replicability
+            )
+        })
+        .collect();
+    assert_bit_identical(&Instance::new("paper-length", tasks, 5, 6));
+}

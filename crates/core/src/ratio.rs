@@ -55,9 +55,11 @@ impl Ratio {
     }
 
     /// Builds `num / den` without gcd normalization. Comparison and equality
-    /// cross-multiply, so unnormalized values behave identically; only
-    /// [`Ratio::numer`]/[`Ratio::denom`] and the `Display` output differ.
-    /// Used on hot paths (HeRAD's inner loops) where the gcd is measurable.
+    /// cross-multiply (with an exact equal-denominator shortcut that
+    /// compares numerators directly), so unnormalized values behave
+    /// identically; only [`Ratio::numer`]/[`Ratio::denom`] and the
+    /// `Display` output differ. Used on hot paths (HeRAD's inner loops)
+    /// where the gcd is measurable.
     #[must_use]
     pub fn new_raw(num: u128, den: u128) -> Self {
         if den == 0 {
@@ -195,6 +197,12 @@ impl Ord for Ratio {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Greater,
             (false, true) => Ordering::Less,
+            // Equal denominators (common in the DP inner loops: integer
+            // weights share den == 1, and candidates for the same core
+            // count share a denominator) order by numerator alone — the
+            // cross-multiplication scales both sides by the same positive
+            // factor, so skipping it is exact, not approximate.
+            (false, false) if self.den == other.den => self.num.cmp(&other.num),
             (false, false) => (self.num * other.den).cmp(&(other.num * self.den)),
         }
     }
@@ -289,6 +297,26 @@ mod tests {
         // fractional period
         assert_eq!(Ratio::from_int(10).div_ceil(Ratio::new(7, 2)), Some(3));
         assert_eq!(Ratio::INFINITY.div_ceil(Ratio::from_int(1)), None);
+    }
+
+    #[test]
+    fn equal_denominator_fast_path_is_exact() {
+        // Unnormalized values with a shared denominator: the numerator
+        // shortcut must agree with full cross-multiplication.
+        assert!(Ratio::new_raw(6, 4) < Ratio::new_raw(10, 4));
+        assert!(Ratio::new_raw(10, 4) > Ratio::new_raw(6, 4));
+        assert_eq!(Ratio::new_raw(6, 4), Ratio::new_raw(6, 4));
+        assert_eq!(
+            Ratio::new_raw(6, 4).cmp(&Ratio::new_raw(6, 4)),
+            Ordering::Equal
+        );
+        // Same value, different denominators still goes the exact
+        // cross-multiply route.
+        assert_eq!(Ratio::new_raw(6, 4), Ratio::new_raw(3, 2));
+        // den == 1 integers (the dominant DP case).
+        assert!(Ratio::new_raw(7, 1) < Ratio::new_raw(9, 1));
+        // Zero-denominator operands never take the shortcut.
+        assert!(Ratio::new_raw(5, 0) > Ratio::new_raw(u128::MAX, 1));
     }
 
     #[test]

@@ -14,12 +14,37 @@
 //! provably-useless candidates are skipped; all modes return optimal
 //! *periods* (property-tested against each other and against exhaustive
 //! search), see each variant for the tie-breaking guarantee.
+//!
+//! ## One cell function, four drivers
+//!
+//! Every way the table is filled — the sequential rebuild, the
+//! layer-parallel rebuild, and the incremental pool-delta grow — funnels
+//! through the same pure [`cell_value`] function, which computes the final
+//! value of cell `(j, rb, rl)` from the chain and a read-only view of
+//! already-final cells. Bit-identical results across drivers are therefore
+//! structural, not incidental: the drivers only differ in the *order* cells
+//! are produced, and that order always respects the recurrence's
+//! dependencies (left neighbour, down neighbour, all earlier layers).
+//!
+//! ## Pool independence (the sub-table-growth invariant)
+//!
+//! The recurrence for cell `(j, rb, rl)` never mentions the total pool
+//! `(B, L)` — only the cell's own indices bound the candidate loops and
+//! neighbour reads. The value of `(j, rb, rl)` is therefore a pure function
+//! of the chain prefix and the indices, identical in every table that
+//! contains the cell: the `(b, ℓ)` table is a strict sub-table of any
+//! `(b', ℓ')` table with `b' ≥ b, ℓ' ≥ ℓ`. [`Table::grow`] exploits this to
+//! extend a solved table with only the new rows/columns, and extraction at
+//! any covered pool walks only cells with indices `≤ (b, ℓ)` — so a grown
+//! table answers every smaller pool bit-identically to a fresh solve.
 
 use crate::chain::TaskChain;
 use crate::ratio::Ratio;
 use crate::resources::{CoreType, Resources};
 use crate::sched::{SchedScratch, Scheduler};
 use crate::solution::{Solution, Stage};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, OnceLock};
 
 /// Candidate-skipping policy for HeRAD's inner loops.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -41,23 +66,89 @@ pub enum Pruning {
     Aggressive,
 }
 
+/// Cell-count threshold below which the parallel kernel never engages in
+/// auto mode: a table this small solves in tens of microseconds, under the
+/// cost of spawning scoped workers and crossing per-layer barriers.
+const PAR_MIN_CELLS: usize = 1 << 15;
+
+/// `std::thread::available_parallelism`, resolved once per process —
+/// [`Herad::new`] is constructed on hot paths (per request in the
+/// service), so the syscall must not repeat.
+fn machine_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+}
+
 /// The HeRAD scheduler.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct Herad {
     pruning: Pruning,
+    /// Worker cap for the layer-parallel kernel; `0` = auto (machine
+    /// parallelism). Always clamped to the table's row count at run time.
+    workers: usize,
+    /// Minimum table size (in cells) before the parallel kernel engages.
+    min_cells: usize,
+}
+
+impl Default for Herad {
+    fn default() -> Self {
+        Herad {
+            pruning: Pruning::default(),
+            workers: 0,
+            min_cells: PAR_MIN_CELLS,
+        }
+    }
 }
 
 impl Herad {
-    /// HeRAD with the default (aggressive, period-optimal) pruning.
+    /// HeRAD with the default (aggressive, period-optimal) pruning and
+    /// automatic kernel selection: sequential for small tables, the
+    /// layer-parallel kernel (bit-identical, see module docs) above
+    /// a cell-count threshold when the machine has more than one core.
     #[must_use]
     pub fn new() -> Self {
         Herad::default()
     }
 
-    /// HeRAD with an explicit pruning policy.
+    /// HeRAD with an explicit pruning policy (automatic kernel selection).
     #[must_use]
     pub fn with_pruning(pruning: Pruning) -> Self {
-        Herad { pruning }
+        Herad {
+            pruning,
+            ..Herad::default()
+        }
+    }
+
+    /// HeRAD that always runs the layer-parallel kernel with up to
+    /// `workers` scoped threads, regardless of table size (`workers` is
+    /// still clamped to the table's `B + 1` rows; `1` forces the
+    /// sequential kernel). Results are bit-identical to sequential — this
+    /// constructor exists for differential tests and benchmarks.
+    #[must_use]
+    pub fn with_parallelism(workers: usize) -> Self {
+        Herad::with_pruning_and_parallelism(Pruning::default(), workers)
+    }
+
+    /// [`Herad::with_parallelism`] with an explicit pruning policy.
+    #[must_use]
+    pub fn with_pruning_and_parallelism(pruning: Pruning, workers: usize) -> Self {
+        Herad {
+            pruning,
+            workers: workers.max(1),
+            min_cells: 0,
+        }
+    }
+
+    /// How many workers the kernel should use for a table of `cells`.
+    fn kernel_workers(&self, cells: usize) -> usize {
+        if cells < self.min_cells {
+            return 1;
+        }
+        if self.workers == 0 {
+            machine_parallelism()
+        } else {
+            self.workers
+        }
     }
 
     /// The optimal period for the chain on these resources, without
@@ -69,7 +160,8 @@ impl Herad {
     }
 
     /// [`Herad::optimal_period`] reusing the caller's scratch
-    /// (allocation-free once the DP table has warmed up).
+    /// (allocation-free once the DP table has warmed up, and
+    /// extraction-free when the sweep memo already covers the pool).
     #[must_use]
     pub fn optimal_period_with(
         &self,
@@ -80,9 +172,45 @@ impl Herad {
         if resources.is_exhausted() {
             return None;
         }
-        let dp = Dp::run(chain, resources, self.pruning, &mut scratch.herad_cells);
-        let p = dp.cell(chain.len(), resources.big, resources.little).pbest;
+        let p = self
+            .sweep_table(chain, resources, scratch)
+            .period_at(resources);
         p.is_finite().then_some(p)
+    }
+
+    /// Returns the scratch's sweep table, solved for (at least) this
+    /// chain + pool: a covering table is reused as-is (extraction-only
+    /// solve), a smaller same-chain table grows by the pool delta, and
+    /// anything else is rebuilt from scratch at exactly the requested
+    /// dimensions. The `valid` flag is dropped while the table is being
+    /// mutated so a panicking solve can never leave a half-written table
+    /// behind a matching key.
+    fn sweep_table<'s>(
+        &self,
+        chain: &TaskChain,
+        resources: Resources,
+        scratch: &'s mut SchedScratch,
+    ) -> &'s Table {
+        let b = usize::try_from(resources.big).expect("core count fits usize");
+        let l = usize::try_from(resources.little).expect("core count fits usize");
+        let sweep = &mut scratch.herad_sweep;
+        if sweep.matches(self.pruning, chain) {
+            if !sweep.table.covers(chain.len(), b, l) {
+                let grown_b = b.max(sweep.table.dim_b());
+                let grown_l = l.max(sweep.table.dim_l());
+                sweep.valid = false;
+                sweep.table.grow(chain, grown_b, grown_l, self.pruning);
+                sweep.valid = true;
+            }
+        } else {
+            let cells = chain.len() * (b + 1) * (l + 1);
+            sweep.valid = false;
+            sweep
+                .table
+                .rebuild(chain, b, l, self.pruning, self.kernel_workers(cells));
+            sweep.rekey(self.pruning, chain);
+        }
+        &sweep.table
     }
 }
 
@@ -95,8 +223,10 @@ impl Scheduler for Herad {
     /// bit-identical to the previous solve (same weights, replicability,
     /// pool and pruning), the stored solution is replayed verbatim —
     /// the DP is deterministic, so the replay *is* the recomputation.
-    /// Any difference falls through to a full solve, which then refreshes
-    /// the memo.
+    /// Otherwise the sweep memo is consulted: a table already covering
+    /// this chain + pool answers by extraction alone, a same-chain table
+    /// grows by the pool delta, and only a genuinely new chain (or
+    /// pruning) pays for a full rebuild — which then refreshes both memos.
     fn schedule_into(
         &self,
         chain: &TaskChain,
@@ -114,10 +244,11 @@ impl Scheduler for Herad {
                 return memo.feasible;
             }
         }
-        let feasible = {
-            let dp = Dp::run(chain, resources, self.pruning, &mut scratch.herad_cells);
-            dp.extract_solution_into(chain, out.stages_mut())
-        };
+        let feasible = self.sweep_table(chain, resources, scratch).extract_into(
+            chain,
+            resources,
+            out.stages_mut(),
+        );
         if feasible {
             out.merge_replicable_stages_in_place(chain);
         }
@@ -201,261 +332,441 @@ fn compare_cells(c: Cell, n: Cell) -> Cell {
     }
 }
 
-struct Dp<'a> {
-    cells: &'a mut Vec<Cell>,
-    b: usize,
-    l: usize,
-    resources: Resources,
+/// Stage weight without gcd normalization (hot path).
+#[inline]
+fn stage_weight(
+    chain: &TaskChain,
+    start: usize,
+    end: usize,
+    rep: bool,
+    u: u64,
+    v: CoreType,
+) -> Ratio {
+    let sum = u128::from(chain.interval_sum(start, end, v));
+    if rep {
+        Ratio::new_raw(sum, u128::from(u))
+    } else {
+        Ratio::new_raw(sum, 1)
+    }
 }
 
-impl<'a> Dp<'a> {
-    /// Runs the DP on a caller-provided cell table, growing it when the
-    /// shape needs more cells but never refilling what it already has.
-    ///
-    /// Skipping the full `EMPTY_CELL` fill is safe because the recurrence
-    /// writes every cell it will ever read *within the same run*:
-    /// `single_stage_solution(t)` overwrites all of row `t` except
-    /// `(t, 0, 0)` before `recompute_cell` touches row `t`, prefix reads
-    /// only reach rows already recomputed (or the virtual `ZERO_CELL`),
-    /// and extraction follows only finite cells, whose back-pointers were
-    /// written this run. The single exception — the `(j, 0, 0)` column,
-    /// read by `single_stage_solution`'s big-core loop at `rl == 0` and
-    /// by neighbour propagation — is reset explicitly below. Stale cells
-    /// from an earlier, differently-shaped run (even ones holding finite
-    /// periods at remapped indices) are therefore never observed, and a
-    /// warm run is bit-for-bit identical to a cold one.
-    fn run(
-        chain: &TaskChain,
-        resources: Resources,
-        pruning: Pruning,
-        cells: &'a mut Vec<Cell>,
-    ) -> Dp<'a> {
-        let n = chain.len();
-        let b = usize::try_from(resources.big).expect("core count fits usize");
-        let l = usize::try_from(resources.little).expect("core count fits usize");
-        let len = n * (b + 1) * (l + 1);
-        if cells.len() < len {
-            cells.resize(len, EMPTY_CELL);
+/// `SingleStageSolution` (Algorithm 8) for one cell: the best placement of
+/// all `t` first tasks in a single stage on `rb` big xor `rl` little cores.
+/// A pure function of the chain and indices (cheap: two O(1) prefix-sum
+/// weights), so every driver recomputes it instead of staging seeds in the
+/// table — `(t, 0, 0)` is the infeasible [`EMPTY_CELL`], ties go to the
+/// little cores (strict `<`, Algorithm 8 line 9).
+#[inline]
+fn seed_cell(chain: &TaskChain, t: usize, rb: usize, rl: usize) -> Cell {
+    let rep = chain.is_replicable(0, t - 1);
+    let little = if rl == 0 {
+        EMPTY_CELL
+    } else {
+        Cell {
+            pbest: stage_weight(chain, 0, t - 1, rep, rl as u64, CoreType::Little),
+            prev_b: 0,
+            prev_l: 0,
+            acc_b: 0,
+            acc_l: if rep { rl as u32 } else { 1 },
+            v: CoreType::Little,
+            start: 0,
         }
-        let mut dp = Dp {
-            cells,
-            b,
-            l,
-            resources,
-        };
-        for j in 1..=n {
-            let i = dp.idx(j, 0, 0);
-            dp.cells[i] = EMPTY_CELL;
+    };
+    if rb == 0 {
+        return little;
+    }
+    let wb = stage_weight(chain, 0, t - 1, rep, rb as u64, CoreType::Big);
+    if wb < little.pbest {
+        Cell {
+            pbest: wb,
+            prev_b: 0,
+            prev_l: 0,
+            acc_b: if rep { rb as u32 } else { 1 },
+            acc_l: 0,
+            v: CoreType::Big,
+            start: 0,
         }
-        dp.single_stage_solution(chain, 1);
-        for j in 2..=n {
-            dp.single_stage_solution(chain, j);
-            for rb in 0..=b {
-                for rl in 0..=l {
-                    if rb != 0 || rl != 0 {
-                        dp.recompute_cell(chain, j, rb, rl, pruning);
-                    }
-                }
+    } else {
+        little
+    }
+}
+
+/// `RecomputeCell` (Algorithm 9): computes `P*(j, b_av, l_av)` from the
+/// single-stage seed, the two fewer-core neighbour cells, and every
+/// (start, core-count, core-type) split of the last stage. `get` is the
+/// driver's read-only view of already-final cells; it must return
+/// [`ZERO_CELL`] for `j == 0` and is only consulted at indices the
+/// recurrence depends on: `(j, b_av, l_av - 1)`, `(j, b_av - 1, l_av)` and
+/// prefixes `(i - 1, pb ≤ b_av, pl ≤ l_av)` in earlier layers.
+#[inline]
+fn compute_cell<G>(
+    chain: &TaskChain,
+    j: usize,
+    b_av: usize,
+    l_av: usize,
+    pruning: Pruning,
+    get: G,
+) -> Cell
+where
+    G: Fn(usize, usize, usize) -> Cell,
+{
+    let mut c = seed_cell(chain, j, b_av, l_av);
+    // Propagate solutions that simply leave one core unused.
+    if l_av > 0 {
+        c = compare_cells(c, get(j, b_av, l_av - 1));
+    }
+    if b_av > 0 {
+        c = compare_cells(c, get(j, b_av - 1, l_av));
+    }
+    for i in (1..=j).rev() {
+        // 1-based stage [τ_i, τ_j] = 0-based tasks [i-1, j-1].
+        let (s, e) = (i - 1, j - 1);
+        let rep = chain.is_replicable(s, e);
+        if pruning != Pruning::None && c.pbest.is_finite() {
+            // Even with every available core, this stage (and any longer
+            // one: weights grow as i decreases) exceeds the best found.
+            let mut min_w = Ratio::INFINITY;
+            if b_av > 0 {
+                let u = if rep { b_av as u64 } else { 1 };
+                min_w = min_w.min(stage_weight(chain, s, e, rep, u, CoreType::Big));
+            }
+            if l_av > 0 {
+                let u = if rep { l_av as u64 } else { 1 };
+                min_w = min_w.min(stage_weight(chain, s, e, rep, u, CoreType::Little));
+            }
+            if min_w > c.pbest {
+                break;
             }
         }
-        dp
-    }
-
-    #[inline]
-    fn idx(&self, j: usize, rb: usize, rl: usize) -> usize {
-        ((j - 1) * (self.b + 1) + rb) * (self.l + 1) + rl
-    }
-
-    /// `S[j][rb][rl]`, with the virtual zero row for `j == 0`.
-    #[inline]
-    fn cell(&self, j: usize, rb: u64, rl: u64) -> Cell {
-        if j == 0 {
-            ZERO_CELL
-        } else {
-            self.cells[self.idx(j, rb as usize, rl as usize)]
-        }
-    }
-
-    #[inline]
-    fn cell_ref(&self, j: usize, rb: usize, rl: usize) -> &Cell {
-        &self.cells[self.idx(j, rb, rl)]
-    }
-
-    #[inline]
-    fn set(&mut self, j: usize, rb: usize, rl: usize, cell: Cell) {
-        let i = self.idx(j, rb, rl);
-        self.cells[i] = cell;
-    }
-
-    /// Stage weight without gcd normalization (hot path).
-    #[inline]
-    fn weight(
-        chain: &TaskChain,
-        start: usize,
-        end: usize,
-        rep: bool,
-        u: u64,
-        v: CoreType,
-    ) -> Ratio {
-        let sum = u128::from(chain.interval_sum(start, end, v));
-        if rep {
-            Ratio::new_raw(sum, u128::from(u))
-        } else {
-            Ratio::new_raw(sum, 1)
-        }
-    }
-
-    /// `SingleStageSolution` (Algorithm 8): fills row `t` with the best
-    /// solutions that place all `t` first tasks in a single stage.
-    fn single_stage_solution(&mut self, chain: &TaskChain, t: usize) {
-        let rep = chain.is_replicable(0, t - 1);
-        // Little-core stages in column rb = 0 (cell (t,0,0) stays invalid).
-        for rl in 1..=self.l {
-            let w = Self::weight(chain, 0, t - 1, rep, rl as u64, CoreType::Little);
-            self.set(
-                t,
-                0,
-                rl,
-                Cell {
-                    pbest: w,
-                    prev_b: 0,
-                    prev_l: 0,
-                    acc_b: 0,
-                    acc_l: if rep { rl as u32 } else { 1 },
-                    v: CoreType::Little,
-                    start: 0,
-                },
-            );
-        }
-        // Big-core stages, compared against the little-core alternative;
-        // ties go to the little cores (strict `<`, Algorithm 8 line 9).
-        for rb in 1..=self.b {
-            let wb = Self::weight(chain, 0, t - 1, rep, rb as u64, CoreType::Big);
-            let ub = if rep { rb as u32 } else { 1 };
-            for rl in 0..=self.l {
-                let little = *self.cell_ref(t, 0, rl);
-                let cell = if wb < little.pbest {
-                    Cell {
-                        pbest: wb,
-                        prev_b: 0,
-                        prev_l: 0,
-                        acc_b: ub,
-                        acc_l: 0,
-                        v: CoreType::Big,
-                        start: 0,
-                    }
-                } else {
-                    little
+        for v in CoreType::BOTH {
+            let avail = match v {
+                CoreType::Big => b_av,
+                CoreType::Little => l_av,
+            };
+            // The paper's optimization: a sequential stage cannot use
+            // more than one core.
+            let u_max = if rep { avail } else { avail.min(1) };
+            for u in 1..=u_max {
+                let (pb, pl) = match v {
+                    CoreType::Big => (b_av - u, l_av),
+                    CoreType::Little => (b_av, l_av - u),
                 };
-                self.set(t, rb, rl, cell);
-            }
-        }
-    }
-
-    /// `RecomputeCell` (Algorithm 9): computes `P*(j, b_av, l_av)` from the
-    /// single-stage seed, the two fewer-core neighbour cells, and every
-    /// (start, core-count, core-type) split of the last stage.
-    fn recompute_cell(
-        &mut self,
-        chain: &TaskChain,
-        j: usize,
-        b_av: usize,
-        l_av: usize,
-        pruning: Pruning,
-    ) {
-        let mut c = *self.cell_ref(j, b_av, l_av);
-        // Propagate solutions that simply leave one core unused.
-        if l_av > 0 {
-            c = compare_cells(c, *self.cell_ref(j, b_av, l_av - 1));
-        }
-        if b_av > 0 {
-            c = compare_cells(c, *self.cell_ref(j, b_av - 1, l_av));
-        }
-        for i in (1..=j).rev() {
-            // 1-based stage [τ_i, τ_j] = 0-based tasks [i-1, j-1].
-            let (s, e) = (i - 1, j - 1);
-            let rep = chain.is_replicable(s, e);
-            if pruning != Pruning::None && c.pbest.is_finite() {
-                // Even with every available core, this stage (and any longer
-                // one: weights grow as i decreases) exceeds the best found.
-                let mut min_w = Ratio::INFINITY;
-                if b_av > 0 {
-                    let u = if rep { b_av as u64 } else { 1 };
-                    min_w = min_w.min(Self::weight(chain, s, e, rep, u, CoreType::Big));
+                let prefix = get(i - 1, pb, pl);
+                if pruning != Pruning::None && prefix.pbest > c.pbest {
+                    // Prefixes only get worse as this stage takes more
+                    // cores; every remaining candidate is strictly worse.
+                    break;
                 }
-                if l_av > 0 {
-                    let u = if rep { l_av as u64 } else { 1 };
-                    min_w = min_w.min(Self::weight(chain, s, e, rep, u, CoreType::Little));
-                }
-                if min_w > c.pbest {
+                let w = stage_weight(chain, s, e, rep, u as u64, v);
+                let used = if rep { u as u32 } else { 1 };
+                let cand = Cell {
+                    pbest: prefix.pbest.max(w),
+                    prev_b: pb as u32,
+                    prev_l: pl as u32,
+                    acc_b: prefix.acc_b + if v == CoreType::Big { used } else { 0 },
+                    acc_l: prefix.acc_l + if v == CoreType::Little { used } else { 0 },
+                    v,
+                    start: s as u32,
+                };
+                c = compare_cells(c, cand);
+                if pruning == Pruning::Aggressive && w <= prefix.pbest {
+                    // Crossing rule: more cores cannot lower the period
+                    // below the prefix period.
                     break;
                 }
             }
-            for v in CoreType::BOTH {
-                let avail = match v {
-                    CoreType::Big => b_av,
-                    CoreType::Little => l_av,
-                };
-                // The paper's optimization: a sequential stage cannot use
-                // more than one core.
-                let u_max = if rep { avail } else { avail.min(1) };
-                for u in 1..=u_max {
-                    let (pb, pl) = match v {
-                        CoreType::Big => (b_av - u, l_av),
-                        CoreType::Little => (b_av, l_av - u),
-                    };
-                    let prefix = self.cell(i - 1, pb as u64, pl as u64);
-                    if pruning != Pruning::None && prefix.pbest > c.pbest {
-                        // Prefixes only get worse as this stage takes more
-                        // cores; every remaining candidate is strictly worse.
-                        break;
-                    }
-                    let w = Self::weight(chain, s, e, rep, u as u64, v);
-                    let used = if rep { u as u32 } else { 1 };
-                    let cand = Cell {
-                        pbest: prefix.pbest.max(w),
-                        prev_b: pb as u32,
-                        prev_l: pl as u32,
-                        acc_b: prefix.acc_b + if v == CoreType::Big { used } else { 0 },
-                        acc_l: prefix.acc_l + if v == CoreType::Little { used } else { 0 },
-                        v,
-                        start: s as u32,
-                    };
-                    c = compare_cells(c, cand);
-                    if pruning == Pruning::Aggressive && w <= prefix.pbest {
-                        // Crossing rule: more cores cannot lower the period
-                        // below the prefix period.
-                        break;
-                    }
+        }
+    }
+    c
+}
+
+/// The final value of cell `(j, rb, rl)` — the single source of truth for
+/// every table driver. Layer 1 is pure seeds (no prefix exists), `(j, 0, 0)`
+/// is infeasible, and everything else goes through the full recurrence.
+#[inline]
+fn cell_value<G>(
+    chain: &TaskChain,
+    j: usize,
+    rb: usize,
+    rl: usize,
+    pruning: Pruning,
+    get: G,
+) -> Cell
+where
+    G: Fn(usize, usize, usize) -> Cell,
+{
+    if j == 1 {
+        return seed_cell(chain, 1, rb, rl);
+    }
+    if rb == 0 && rl == 0 {
+        return EMPTY_CELL;
+    }
+    compute_cell(chain, j, rb, rl, pruning, get)
+}
+
+/// Reads `S[j][rb][rl]` from a raw cell slice laid out for dimensions
+/// `(b, l)`, with the virtual zero row for `j == 0`.
+#[inline]
+fn read_cell(cells: &[Cell], b: usize, l: usize, j: usize, rb: usize, rl: usize) -> Cell {
+    if j == 0 {
+        ZERO_CELL
+    } else {
+        cells[((j - 1) * (b + 1) + rb) * (l + 1) + rl]
+    }
+}
+
+/// A raw view of the cell table shared by the layer-parallel workers.
+struct SharedCells {
+    ptr: *mut Cell,
+}
+
+// SAFETY: workers write disjoint rows — each `(layer, row)` pair is
+// claimed by exactly one worker through the layer's atomic cursor — and
+// only read cells published by a happens-before edge: cells of the
+// worker's own row (same thread), cells of the row below up to the column
+// covered by an acquire load of its progress counter (paired with the
+// writer's release store), and cells of earlier layers (separated by the
+// layer barrier). `Cell` is `Copy`, so reads never race with drops.
+unsafe impl Send for SharedCells {}
+unsafe impl Sync for SharedCells {}
+
+/// The DP solution table `S[j][b][l]` with its logical dimensions.
+/// The backing vector only grows; every rebuild overwrites the full
+/// logical region (all `n·(b+1)·(l+1)` cells, including the infeasible
+/// `(j, 0, 0)` column), so stale cells from an earlier, differently-shaped
+/// run are never observed — reads stay inside the logical region by
+/// construction.
+#[derive(Debug, Default)]
+pub(crate) struct Table {
+    cells: Vec<Cell>,
+    n: usize,
+    b: usize,
+    l: usize,
+}
+
+impl Table {
+    pub(crate) fn dim_b(&self) -> usize {
+        self.b
+    }
+
+    pub(crate) fn dim_l(&self) -> usize {
+        self.l
+    }
+
+    /// Whether the solved region contains the `(n, b, l)` sub-table.
+    pub(crate) fn covers(&self, n: usize, b: usize, l: usize) -> bool {
+        self.n == n && b <= self.b && l <= self.l
+    }
+
+    #[inline]
+    fn get(&self, j: usize, rb: usize, rl: usize) -> Cell {
+        read_cell(&self.cells, self.b, self.l, j, rb, rl)
+    }
+
+    /// `P*(n, B, L)` for a covered pool.
+    pub(crate) fn period_at(&self, resources: Resources) -> Ratio {
+        let b = usize::try_from(resources.big).expect("core count fits usize");
+        let l = usize::try_from(resources.little).expect("core count fits usize");
+        self.get(self.n, b, l).pbest
+    }
+
+    /// Solves the full table at exactly `(chain.len(), b, l)`, sequentially
+    /// or with the layer-parallel kernel when `workers > 1` (clamped to the
+    /// `b + 1` rows of a layer — fewer rows than workers just idles the
+    /// surplus at the barrier, so they are not spawned at all).
+    pub(crate) fn rebuild(
+        &mut self,
+        chain: &TaskChain,
+        b: usize,
+        l: usize,
+        pruning: Pruning,
+        workers: usize,
+    ) {
+        let n = chain.len();
+        let len = n * (b + 1) * (l + 1);
+        if self.cells.len() < len {
+            self.cells.resize(len, EMPTY_CELL);
+        }
+        self.n = n;
+        self.b = b;
+        self.l = l;
+        let workers = workers.min(b + 1).max(1);
+        if workers > 1 {
+            self.run_parallel(chain, pruning, workers);
+        } else {
+            self.run_sequential(chain, pruning);
+        }
+    }
+
+    /// The classic driver: layers ascending, rows ascending, columns
+    /// ascending — each cell's left/down neighbours and all earlier layers
+    /// are final when [`cell_value`] reads them.
+    fn run_sequential(&mut self, chain: &TaskChain, pruning: Pruning) {
+        let (n, b, l) = (self.n, self.b, self.l);
+        for j in 1..=n {
+            for rb in 0..=b {
+                for rl in 0..=l {
+                    let cell = cell_value(chain, j, rb, rl, pruning, |jj, pb, pl| {
+                        read_cell(&self.cells, b, l, jj, pb, pl)
+                    });
+                    let i = ((j - 1) * (b + 1) + rb) * (l + 1) + rl;
+                    self.cells[i] = cell;
                 }
             }
         }
-        self.set(j, b_av, l_av, c);
+    }
+
+    /// The layer-parallel kernel: within a layer, workers claim whole
+    /// `(rb, ·)` rows from an atomic cursor and pipeline down the columns —
+    /// a row waits (acquire) for the row below to pass each column before
+    /// computing its own cell, forming a diagonal wavefront that respects
+    /// the intra-layer left/down dependencies exactly. A barrier separates
+    /// layers, because cells read prefixes from *every* earlier layer.
+    /// Cell values and tie-breaks are bit-identical to the sequential
+    /// driver: both produce each cell with the same [`cell_value`] call on
+    /// the same already-final inputs.
+    fn run_parallel(&mut self, chain: &TaskChain, pruning: Pruning, workers: usize) {
+        let (n, b, l) = (self.n, self.b, self.l);
+        let rows = b + 1;
+        // Per-layer row cursor and per-row progress (columns finished);
+        // allocated zeroed per run so layers never need a reset phase.
+        let cursors: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let progress: Vec<AtomicUsize> = (0..n * rows).map(|_| AtomicUsize::new(0)).collect();
+        let barrier = Barrier::new(workers);
+        let shared = SharedCells {
+            ptr: self.cells.as_mut_ptr(),
+        };
+        let idx = move |j: usize, rb: usize, rl: usize| ((j - 1) * rows + rb) * (l + 1) + rl;
+        let work = || {
+            let shared = &shared;
+            // SAFETY: reads follow the synchronization protocol documented
+            // on `SharedCells`; the indices passed by `cell_value` are
+            // exactly the recurrence's dependencies, all published before
+            // the wait below lets this cell proceed.
+            let get = move |jj: usize, pb: usize, pl: usize| -> Cell {
+                if jj == 0 {
+                    ZERO_CELL
+                } else {
+                    unsafe { shared.ptr.add(idx(jj, pb, pl)).read() }
+                }
+            };
+            for j in 1..=n {
+                loop {
+                    let rb = cursors[j - 1].fetch_add(1, Ordering::Relaxed);
+                    if rb >= rows {
+                        break;
+                    }
+                    let mine = &progress[(j - 1) * rows + rb];
+                    for rl in 0..=l {
+                        if j > 1 && rb > 0 {
+                            // Wait for the row below to finalize column rl.
+                            let below = &progress[(j - 1) * rows + rb - 1];
+                            let mut spins = 0u32;
+                            while below.load(Ordering::Acquire) <= rl {
+                                spins = spins.wrapping_add(1);
+                                if spins.is_multiple_of(64) {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                        let cell = cell_value(chain, j, rb, rl, pruning, get);
+                        // SAFETY: this worker claimed row `(j, rb)`; nobody
+                        // else writes it, and readers only look below the
+                        // released progress mark.
+                        unsafe { shared.ptr.add(idx(j, rb, rl)).write(cell) };
+                        mine.store(rl + 1, Ordering::Release);
+                    }
+                }
+                // Layers j+1.. read prefixes from every cell of layer j.
+                barrier.wait();
+            }
+        };
+        crossbeam::thread::scope(|scope| {
+            let work = &work;
+            for _ in 1..workers {
+                scope.spawn(work);
+            }
+            work();
+        })
+        .expect("herad layer-parallel scope");
+    }
+
+    /// Pool-delta warm start: extends a solved `(n, b0, l0)` table to
+    /// `(n, b, l)` with `b ≥ b0, l ≥ l0`, relaying out the existing rows
+    /// and computing only the new cells (`rb > b0` or `rl > l0`). Sound
+    /// because cell values are pool-independent (module docs): the old
+    /// cells are bit-identical to what a fresh `(b, l)` solve would put at
+    /// the same indices, and the delta traversal (layers ascending, rows
+    /// ascending, columns ascending within the new region) only reads
+    /// final cells.
+    pub(crate) fn grow(&mut self, chain: &TaskChain, b: usize, l: usize, pruning: Pruning) {
+        let (b0, l0) = (self.b, self.l);
+        debug_assert!(b >= b0 && l >= l0, "grow never shrinks");
+        debug_assert_eq!(self.n, chain.len(), "grow keeps the chain");
+        let n = self.n;
+        let len = n * (b + 1) * (l + 1);
+        if self.cells.len() < len {
+            self.cells.resize(len, EMPTY_CELL);
+        }
+        // Relayout back to front: destinations are monotonically >= their
+        // sources, so processing rows in decreasing (j, rb) order never
+        // overwrites a row that has not moved yet.
+        for j in (1..=n).rev() {
+            for rb in (0..=b0).rev() {
+                let src = ((j - 1) * (b0 + 1) + rb) * (l0 + 1);
+                let dst = ((j - 1) * (b + 1) + rb) * (l + 1);
+                if src != dst {
+                    self.cells.copy_within(src..=src + l0, dst);
+                }
+            }
+        }
+        self.b = b;
+        self.l = l;
+        for j in 1..=n {
+            for rb in 0..=b {
+                let first_new = if rb > b0 { 0 } else { l0 + 1 };
+                for rl in first_new..=l {
+                    let cell = cell_value(chain, j, rb, rl, pruning, |jj, pb, pl| {
+                        read_cell(&self.cells, b, l, jj, pb, pl)
+                    });
+                    let i = ((j - 1) * (b + 1) + rb) * (l + 1) + rl;
+                    self.cells[i] = cell;
+                }
+            }
+        }
     }
 
     /// `ExtractSolution` (Algorithm 11): walks the matrix backwards from
-    /// `S[n][b][l]`, reconstructing each stage's interval, core type and
+    /// `S[n][B][L]`, reconstructing each stage's interval, core type and
     /// core count (from the difference of accumulated usages) into the
-    /// caller's buffer. Returns `false` (buffer left empty) when the
-    /// instance is infeasible.
-    fn extract_solution_into(&self, chain: &TaskChain, stages: &mut Vec<Stage>) -> bool {
+    /// caller's buffer. The pool may be any the table covers — the walk
+    /// only visits cells with indices `≤ (B, L)`. Returns `false` (buffer
+    /// left empty) when the instance is infeasible.
+    pub(crate) fn extract_into(
+        &self,
+        chain: &TaskChain,
+        resources: Resources,
+        stages: &mut Vec<Stage>,
+    ) -> bool {
         stages.clear();
         let n = chain.len();
-        let final_cell = self.cell(n, self.resources.big, self.resources.little);
+        let mut rb = usize::try_from(resources.big).expect("core count fits usize");
+        let mut rl = usize::try_from(resources.little).expect("core count fits usize");
+        let final_cell = self.get(n, rb, rl);
         if final_cell.pbest.is_infinite() {
             return false;
         }
         let mut e = n;
-        let mut rb = self.resources.big;
-        let mut rl = self.resources.little;
         while e >= 1 {
-            let cell = self.cell(e, rb, rl);
+            let cell = self.get(e, rb, rl);
             debug_assert!(cell.pbest.is_finite());
             let start = cell.start as usize;
             let (mut ub, mut ul) = (cell.acc_b, cell.acc_l);
-            let (pb, pl) = (u64::from(cell.prev_b), u64::from(cell.prev_l));
+            let (pb, pl) = (cell.prev_b as usize, cell.prev_l as usize);
             if start > 0 {
-                let prefix = self.cell(start, pb, pl);
+                let prefix = self.get(start, pb, pl);
                 ub -= prefix.acc_b;
                 ul -= prefix.acc_l;
             }
@@ -725,5 +1036,132 @@ mod tests {
             used.little >= used.big,
             "expected little-core preference, got {s}"
         );
+    }
+
+    #[test]
+    fn forced_parallel_matches_sequential_bit_for_bit() {
+        // The layer-parallel kernel must agree with the sequential driver
+        // on periods, decompositions and tie-break core usage — for every
+        // pruning mode and worker count, including more workers than rows.
+        let chains = [
+            chain(),
+            TaskChain::new(vec![Task::new(7, 7, true); 9]),
+            TaskChain::new(
+                (0..11)
+                    .map(|i| Task::new(1 + i % 5, 2 + (i * 3) % 7, i % 3 != 0))
+                    .collect(),
+            ),
+        ];
+        for c in &chains {
+            for (b, l) in [(4, 4), (6, 1), (1, 6), (5, 0), (0, 5), (3, 3)] {
+                let r = Resources::new(b, l);
+                for pruning in [Pruning::None, Pruning::Lossless, Pruning::Aggressive] {
+                    let seq = Herad::with_pruning(pruning).schedule(c, r);
+                    for workers in [2, 3, 8] {
+                        let par =
+                            Herad::with_pruning_and_parallelism(pruning, workers).schedule(c, r);
+                        assert_eq!(
+                            par, seq,
+                            "parallel({workers}) diverges at {r} with {pruning:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_parallel_handles_degenerate_shapes() {
+        let single = TaskChain::new(vec![Task::new(5, 9, true)]);
+        let sequential_only = TaskChain::new(vec![
+            Task::new(3, 4, false),
+            Task::new(2, 2, false),
+            Task::new(6, 7, false),
+        ]);
+        for c in [&single, &sequential_only] {
+            for (b, l) in [(0, 1), (1, 0), (1, 1), (0, 3), (3, 0), (2, 5)] {
+                let r = Resources::new(b, l);
+                let seq = Herad::new().schedule(c, r);
+                assert_eq!(Herad::with_parallelism(8).schedule(c, r), seq, "at {r}");
+            }
+        }
+        // Empty pool stays infeasible through the parallel constructor.
+        assert!(Herad::with_parallelism(4)
+            .schedule(&single, Resources::new(0, 0))
+            .is_none());
+    }
+
+    #[test]
+    fn pool_delta_sweep_matches_fresh_in_any_order() {
+        // One scratch across a (b, l) grid visited ascending, descending
+        // and shuffled: every incremental solve (sub-table extraction or
+        // pool-delta grow) must be bit-identical to a fresh solve.
+        let c = chain();
+        let mut grid: Vec<(u64, u64)> = (0..=4u64)
+            .flat_map(|b| (0..=4u64).map(move |l| (b, l)))
+            .collect();
+        let ascending = grid.clone();
+        let descending: Vec<_> = grid.iter().rev().copied().collect();
+        // Deterministic LCG shuffle stands in for "random order".
+        let mut state = 0x9e37_79b9_u64;
+        for i in (1..grid.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            grid.swap(i, j);
+        }
+        for pruning in [Pruning::None, Pruning::Lossless, Pruning::Aggressive] {
+            for order in [&ascending, &descending, &grid] {
+                let herad = Herad::with_pruning(pruning);
+                let mut scratch = SchedScratch::new();
+                let mut out = Solution::empty();
+                for &(b, l) in order {
+                    let r = Resources::new(b, l);
+                    let warm = herad
+                        .schedule_into(&c, r, &mut scratch, &mut out)
+                        .then(|| out.clone());
+                    assert_eq!(
+                        warm,
+                        herad.schedule(&c, r),
+                        "sweep diverges at {r} with {pruning:?}"
+                    );
+                    assert_eq!(
+                        herad.optimal_period_with(&c, r, &mut scratch),
+                        herad.optimal_period(&c, r),
+                        "sweep period diverges at {r} with {pruning:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_memo_extracts_without_recompute_for_covered_pools() {
+        // After solving at (4, 4), every sub-pool solve must reuse the
+        // table: the memo stays keyed to the chain and the table keeps its
+        // (4, 4) dimensions (a rebuild would have shrunk them).
+        let c = chain();
+        let herad = Herad::new();
+        let mut scratch = SchedScratch::new();
+        let mut out = Solution::empty();
+        assert!(herad.schedule_into(&c, Resources::new(4, 4), &mut scratch, &mut out));
+        for (b, l) in [(1, 1), (4, 0), (0, 4), (2, 3), (4, 4)] {
+            assert!(herad.schedule_into(&c, Resources::new(b, l), &mut scratch, &mut out));
+            assert_eq!(
+                scratch.herad_sweep.table.dim_b(),
+                4,
+                "table shrank at ({b},{l})"
+            );
+            assert_eq!(
+                scratch.herad_sweep.table.dim_l(),
+                4,
+                "table shrank at ({b},{l})"
+            );
+        }
+        // A pool outside the table grows it monotonically (never shrinks).
+        assert!(herad.schedule_into(&c, Resources::new(6, 2), &mut scratch, &mut out));
+        assert_eq!(scratch.herad_sweep.table.dim_b(), 6);
+        assert_eq!(scratch.herad_sweep.table.dim_l(), 4);
     }
 }

@@ -16,7 +16,7 @@ use crate::chain::TaskChain;
 use crate::resources::Resources;
 use crate::solution::Solution;
 
-pub use batch::{schedule_chains, schedule_many};
+pub use batch::{schedule_chains, schedule_many, schedule_many_with};
 pub use binary_search::{schedule_binary_search, schedule_binary_search_into, PeriodBounds};
 pub use brute::{all_optimal_solutions, optimal_period, optimal_usage_front, BruteForce};
 pub use fertac::Fertac;

@@ -4,9 +4,15 @@
 //! Every strategy's hot path ([`Scheduler::schedule_into`]) threads a
 //! [`SchedScratch`] through its internals instead of allocating:
 //!
-//! * HeRAD parks its `n·(B+1)·(L+1)` DP cell table here and only *grows*
-//!   it, never refilling cells that the recurrence overwrites anyway (see
-//!   `herad::Dp::run` for the staleness argument);
+//! * HeRAD parks its `n·(B+1)·(L+1)` DP solution table here as a
+//!   *sweep memo* ([`HeradSweep`]): the table stays keyed to the chain and
+//!   pruning that produced it, so a later solve of the same chain on a
+//!   covered pool is pure extraction, a larger pool grows the table by
+//!   only the new rows/columns (cell values are pool-independent — see
+//!   `herad`'s module docs for the sub-table-growth invariant), and only
+//!   a different chain pays for a rebuild. The backing vector only grows,
+//!   never refilling cells that the recurrence overwrites anyway (see
+//!   `herad::Table` for the staleness argument);
 //! * the `Schedule` binary search rents its candidate stage buffer from
 //!   the pool instead of building a fresh `Solution` per probe;
 //! * 2CATAC's two-choice recursion rents one stage buffer per candidate
@@ -29,7 +35,7 @@
 
 use crate::chain::TaskChain;
 use crate::resources::Resources;
-use crate::sched::herad::{Cell, Pruning};
+use crate::sched::herad::{Pruning, Table};
 use crate::solution::Stage;
 
 /// HeRAD's last-solve replay memo. Task names are deliberately excluded
@@ -76,12 +82,58 @@ impl HeradMemo {
     }
 }
 
+/// HeRAD's sweep memo: the solved DP table together with the key (chain
+/// projection + pruning) it was solved for. The pool is *not* part of the
+/// key — the table's own dimensions are, and any covered sub-pool extracts
+/// from it directly (pool-delta warm starts across `(b, ℓ)` sweeps).
+/// `valid` is dropped while the table is mid-mutation so a panicking solve
+/// can never leave a half-written table behind a matching key.
+#[derive(Debug, Default)]
+pub(crate) struct HeradSweep {
+    pub(crate) pruning: Pruning,
+    pub(crate) tasks: Vec<(u64, u64, bool)>,
+    pub(crate) valid: bool,
+    pub(crate) table: Table,
+}
+
+impl HeradSweep {
+    /// Whether the parked table was solved for this chain + pruning (at
+    /// any dimensions — callers check coverage separately).
+    pub(crate) fn matches(&self, pruning: Pruning, chain: &TaskChain) -> bool {
+        self.valid
+            && self.pruning == pruning
+            && self.tasks.len() == chain.len()
+            && self
+                .tasks
+                .iter()
+                .zip(chain.tasks())
+                .all(|(&(wb, wl, rep), t)| {
+                    wb == t.weight_big && wl == t.weight_little && rep == t.replicable
+                })
+    }
+
+    /// Re-keys the memo to a freshly solved chain (reuses the projection
+    /// buffer's capacity; allocation-free once warmed past the largest
+    /// chain).
+    pub(crate) fn rekey(&mut self, pruning: Pruning, chain: &TaskChain) {
+        self.pruning = pruning;
+        self.tasks.clear();
+        self.tasks.extend(
+            chain
+                .tasks()
+                .iter()
+                .map(|t| (t.weight_big, t.weight_little, t.replicable)),
+        );
+        self.valid = true;
+    }
+}
+
 /// Reusable buffers for the scheduling hot paths. See the module docs.
 #[derive(Debug, Default)]
 pub struct SchedScratch {
-    /// HeRAD's DP cell table (grow-only; stale cells are provably
-    /// overwritten before any read).
-    pub(crate) herad_cells: Vec<Cell>,
+    /// HeRAD's keyed DP table (grow-only; stale cells are provably
+    /// overwritten before any read). See [`HeradSweep`].
+    pub(crate) herad_sweep: HeradSweep,
     /// HeRAD's last-solve replay memo (see [`HeradMemo`]).
     pub(crate) herad_memo: Option<HeradMemo>,
     /// Free-list of stage buffers for the binary search and the greedy
@@ -135,5 +187,13 @@ mod tests {
         scratch.return_stages(a);
         scratch.return_stages(b);
         assert_eq!(scratch.stage_pool.len(), 2);
+    }
+
+    #[test]
+    fn fresh_sweep_memo_matches_nothing() {
+        use crate::chain::{Task, TaskChain};
+        let sweep = HeradSweep::default();
+        let c = TaskChain::new(vec![Task::new(1, 1, false)]);
+        assert!(!sweep.matches(Pruning::Aggressive, &c));
     }
 }

@@ -3,7 +3,7 @@
 //! and core usage.
 
 use crate::stats::{slowdown_ratio, Summary};
-use amp_core::sched::{paper_strategies, schedule_chains};
+use amp_core::sched::{paper_strategies, schedule_many_with, SchedScratch};
 use amp_core::Resources;
 use amp_workload::SyntheticConfig;
 use serde::{Deserialize, Serialize};
@@ -123,10 +123,12 @@ pub fn run_campaign(config: &CampaignConfig) -> SweepOutcome {
 /// Runs the campaign for one (R, SR) cell: schedules every chain with the
 /// five paper strategies and records slowdowns vs HeRAD plus core usage.
 ///
-/// Each strategy's batch goes through [`schedule_chains`], which fans the
-/// chains across `workers` threads with one scratch arena per worker; the
-/// recorded numbers are bit-identical for every worker count. HeRAD runs
-/// first so its periods serve as the slowdown reference for the rest.
+/// Each strategy's batch goes through [`schedule_many_with`], which fans
+/// the chains across `workers` threads; the worker scratches persist
+/// across all five strategy batches, so HeRAD's sweep tables (and every
+/// strategy's buffers) stay warm from batch to batch. The recorded
+/// numbers are bit-identical for every worker count. HeRAD runs first so
+/// its periods serve as the slowdown reference for the rest.
 ///
 /// # Panics
 /// Panics if HeRAD fails to schedule (impossible with non-empty
@@ -137,9 +139,13 @@ pub fn run_campaign_with_workers(config: &CampaignConfig, workers: usize) -> Swe
     let chains = workload.generate_batch(config.seed, config.chains);
     let strategies = paper_strategies();
 
+    let jobs: Vec<_> = chains.iter().map(|c| (c, config.resources)).collect();
+    let mut scratches: Vec<SchedScratch> = (0..workers.max(1).min(jobs.len().max(1)))
+        .map(|_| SchedScratch::new())
+        .collect();
     let solutions: Vec<_> = strategies
         .iter()
-        .map(|s| schedule_chains(&**s, &chains, config.resources, workers))
+        .map(|s| schedule_many_with(&**s, &jobs, &mut scratches))
         .collect();
     let optimal: Vec<_> = solutions[0]
         .iter()

@@ -8,7 +8,7 @@
 //! (arguments: big cores, little cores, stateless ratio; `--seed SEED`
 //! picks the chain-generation seed, default 2024 — the paper-repro value)
 
-use amp_core::sched::{paper_strategies, schedule_chains};
+use amp_core::sched::{paper_strategies, schedule_many_with, SchedScratch};
 use amp_core::Resources;
 use amp_workload::SyntheticConfig;
 
@@ -39,14 +39,19 @@ fn main() {
         chains.len()
     );
 
-    // Batch each strategy across a small worker pool; per-worker scratch
-    // arenas keep the sweep allocation-free after warm-up, and the results
-    // are bit-identical to sequential `schedule` calls.
+    // Batch each strategy across a small worker pool. The scratches
+    // persist across the five strategy batches, so each worker's arenas
+    // (including HeRAD's sweep table) stay warm for the whole sweep, and
+    // the results are bit-identical to sequential `schedule` calls.
     let workers = std::thread::available_parallelism().map_or(4, usize::from);
     let strategies = paper_strategies();
+    let jobs: Vec<_> = chains.iter().map(|c| (c, resources)).collect();
+    let mut scratches: Vec<SchedScratch> = (0..workers.max(1).min(jobs.len()))
+        .map(|_| SchedScratch::new())
+        .collect();
     let batches: Vec<_> = strategies
         .iter()
-        .map(|s| schedule_chains(&**s, &chains, resources, workers))
+        .map(|s| schedule_many_with(&**s, &jobs, &mut scratches))
         .collect();
     let best: Vec<f64> = batches[0]
         .iter()

@@ -23,6 +23,9 @@ cargo run --release -p amp-conformance -- --seeds 500 --max-tasks 8 --max-big 4 
 cargo run --release -p amp-conformance -- --seeds 250 --seed-start 1000 --no-corpus --max-tasks 8 --max-big 4 --max-little 4
 cargo test --release -q -p amp-service --test panic_safety --test thread_stability
 
-# Perf gate: a small deterministic sweep through the perf runner; fails
-# if warm-scratch HeRAD performs any steady-state heap allocation.
+# Perf gate: a small deterministic sweep through the perf runner. The
+# binary exits non-zero (failing this script) if any of its built-in
+# regression gates trip: warm-scratch HeRAD performing steady-state heap
+# allocations, HeRAD's pool-delta sweep_speedup dropping below 1.5, or
+# HeRAD's batched median exceeding the cold median.
 cargo run --release -p amp-bench --bin perf -- --smoke --out BENCH_sched.json
