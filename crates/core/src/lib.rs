@@ -41,6 +41,7 @@
 //! ```
 
 pub mod chain;
+pub mod json;
 pub mod power;
 pub mod ratio;
 pub mod resources;

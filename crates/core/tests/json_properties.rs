@@ -1,0 +1,105 @@
+//! Property tests for the canonical JSON codec: both renderers round-trip
+//! through `parse` for arbitrary nested values, canonical output is a
+//! rendering fixpoint, and the parser never panics on arbitrary input.
+
+use amp_core::json::Json;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strings drawn from a deliberately hostile alphabet: quotes, escapes,
+/// control characters, multi-byte scalars.
+fn string_value() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x500, 0..8).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect::<String>()
+    })
+}
+
+fn leaf() -> impl Strategy<Value = Json> {
+    (0u8..4, any::<u64>(), any::<bool>(), string_value()).prop_map(|(kind, n, b, s)| match kind {
+        0 => Json::Null,
+        1 => Json::Bool(b),
+        2 => Json::Int(n),
+        _ => Json::Str(s),
+    })
+}
+
+/// One composition layer: wrap previously generated values in an array or
+/// object, or pass a leaf through unchanged.
+fn layer(inner: impl Strategy<Value = Json>) -> impl Strategy<Value = Json> {
+    (
+        0u8..3,
+        prop::collection::vec((string_value(), inner), 0..5),
+        leaf(),
+    )
+        .prop_map(|(kind, entries, passthrough)| match kind {
+            0 => Json::Arr(entries.into_iter().map(|(_, v)| v).collect()),
+            1 => Json::Obj(entries.into_iter().collect::<BTreeMap<_, _>>()),
+            _ => passthrough,
+        })
+}
+
+/// Values nested up to three containers deep.
+fn json_value() -> impl Strategy<Value = Json> {
+    layer(layer(layer(leaf())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The indented renderer round-trips and is a fixpoint.
+    #[test]
+    fn render_round_trips(v in json_value()) {
+        let rendered = v.render();
+        let parsed = Json::parse(&rendered).expect("canonical output must parse");
+        prop_assert_eq!(&parsed, &v);
+        prop_assert_eq!(parsed.render(), rendered, "rendering must be a fixpoint");
+    }
+
+    /// The compact renderer round-trips, is a fixpoint, and never emits a
+    /// raw newline (one value == one wire line).
+    #[test]
+    fn compact_render_round_trips(v in json_value()) {
+        let compact = v.render_compact();
+        prop_assert!(!compact.contains('\n'), "wire form must stay on one line: {compact:?}");
+        let parsed = Json::parse(&compact).expect("compact output must parse");
+        prop_assert_eq!(&parsed, &v);
+        prop_assert_eq!(parsed.render_compact(), compact);
+    }
+
+    /// Both renderers agree on the value they encode.
+    #[test]
+    fn renderers_agree(v in json_value()) {
+        let a = Json::parse(&v.render()).expect("render parses");
+        let b = Json::parse(&v.render_compact()).expect("compact parses");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The parser returns an error — never panics — on arbitrary input.
+    #[test]
+    fn parser_never_panics(bytes in prop::collection::vec(0u8..=255, 0..64)) {
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = Json::parse(text);
+        }
+    }
+
+    /// Truncation detection: a document whose top level is a container
+    /// ends with its closing bracket, so every strict prefix must fail to
+    /// parse (and never panic). This is what lets the wire layer treat
+    /// "line parsed" as "frame complete".
+    #[test]
+    fn truncated_documents_are_rejected((v, cut) in (json_value(), 0usize..4096)) {
+        let rendered = Json::Arr(vec![v]).render_compact();
+        let cut = 1 + cut % (rendered.len() - 1);
+        if !rendered.is_char_boundary(cut) {
+            return Ok(());
+        }
+        prop_assert!(
+            Json::parse(&rendered[..cut]).is_err(),
+            "strict prefix {:?} must not parse",
+            &rendered[..cut]
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Socket load generator CLI.
+//!
+//! Two modes:
+//!
+//! * **Self-hosted** (default): boots an in-process [`Server`] on a
+//!   loopback port, drives it, audits the responses, and prints a JSON
+//!   report. `--smoke` runs the CI gate: a steady phase that must be
+//!   audit-clean with a warm cache, then an overload phase that must
+//!   produce *typed* rejections, never silence.
+//! * **External** (`--addr HOST:PORT`): drives an already-running
+//!   server; the audit still applies, the cache/overload assertions
+//!   don't (the server's config is unknown).
+//!
+//! Exit status is 0 only when every audit and smoke assertion holds.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use amp_net::{loadgen, LoadConfig, Server, ServerConfig};
+
+struct Args {
+    addr: Option<SocketAddr>,
+    connections: usize,
+    requests: usize,
+    distinct: usize,
+    seed: u64,
+    shards: usize,
+    smoke: bool,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: net_loadgen [--smoke] [--addr HOST:PORT] [--connections N] \
+         [--requests N] [--distinct N] [--seed N] [--shards N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        connections: 4,
+        requests: 256,
+        distinct: 8,
+        seed: 0xA11CE,
+        shards: 4,
+        smoke: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| usage_for(name));
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--addr" => args.addr = Some(value("--addr").parse().unwrap_or_else(|_| usage())),
+            "--connections" => {
+                args.connections = value("--connections").parse().unwrap_or_else(|_| usage());
+            }
+            "--requests" => args.requests = value("--requests").parse().unwrap_or_else(|_| usage()),
+            "--distinct" => args.distinct = value("--distinct").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = Some(value("--out")),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage_for(name: &str) -> ! {
+    eprintln!("missing value for {name}");
+    usage();
+}
+
+fn load_config(addr: SocketAddr, args: &Args) -> LoadConfig {
+    LoadConfig {
+        addr,
+        connections: args.connections,
+        requests_per_connection: args.requests,
+        distinct_instances: args.distinct,
+        seed: args.seed,
+        ..LoadConfig::default()
+    }
+}
+
+/// One named assertion; failures accumulate instead of aborting so a
+/// smoke run reports everything that broke.
+fn check(failures: &mut Vec<String>, ok: bool, what: &str) {
+    if !ok {
+        failures.push(what.to_string());
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failures: Vec<String> = Vec::new();
+
+    let report_json = if let Some(addr) = args.addr {
+        // External mode: audit only.
+        let report = match loadgen::run(&load_config(addr, &args)) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("loadgen failed against {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        check(&mut failures, report.clean(), "audit: lost/dup/misrouted");
+        check(
+            &mut failures,
+            report.answered + report.lost == report.sent,
+            "audit: every frame accounted for",
+        );
+        eprintln!(
+            "external: {} sent, {} ok, {} rejected, p99 {}us",
+            report.sent,
+            report.ok,
+            report.rejected.values().sum::<u64>(),
+            report.p99_us
+        );
+        report.to_json()
+    } else {
+        // Self-hosted: steady phase (warm cache, audit-clean), then an
+        // overload phase (typed rejections, bounded tail).
+        let steady_server = match Server::start(ServerConfig {
+            shards: args.shards.max(1),
+            quota: None,
+            ..ServerConfig::default()
+        }) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("failed to start steady-phase server: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let steady_cfg = load_config(steady_server.local_addr(), &args);
+        let steady = match loadgen::run(&steady_cfg) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("steady phase failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let status = steady_server.status_json();
+        steady_server.shutdown();
+
+        check(&mut failures, steady.clean(), "steady: lost/dup/misrouted");
+        check(
+            &mut failures,
+            steady.answered == steady.sent,
+            "steady: every request answered",
+        );
+        check(&mut failures, steady.ok == steady.sent, "steady: all ok");
+        // The distinct-instance pool is tiny relative to the request
+        // count, so nearly every response must come from cache. This is
+        // also the per-shard cache counters' end-to-end check.
+        check(
+            &mut failures,
+            steady.cache_hit_rate() > 0.90,
+            "steady: cache hit rate > 90% on the repeated-request pool",
+        );
+        check(
+            &mut failures,
+            status.contains("\"per_shard\""),
+            "steady: status exposes per-shard counters",
+        );
+        eprintln!(
+            "steady: {} sent, {} ok, cache hit rate {:.3}, {} rps, p99 {}us",
+            steady.sent,
+            steady.ok,
+            steady.cache_hit_rate(),
+            steady.throughput_rps,
+            steady.p99_us
+        );
+
+        if args.smoke {
+            // Overload: one worker behind a depth-1 queue, every
+            // request distinct (no cache relief), windows far wider
+            // than the queue. The contract: every frame still gets a
+            // typed answer — OVERLOADED, not silence — and the tail
+            // stays bounded because rejection is immediate.
+            let overload_server = match Server::start(ServerConfig {
+                shards: 1,
+                per_shard: amp_service::EngineConfig {
+                    workers: 1,
+                    racer_threads: 1,
+                    queue_depth: 1,
+                    cache_capacity: 0,
+                    ..amp_service::EngineConfig::default()
+                },
+                window: 512,
+                batch_max: 1,
+                quota: None,
+                ..ServerConfig::default()
+            }) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("failed to start overload-phase server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let overload_cfg = LoadConfig {
+                addr: overload_server.local_addr(),
+                connections: args.connections,
+                requests_per_connection: args.requests,
+                // Pool far larger than the request count: all distinct.
+                distinct_instances: args.connections * args.requests,
+                seed: args.seed ^ 0xDEAD,
+                read_timeout: Duration::from_secs(30),
+                ..LoadConfig::default()
+            };
+            let overload = match loadgen::run(&overload_cfg) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("overload phase failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            overload_server.shutdown();
+            let overloaded = overload.rejected.get("OVERLOADED").copied().unwrap_or(0);
+            check(
+                &mut failures,
+                overload.clean(),
+                "overload: lost/dup/misrouted",
+            );
+            check(
+                &mut failures,
+                overload.answered == overload.sent,
+                "overload: every request answered (typed rejection, not silence)",
+            );
+            check(
+                &mut failures,
+                overloaded > 0,
+                "overload: backpressure surfaced as typed OVERLOADED",
+            );
+            // Rejections are immediate, so the p99 over the mixed
+            // stream must stay well under the audit read timeout.
+            check(
+                &mut failures,
+                Duration::from_micros(overload.p99_us) < overload_cfg.read_timeout / 2,
+                "overload: p99 bounded",
+            );
+            eprintln!(
+                "overload: {} sent, {} ok, {} OVERLOADED, p99 {}us",
+                overload.sent, overload.ok, overloaded, overload.p99_us
+            );
+        }
+        steady.to_json()
+    };
+
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, format!("{report_json}\n")) {
+            eprintln!("failed to write {path}: {e}");
+            failures.push("write --out artifact".to_string());
+        }
+    }
+    println!("{report_json}");
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("FAILED: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,42 @@
+//! # amp-net — wire-level RPC front end for the scheduling service
+//!
+//! A dependency-light TCP server that puts the sharded scheduling
+//! engine ([`amp_service::EngineShards`]) on a socket, plus the seeded
+//! load generator that audits it. Built entirely on `std::net` and
+//! bounded threads — no async runtime — with the workspace's canonical
+//! JSON codec ([`amp_core::json`]) as the wire format.
+//!
+//! The crate divides along the request path:
+//!
+//! * [`proto`] — the wire protocol: newline-delimited canonical JSON
+//!   frames, request/response/error rendering and parsing. One line is
+//!   one frame; the codec guarantees a rendered value never contains a
+//!   raw newline.
+//! * [`admission`] — who gets in and how fast: per-tenant token-bucket
+//!   quotas (typed `QUOTA_EXCEEDED`, fair across tenants) and bounded
+//!   per-connection in-flight windows (TCP backpressure, never a
+//!   disconnect).
+//! * [`server`] — the listener and per-connection reader/pump threads:
+//!   greedy pipeline batching into [`amp_service::EngineShards`], typed
+//!   rejections for every refused frame, and drain-then-close shutdown
+//!   that answers everything it accepted.
+//! * [`metrics`] — wire-layer counters (connections, frames, admission
+//!   outcomes), exported through the `{"op":"status"}` control frame
+//!   next to the engine fleet's own per-shard metrics and cache
+//!   counters.
+//! * [`loadgen`] — the seeded socket load generator: M pipelined
+//!   connections, id-partitioned audit proving zero lost, duplicated or
+//!   misrouted responses, and a latency/throughput report. The
+//!   `net_loadgen` binary wraps it for the CLI and the CI smoke gate.
+
+pub mod admission;
+pub mod loadgen;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use admission::{InflightWindow, QuotaConfig, TenantQuotas};
+pub use loadgen::{LoadConfig, LoadReport};
+pub use metrics::{NetMetrics, NetSnapshot};
+pub use proto::{ClientResponse, WireError, WireRequest};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,453 @@
+//! Seeded socket load generator: drives M persistent connections of
+//! pipelined schedule requests against a server and *audits* the
+//! response stream instead of trusting it.
+//!
+//! ## Correctness audit
+//!
+//! Request ids partition the id space per connection — connection `c`
+//! sends ids `(c << 32) | seq` — so the auditor can prove three
+//! properties independently per connection:
+//!
+//! * **zero lost**: every sequence number sent came back;
+//! * **zero duplicated**: no sequence number came back twice;
+//! * **zero misrouted**: no response carried another connection's high
+//!   bits (a frame written to the wrong socket is unmistakable, not
+//!   silently absorbed).
+//!
+//! Typed rejections (`OVERLOADED`, `QUOTA_EXCEEDED`, ...) count as
+//! *answered* — the contract under overload is a typed error, never
+//! silence — and are tallied per code in the report.
+//!
+//! ## Determinism
+//!
+//! The workload is a pure function of [`LoadConfig::seed`]: the
+//! instance pool, the per-connection request sequence, and the id
+//! assignment all derive from `StdRng` streams. Timing (and therefore
+//! latency numbers) varies run to run; the *set* of frames does not.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use amp_service::{Policy, ScheduleRequest, TaskSpec};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::proto;
+
+/// Workload shape for one [`run`].
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server to drive.
+    pub addr: SocketAddr,
+    /// Concurrent persistent connections.
+    pub connections: usize,
+    /// Frames pipelined per connection.
+    pub requests_per_connection: usize,
+    /// Size of the distinct-instance pool requests are drawn from. A
+    /// small pool against a warm cache yields a high hit rate; a pool
+    /// larger than the request count makes every request distinct.
+    pub distinct_instances: usize,
+    /// Longest generated task chain.
+    pub max_tasks: usize,
+    /// Workload seed (see module docs).
+    pub seed: u64,
+    /// Tenant stamped on every request.
+    pub tenant: String,
+    /// How long a receiver waits on a quiet socket before declaring the
+    /// remaining responses lost.
+    pub read_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            connections: 4,
+            requests_per_connection: 256,
+            distinct_instances: 8,
+            max_tasks: 8,
+            seed: 0xA11CE,
+            tenant: "public".to_string(),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What one run observed, aggregated over all connections.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Frames written.
+    pub sent: u64,
+    /// Responses received and attributed to a sent id.
+    pub answered: u64,
+    /// Responses carrying a successful outcome.
+    pub ok: u64,
+    /// Of the successful outcomes, how many were served from cache.
+    pub cache_hits: u64,
+    /// Typed rejections, tallied by error code.
+    pub rejected: BTreeMap<String, u64>,
+    /// Sent ids that never came back (audit failure unless the server
+    /// was torn down mid-run).
+    pub lost: u64,
+    /// Ids answered more than once (audit failure).
+    pub duplicates: u64,
+    /// Responses carrying another connection's id bits (audit failure).
+    pub misrouted: u64,
+    /// Responses with no id at all (connection-level errors).
+    pub unattributed: u64,
+    /// Wall-clock of the whole run, milliseconds.
+    pub elapsed_ms: u64,
+    /// Answered responses per second.
+    pub throughput_rps: u64,
+    /// Latency percentiles over answered requests, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+}
+
+impl LoadReport {
+    /// `true` when the audit found no lost, duplicated or misrouted
+    /// response.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.lost == 0 && self.duplicates == 0 && self.misrouted == 0
+    }
+
+    /// Cache hits as a fraction of successful outcomes.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.ok as f64
+        }
+    }
+
+    /// Renders the report as one JSON object (stable key order; integer
+    /// fields only, so the artifact parses with the in-tree codec).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        let mut field = |key: &str, value: String| {
+            if s.len() > 1 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(key);
+            s.push_str("\":");
+            s.push_str(&value);
+        };
+        field("sent", self.sent.to_string());
+        field("answered", self.answered.to_string());
+        field("ok", self.ok.to_string());
+        field("cache_hits", self.cache_hits.to_string());
+        let mut rej = String::from("{");
+        for (code, count) in &self.rejected {
+            if rej.len() > 1 {
+                rej.push(',');
+            }
+            rej.push('"');
+            rej.push_str(code);
+            rej.push_str("\":");
+            rej.push_str(&count.to_string());
+        }
+        rej.push('}');
+        field("rejected", rej);
+        field("lost", self.lost.to_string());
+        field("duplicates", self.duplicates.to_string());
+        field("misrouted", self.misrouted.to_string());
+        field("unattributed", self.unattributed.to_string());
+        field("elapsed_ms", self.elapsed_ms.to_string());
+        field("throughput_rps", self.throughput_rps.to_string());
+        field("p50_us", self.p50_us.to_string());
+        field("p90_us", self.p90_us.to_string());
+        field("p99_us", self.p99_us.to_string());
+        field("max_us", self.max_us.to_string());
+        s.push('}');
+        s
+    }
+}
+
+/// Builds the deterministic distinct-instance pool for `cfg`.
+#[must_use]
+pub fn instance_pool(cfg: &LoadConfig) -> Vec<ScheduleRequest> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let policies = ["FERTAC", "HeRAD", "2CATAC"];
+    (0..cfg.distinct_instances.max(1))
+        .map(|_| {
+            let len = rng.gen_range(2..=cfg.max_tasks.max(2));
+            let tasks: Vec<TaskSpec> = (0..len)
+                .map(|_| TaskSpec {
+                    weight_big: rng.gen_range(1..=48u64),
+                    weight_little: rng.gen_range(1..=96u64),
+                    replicable: rng.gen_bool(0.5),
+                })
+                .collect();
+            ScheduleRequest {
+                id: 0, // assigned per frame at send time
+                tasks,
+                big_cores: rng.gen_range(1..=4u64),
+                little_cores: rng.gen_range(1..=4u64),
+                policy: Policy::Strategy(policies[rng.gen_range(0..policies.len())].to_string()),
+                deadline_us: None,
+            }
+        })
+        .collect()
+}
+
+/// Composite id: connection index in the high 32 bits, sequence number
+/// in the low 32.
+fn compose_id(conn: usize, seq: usize) -> u64 {
+    ((conn as u64) << 32) | (seq as u64 & 0xFFFF_FFFF)
+}
+
+/// What one connection's receiver observed.
+struct ConnAudit {
+    answered: u64,
+    ok: u64,
+    cache_hits: u64,
+    rejected: BTreeMap<String, u64>,
+    duplicates: u64,
+    misrouted: u64,
+    unattributed: u64,
+    latencies_us: Vec<u64>,
+    /// Per-sequence answered flags; unanswered ones count as lost.
+    seen: Vec<bool>,
+}
+
+/// Drives one connection: a sender thread pipelines every frame while
+/// this thread audits the response stream.
+fn drive_connection(
+    cfg: &LoadConfig,
+    pool: &[ScheduleRequest],
+    conn: usize,
+) -> std::io::Result<ConnAudit> {
+    let n = cfg.requests_per_connection;
+    let stream = TcpStream::connect(cfg.addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    let mut write_half = stream.try_clone()?;
+
+    // The request sequence is seeded per connection so every connection
+    // draws a different (but reproducible) sample of the pool.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9));
+    let picks: Vec<usize> = (0..n).map(|_| rng.gen_range(0..pool.len())).collect();
+    let tenant = cfg.tenant.clone();
+    let frames: Vec<String> = picks
+        .iter()
+        .enumerate()
+        .map(|(seq, &pick)| {
+            let mut request = pool[pick].clone();
+            request.id = compose_id(conn, seq);
+            proto::render_request(&request, &tenant)
+        })
+        .collect();
+
+    let send_clock = Instant::now();
+    let sender = std::thread::spawn(move || -> std::io::Result<Vec<Duration>> {
+        let mut sent_at = Vec::with_capacity(frames.len());
+        let mut line = String::new();
+        for frame in &frames {
+            line.clear();
+            line.push_str(frame);
+            line.push('\n');
+            sent_at.push(send_clock.elapsed());
+            write_half.write_all(line.as_bytes())?;
+        }
+        Ok(sent_at)
+    });
+
+    let mut audit = ConnAudit {
+        answered: 0,
+        ok: 0,
+        cache_hits: 0,
+        rejected: BTreeMap::new(),
+        duplicates: 0,
+        misrouted: 0,
+        unattributed: 0,
+        latencies_us: Vec::with_capacity(n),
+        seen: vec![false; n],
+    };
+    let mut recv_at: Vec<Option<Duration>> = vec![None; n];
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while audit.answered + audit.unattributed + audit.misrouted < n as u64 {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // server closed; remainder counts as lost
+            Ok(_) => {}
+            Err(_) => break, // read timeout or socket error
+        }
+        let Ok(response) = proto::parse_response(line.trim_end()) else {
+            // An unparseable frame is still an answer of sorts; it has
+            // no id, so it can only be tallied as unattributed.
+            audit.unattributed += 1;
+            continue;
+        };
+        let Some(id) = response.id else {
+            audit.unattributed += 1;
+            continue;
+        };
+        if (id >> 32) as usize != conn {
+            audit.misrouted += 1;
+            continue;
+        }
+        let seq = (id & 0xFFFF_FFFF) as usize;
+        if seq >= n || audit.seen[seq] {
+            audit.duplicates += 1;
+            continue;
+        }
+        audit.seen[seq] = true;
+        audit.answered += 1;
+        recv_at[seq] = Some(send_clock.elapsed());
+        match response.result {
+            Ok(outcome) => {
+                audit.ok += 1;
+                if outcome_was_cached(&outcome) {
+                    audit.cache_hits += 1;
+                }
+            }
+            Err((code, _message)) => {
+                *audit.rejected.entry(code).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let sent_at = sender
+        .join()
+        .map_err(|_| std::io::Error::other("sender thread panicked"))??;
+    for (seq, received) in recv_at.iter().enumerate() {
+        if let (Some(sent), Some(received)) = (sent_at.get(seq), received) {
+            let us = received.saturating_sub(*sent).as_micros();
+            audit
+                .latencies_us
+                .push(u64::try_from(us).unwrap_or(u64::MAX));
+        }
+    }
+    Ok(audit)
+}
+
+fn outcome_was_cached(outcome: &amp_core::json::Json) -> bool {
+    use amp_core::json::Json;
+    match outcome {
+        Json::Obj(fields) => fields.get("cache_hit") == Some(&Json::Bool(true)),
+        _ => false,
+    }
+}
+
+fn percentile(sorted_us: &[u64], pct: u64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (sorted_us.len() as u64 * pct).div_ceil(100);
+    let idx = (rank.max(1) - 1) as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Runs the configured workload and audits every response. Connection
+/// setup errors surface as `Err`; protocol-level anomalies land in the
+/// report's audit counters instead.
+pub fn run(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
+    let pool = instance_pool(cfg);
+    let started = Instant::now();
+    let audits: Vec<std::io::Result<ConnAudit>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections)
+            .map(|conn| {
+                let cfg = &*cfg;
+                let pool = &pool[..];
+                scope.spawn(move || drive_connection(cfg, pool, conn))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err(std::io::Error::other("connection thread panicked")),
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut report = LoadReport {
+        sent: (cfg.connections * cfg.requests_per_connection) as u64,
+        elapsed_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+        ..LoadReport::default()
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    for audit in audits {
+        let audit = audit?;
+        report.answered += audit.answered;
+        report.ok += audit.ok;
+        report.cache_hits += audit.cache_hits;
+        report.duplicates += audit.duplicates;
+        report.misrouted += audit.misrouted;
+        report.unattributed += audit.unattributed;
+        for (code, count) in audit.rejected {
+            *report.rejected.entry(code).or_insert(0) += count;
+        }
+        report.lost += audit.seen.iter().filter(|&&seen| !seen).count() as u64;
+        latencies.extend(audit.latencies_us);
+    }
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 50);
+    report.p90_us = percentile(&latencies, 90);
+    report.p99_us = percentile(&latencies, 99);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    let secs = elapsed.as_secs_f64();
+    report.throughput_rps = if secs > 0.0 {
+        (report.answered as f64 / secs) as u64
+    } else {
+        report.answered
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_deterministic_in_the_seed() {
+        let cfg = LoadConfig::default();
+        let a = instance_pool(&cfg);
+        let b = instance_pool(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tasks, y.tasks);
+            assert_eq!(x.policy, y.policy);
+            assert_eq!((x.big_cores, x.little_cores), (y.big_cores, y.little_cores));
+        }
+        let other = instance_pool(&LoadConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        });
+        assert!(
+            a.iter().zip(&other).any(|(x, y)| x.tasks != y.tasks),
+            "different seeds should generate different pools"
+        );
+    }
+
+    #[test]
+    fn ids_partition_by_connection() {
+        assert_eq!(compose_id(0, 0), 0);
+        assert_eq!(compose_id(3, 7) >> 32, 3);
+        assert_eq!(compose_id(3, 7) & 0xFFFF_FFFF, 7);
+        assert_ne!(compose_id(1, 0), compose_id(0, 1));
+    }
+
+    #[test]
+    fn percentiles_pick_the_right_ranks() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+    }
+}

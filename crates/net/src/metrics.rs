@@ -1,0 +1,216 @@
+//! Lock-free counters for the socket front end, following the service
+//! metrics pattern: relaxed atomics, snapshot-on-read, JSON export.
+//! Engine-side counters (latency histogram, worker panics, per-shard
+//! cache hits) live in the engine's own metrics; these cover what only
+//! the wire layer can see — connections, frames and admission outcomes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wire-layer counters. All methods are callable from any thread.
+#[derive(Default)]
+pub struct NetMetrics {
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    connections_refused: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    parse_errors: AtomicU64,
+    oversized_frames: AtomicU64,
+    accepted: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_quota: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    inflight: AtomicU64,
+    peak_inflight: AtomicU64,
+}
+
+/// Point-in-time copy of [`NetMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// Connections accepted and served.
+    pub connections_opened: u64,
+    /// Connections fully torn down.
+    pub connections_closed: u64,
+    /// Connections turned away at the limit (answered with a typed
+    /// error, then closed).
+    pub connections_refused: u64,
+    /// Request frames parsed off sockets (including rejected ones).
+    pub frames_in: u64,
+    /// Response frames written to sockets.
+    pub frames_out: u64,
+    /// Frames refused as unparseable (`PARSE_ERROR`/`BAD_REQUEST`).
+    pub parse_errors: u64,
+    /// Frames refused for exceeding the line-length bound.
+    pub oversized_frames: u64,
+    /// Requests admitted into the engine.
+    pub accepted: u64,
+    /// Requests bounced by engine backpressure (`OVERLOADED`).
+    pub rejected_overload: u64,
+    /// Requests bounced by tenant quotas (`QUOTA_EXCEEDED`).
+    pub rejected_quota: u64,
+    /// Requests bounced because the server is draining.
+    pub rejected_shutdown: u64,
+    /// Engine hand-offs (a batch of any size counts once).
+    pub batches: u64,
+    /// Requests carried by those hand-offs (avg batch size =
+    /// `batched_requests / batches`).
+    pub batched_requests: u64,
+    /// Requests currently in flight across all connections.
+    pub inflight: u64,
+    /// High-water mark of `inflight`.
+    pub peak_inflight: u64,
+}
+
+impl NetMetrics {
+    /// Fresh, all-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        NetMetrics::default()
+    }
+
+    pub(crate) fn connection_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn connection_refused(&self) {
+        self.connections_refused.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn frame_in(&self) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn frame_out(&self) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn parse_error(&self) {
+        self.parse_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn oversized_frame(&self) {
+        self.oversized_frames.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn rejected_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn rejected_quota(&self) {
+        self.rejected_quota.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn rejected_shutdown(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn batch_submitted(&self, members: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(members, Ordering::Relaxed);
+    }
+    /// Counts `n` requests as admitted. MUST be called *before* the
+    /// batch reaches the engine: a reply can arrive (and decrement the
+    /// in-flight gauge) the instant the hand-off happens, so counting
+    /// afterwards would race the gauge below zero.
+    pub(crate) fn requests_admitted(&self, n: u64) {
+        self.accepted.fetch_add(n, Ordering::Relaxed);
+        let now = self.inflight.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak_inflight.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Undoes [`requests_admitted`](Self::requests_admitted) for batch
+    /// members the engine bounced (they were provisionally admitted,
+    /// then answered with a typed error by the caller instead).
+    pub(crate) fn requests_bounced(&self, n: u64) {
+        self.accepted.fetch_sub(n, Ordering::Relaxed);
+        self.inflight.fetch_sub(n, Ordering::Relaxed);
+    }
+    pub(crate) fn response_out(&self) {
+        self.frame_out();
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (each counter atomic; the
+    /// set is not a global snapshot).
+    #[must_use]
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_quota: self.rejected_quota.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            peak_inflight: self.peak_inflight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl NetSnapshot {
+    /// Renders the snapshot as one JSON object (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        let mut field = |key: &str, value: u64| {
+            if s.len() > 1 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(key);
+            s.push_str("\":");
+            s.push_str(&value.to_string());
+        };
+        field("connections_opened", self.connections_opened);
+        field("connections_closed", self.connections_closed);
+        field("connections_refused", self.connections_refused);
+        field("frames_in", self.frames_in);
+        field("frames_out", self.frames_out);
+        field("parse_errors", self.parse_errors);
+        field("oversized_frames", self.oversized_frames);
+        field("accepted", self.accepted);
+        field("rejected_overload", self.rejected_overload);
+        field("rejected_quota", self.rejected_quota);
+        field("rejected_shutdown", self.rejected_shutdown);
+        field("batches", self.batches);
+        field("batched_requests", self.batched_requests);
+        field("inflight", self.inflight);
+        field("peak_inflight", self.peak_inflight);
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amp_core::json::Json;
+
+    #[test]
+    fn snapshot_counts_and_json_parses() {
+        let m = NetMetrics::new();
+        m.connection_opened();
+        m.frame_in();
+        m.requests_admitted(3);
+        m.batch_submitted(3);
+        m.response_out();
+        m.rejected_quota();
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.inflight, 2);
+        assert_eq!(s.peak_inflight, 3);
+        assert_eq!(s.frames_out, 1);
+        assert_eq!(s.rejected_quota, 1);
+        let json = s.to_json();
+        let parsed = Json::parse(&json).expect("snapshot JSON parses");
+        let Json::Obj(fields) = parsed else {
+            panic!("must be an object")
+        };
+        assert_eq!(fields.get("accepted"), Some(&Json::Int(3)));
+        assert_eq!(fields.get("peak_inflight"), Some(&Json::Int(3)));
+    }
+}

@@ -1,0 +1,475 @@
+//! The wire protocol: newline-delimited canonical JSON frames.
+//!
+//! One line is one frame; a frame is one [`amp_core::json`] value
+//! rendered with [`Json::render_compact`], which never contains a raw
+//! newline — so "split on `\n`" is the complete framing layer, and
+//! "the line parsed" means "the frame arrived whole" (the canonical
+//! parser rejects every strict prefix of a container-rooted document).
+//!
+//! ## Requests (client → server)
+//!
+//! A schedule request:
+//!
+//! ```json
+//! {"id":7,"tenant":"acme","policy":"HeRAD","big":2,"little":2,
+//!  "tasks":[[10,25,0],[40,90,1],[5,12,0]],"deadline_us":5000}
+//! ```
+//!
+//! * `id` — client-chosen correlation id, echoed verbatim; responses
+//!   may arrive in any order.
+//! * `tenant` — optional quota bucket name (default `"public"`).
+//! * `policy` — `"portfolio"` (case-insensitive) or a strategy name.
+//! * `tasks` — `[weight_big, weight_little, replicable(0|1)]` triples.
+//! * `deadline_us` — optional portfolio compute deadline.
+//!
+//! Control frames: `{"op":"status"}` returns the server status
+//! snapshot, `{"op":"ping"}` returns a pong (liveness probes).
+//!
+//! ## Responses (server → client)
+//!
+//! `{"id":7,"ok":{...outcome...}}` on success;
+//! `{"id":7,"err":{"code":"QUOTA_EXCEEDED","message":"..."}}` on any
+//! failure (the `id` key is absent when the frame was too mangled to
+//! recover one). Codes are the stable [`ServiceError::code`] set plus
+//! the transport-level codes `PARSE_ERROR`, `BAD_REQUEST`,
+//! `FRAME_TOO_LARGE` and `QUOTA_EXCEEDED`. The period travels as the
+//! exact `"num/den"` string — the wire format has no floats.
+
+use std::collections::BTreeMap;
+
+use amp_core::json::Json;
+use amp_core::CoreType;
+use amp_service::{Policy, ScheduleOutcome, ScheduleRequest, ScheduleResponse, TaskSpec};
+
+/// A transport-level rejection, answered without entering the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable machine-readable code.
+    pub code: &'static str,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl WireError {
+    fn parse(message: impl Into<String>) -> Self {
+        WireError {
+            code: "PARSE_ERROR",
+            message: message.into(),
+        }
+    }
+
+    fn bad_request(message: impl Into<String>) -> Self {
+        WireError {
+            code: "BAD_REQUEST",
+            message: message.into(),
+        }
+    }
+}
+
+/// One parsed request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireRequest {
+    /// A scheduling request plus its quota tenant.
+    Schedule {
+        /// The engine-level request.
+        request: ScheduleRequest,
+        /// Quota bucket the request draws from.
+        tenant: String,
+    },
+    /// `{"op":"status"}` — status snapshot probe.
+    Status,
+    /// `{"op":"ping"}` — liveness probe.
+    Ping,
+}
+
+/// Parses one frame. `max_tasks` bounds the chain length a single frame
+/// may carry (memory protection; longer chains are `BAD_REQUEST`).
+///
+/// On error the result carries the recovered request id when one was
+/// present, so the rejection can still be correlated.
+pub fn parse_request(
+    line: &str,
+    max_tasks: usize,
+) -> Result<WireRequest, (Option<u64>, WireError)> {
+    let value = Json::parse(line).map_err(|e| (None, WireError::parse(e.to_string())))?;
+    let Json::Obj(fields) = value else {
+        return Err((None, WireError::parse("frame must be a JSON object")));
+    };
+    // Recover the id first so even malformed schedule frames reject
+    // with a correlatable error.
+    let id = match fields.get("id") {
+        Some(Json::Int(n)) => Some(*n),
+        _ => None,
+    };
+    let fail = |id: Option<u64>, e: WireError| Err((id, e));
+    if let Some(op) = fields.get("op") {
+        return match op {
+            Json::Str(s) if s == "status" => Ok(WireRequest::Status),
+            Json::Str(s) if s == "ping" => Ok(WireRequest::Ping),
+            other => fail(
+                id,
+                WireError::bad_request(format!("unknown op {}", other.render_compact())),
+            ),
+        };
+    }
+    let Some(id) = id else {
+        return fail(None, WireError::bad_request("missing integer \"id\""));
+    };
+    let int_field = |name: &str| -> Result<u64, (Option<u64>, WireError)> {
+        match fields.get(name) {
+            Some(Json::Int(n)) => Ok(*n),
+            _ => Err((
+                Some(id),
+                WireError::bad_request(format!("missing integer {name:?}")),
+            )),
+        }
+    };
+    let big_cores = int_field("big")?;
+    let little_cores = int_field("little")?;
+    let deadline_us = match fields.get("deadline_us") {
+        None => None,
+        Some(Json::Int(n)) => Some(*n),
+        Some(_) => {
+            return fail(
+                Some(id),
+                WireError::bad_request("\"deadline_us\" must be an integer"),
+            )
+        }
+    };
+    let tenant = match fields.get("tenant") {
+        None => "public".to_string(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(_) => {
+            return fail(
+                Some(id),
+                WireError::bad_request("\"tenant\" must be a string"),
+            )
+        }
+    };
+    let policy = match fields.get("policy") {
+        Some(Json::Str(s)) if s.eq_ignore_ascii_case("portfolio") => Policy::Portfolio,
+        Some(Json::Str(s)) => Policy::Strategy(s.clone()),
+        _ => {
+            return fail(
+                Some(id),
+                WireError::bad_request("missing string \"policy\""),
+            )
+        }
+    };
+    let Some(Json::Arr(raw_tasks)) = fields.get("tasks") else {
+        return fail(Some(id), WireError::bad_request("missing array \"tasks\""));
+    };
+    if raw_tasks.len() > max_tasks {
+        return fail(
+            Some(id),
+            WireError::bad_request(format!(
+                "chain has {} tasks; this server accepts at most {max_tasks}",
+                raw_tasks.len()
+            )),
+        );
+    }
+    let mut tasks = Vec::with_capacity(raw_tasks.len());
+    for t in raw_tasks {
+        let Json::Arr(triple) = t else {
+            return fail(
+                Some(id),
+                WireError::bad_request("each task must be a [big, little, replicable] triple"),
+            );
+        };
+        match triple.as_slice() {
+            [Json::Int(wb), Json::Int(wl), Json::Int(r)] if *r <= 1 => tasks.push(TaskSpec {
+                weight_big: *wb,
+                weight_little: *wl,
+                replicable: *r == 1,
+            }),
+            _ => {
+                return fail(
+                    Some(id),
+                    WireError::bad_request(
+                        "each task must be [weight_big, weight_little, replicable(0|1)]",
+                    ),
+                )
+            }
+        }
+    }
+    Ok(WireRequest::Schedule {
+        request: ScheduleRequest {
+            id,
+            tasks,
+            big_cores,
+            little_cores,
+            policy,
+            deadline_us,
+        },
+        tenant,
+    })
+}
+
+/// Renders a schedule request as one frame (the client/loadgen side of
+/// [`parse_request`]). `tenant` is omitted when `"public"`.
+#[must_use]
+pub fn render_request(request: &ScheduleRequest, tenant: &str) -> String {
+    let mut fields = BTreeMap::new();
+    fields.insert("id".to_string(), Json::Int(request.id));
+    fields.insert("big".to_string(), Json::Int(request.big_cores));
+    fields.insert("little".to_string(), Json::Int(request.little_cores));
+    if let Some(us) = request.deadline_us {
+        fields.insert("deadline_us".to_string(), Json::Int(us));
+    }
+    if tenant != "public" {
+        fields.insert("tenant".to_string(), Json::Str(tenant.to_string()));
+    }
+    let policy = match &request.policy {
+        Policy::Portfolio => "portfolio".to_string(),
+        Policy::Strategy(name) => name.clone(),
+    };
+    fields.insert("policy".to_string(), Json::Str(policy));
+    fields.insert(
+        "tasks".to_string(),
+        Json::Arr(
+            request
+                .tasks
+                .iter()
+                .map(|t| {
+                    Json::Arr(vec![
+                        Json::Int(t.weight_big),
+                        Json::Int(t.weight_little),
+                        Json::Int(u64::from(t.replicable)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders an outcome as the `ok` payload.
+fn outcome_json(outcome: &ScheduleOutcome) -> Json {
+    let mut fields = BTreeMap::new();
+    fields.insert("strategy".to_string(), Json::Str(outcome.strategy.clone()));
+    fields.insert("period".to_string(), Json::Str(outcome.period.clone()));
+    fields.insert(
+        "decomposition".to_string(),
+        Json::Str(outcome.decomposition.clone()),
+    );
+    fields.insert(
+        "stages".to_string(),
+        Json::Arr(
+            outcome
+                .stages
+                .iter()
+                .map(|s| {
+                    Json::Arr(vec![
+                        Json::Int(s.start as u64),
+                        Json::Int(s.end as u64),
+                        Json::Int(s.cores),
+                        Json::Str(
+                            match s.core_type {
+                                CoreType::Big => "B",
+                                CoreType::Little => "L",
+                            }
+                            .to_string(),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    fields.insert("used_big".to_string(), Json::Int(outcome.used_big));
+    fields.insert("used_little".to_string(), Json::Int(outcome.used_little));
+    fields.insert("cache_hit".to_string(), Json::Bool(outcome.cache_hit));
+    fields.insert("complete".to_string(), Json::Bool(outcome.complete));
+    Json::Obj(fields)
+}
+
+/// Renders an engine response as one frame (no trailing newline).
+#[must_use]
+pub fn render_response(response: &ScheduleResponse) -> String {
+    match &response.result {
+        Ok(outcome) => {
+            let mut fields = BTreeMap::new();
+            fields.insert("id".to_string(), Json::Int(response.id));
+            fields.insert("ok".to_string(), outcome_json(outcome));
+            Json::Obj(fields).render_compact()
+        }
+        Err(e) => render_error(Some(response.id), e.code(), &e.to_string()),
+    }
+}
+
+/// Renders an error frame (no trailing newline). `id` is echoed when
+/// the offending frame carried one.
+#[must_use]
+pub fn render_error(id: Option<u64>, code: &str, message: &str) -> String {
+    let mut err = BTreeMap::new();
+    err.insert("code".to_string(), Json::Str(code.to_string()));
+    err.insert("message".to_string(), Json::Str(message.to_string()));
+    let mut fields = BTreeMap::new();
+    if let Some(id) = id {
+        fields.insert("id".to_string(), Json::Int(id));
+    }
+    fields.insert("err".to_string(), Json::Obj(err));
+    Json::Obj(fields).render_compact()
+}
+
+/// A response frame as the client sees it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Echoed correlation id, when the server could recover one.
+    pub id: Option<u64>,
+    /// `Ok(payload)` for success frames, `Err((code, message))` for
+    /// error frames.
+    pub result: Result<Json, (String, String)>,
+}
+
+/// Parses a response frame (the client/loadgen side).
+pub fn parse_response(line: &str) -> Result<ClientResponse, WireError> {
+    let value = Json::parse(line).map_err(|e| WireError::parse(e.to_string()))?;
+    let Json::Obj(mut fields) = value else {
+        return Err(WireError::parse("response must be a JSON object"));
+    };
+    let id = match fields.get("id") {
+        Some(Json::Int(n)) => Some(*n),
+        _ => None,
+    };
+    if let Some(ok) = fields.remove("ok") {
+        return Ok(ClientResponse { id, result: Ok(ok) });
+    }
+    match fields.remove("err") {
+        Some(Json::Obj(err)) => {
+            let text = |key: &str| match err.get(key) {
+                Some(Json::Str(s)) => s.clone(),
+                _ => String::new(),
+            };
+            Ok(ClientResponse {
+                id,
+                result: Err((text("code"), text("message"))),
+            })
+        }
+        _ => Err(WireError::parse("response has neither \"ok\" nor \"err\"")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amp_core::sched::Scheduler;
+    use amp_core::{Resources, Task, TaskChain};
+
+    fn request() -> ScheduleRequest {
+        let chain = TaskChain::new(vec![
+            Task::new(10, 25, false),
+            Task::new(40, 90, true),
+            Task::new(5, 12, false),
+        ]);
+        ScheduleRequest::from_chain(
+            7,
+            &chain,
+            Resources::new(2, 2),
+            Policy::Strategy("HeRAD".to_string()),
+        )
+    }
+
+    #[test]
+    fn request_round_trips_through_the_wire() {
+        let req = request();
+        let line = render_request(&req, "acme");
+        assert!(!line.contains('\n'));
+        match parse_request(&line, 64).expect("parses") {
+            WireRequest::Schedule { request, tenant } => {
+                assert_eq!(request, req);
+                assert_eq!(tenant, "acme");
+            }
+            other => panic!("expected schedule, got {other:?}"),
+        }
+        // Default tenant and portfolio policy.
+        let mut req = request();
+        req.policy = Policy::Portfolio;
+        req.deadline_us = Some(1500);
+        match parse_request(&render_request(&req, "public"), 64).expect("parses") {
+            WireRequest::Schedule { request, tenant } => {
+                assert_eq!(request, req);
+                assert_eq!(tenant, "public");
+            }
+            other => panic!("expected schedule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_frames_parse() {
+        assert_eq!(
+            parse_request("{\"op\":\"status\"}", 8).expect("status"),
+            WireRequest::Status
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"ping\"}", 8).expect("ping"),
+            WireRequest::Ping
+        );
+        let (_, err) = parse_request("{\"op\":\"reboot\"}", 8).unwrap_err();
+        assert_eq!(err.code, "BAD_REQUEST");
+    }
+
+    #[test]
+    fn malformed_frames_reject_with_recovered_id() {
+        // Garbage: no id recoverable.
+        let (id, err) = parse_request("not json at all", 8).unwrap_err();
+        assert_eq!((id, err.code), (None, "PARSE_ERROR"));
+        // Truncated JSON is a parse error, not a panic.
+        let line = render_request(&request(), "public");
+        let (_, err) = parse_request(&line[..line.len() - 3], 8).unwrap_err();
+        assert_eq!(err.code, "PARSE_ERROR");
+        // Structurally valid but missing fields: id comes back.
+        let (id, err) = parse_request("{\"id\":42,\"policy\":\"HeRAD\"}", 8).unwrap_err();
+        assert_eq!((id, err.code), (Some(42), "BAD_REQUEST"));
+        // Oversized chains are refused before allocation.
+        let line = render_request(&request(), "public");
+        let (id, err) = parse_request(&line, 2).unwrap_err();
+        assert_eq!((id, err.code), (Some(7), "BAD_REQUEST"));
+        assert!(err.message.contains("at most 2"), "{}", err.message);
+    }
+
+    #[test]
+    fn responses_round_trip_ok_and_err() {
+        let req = request();
+        let chain = req.chain();
+        let solution = amp_core::sched::Fertac
+            .schedule(&chain, req.resources())
+            .expect("feasible");
+        let outcome = ScheduleOutcome::from_solution("FERTAC", &solution, &chain, true);
+        let ok_line = render_response(&ScheduleResponse {
+            id: 7,
+            result: Ok(outcome.clone()),
+        });
+        assert!(!ok_line.contains('\n'));
+        let parsed = parse_response(&ok_line).expect("parses");
+        assert_eq!(parsed.id, Some(7));
+        let payload = parsed.result.expect("ok frame");
+        let Json::Obj(fields) = payload else {
+            panic!("payload must be an object")
+        };
+        assert_eq!(
+            fields.get("period"),
+            Some(&Json::Str(outcome.period.clone()))
+        );
+        assert_eq!(fields.get("cache_hit"), Some(&Json::Bool(false)));
+        assert_eq!(
+            fields.get("stages").map(|s| matches!(s, Json::Arr(_))),
+            Some(true)
+        );
+
+        let err_line = render_response(&ScheduleResponse {
+            id: 9,
+            result: Err(amp_service::ServiceError::Overloaded),
+        });
+        let parsed = parse_response(&err_line).expect("parses");
+        assert_eq!(parsed.id, Some(9));
+        let (code, message) = parsed.result.unwrap_err();
+        assert_eq!(code, "OVERLOADED");
+        assert!(!message.is_empty());
+
+        // Transport-level error without an id.
+        let line = render_error(None, "FRAME_TOO_LARGE", "line exceeded 65536 bytes");
+        let parsed = parse_response(&line).expect("parses");
+        assert_eq!(parsed.id, None);
+        assert_eq!(parsed.result.unwrap_err().0, "FRAME_TOO_LARGE");
+    }
+}

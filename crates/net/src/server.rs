@@ -1,0 +1,506 @@
+//! The socket server: a `std::net` TCP listener, one reader and one
+//! response-pump thread per connection, and a sharded engine behind an
+//! admission layer.
+//!
+//! ## Threading model (and why not an async runtime)
+//!
+//! The server is deliberately built on blocking `std::net` sockets and
+//! plain threads: the engine below it is a thread-per-core worker pool
+//! with *bounded queues*, so the concurrency the server must sustain is
+//! bounded by design — `max_connections` × (reader + pump) threads is a
+//! few hundred OS threads at the configured limits, well inside what
+//! the OS schedules efficiently, and every instrument in the repo
+//! (panic isolation, drain-then-join shutdown, scoped batch fan-out)
+//! composes with plain threads without an executor in the middle. An
+//! async runtime would buy connection counts this service cannot use
+//! (the engine saturates long before 10k sockets) at the price of a
+//! second scheduler and a dependency the build must vendor. See
+//! DESIGN.md for the full decision record.
+//!
+//! ## Connection life cycle
+//!
+//! The *reader* thread owns framing (newline-delimited canonical JSON),
+//! parse/quota admission, and batching: it greedily drains every
+//! complete frame already buffered before touching the socket again, so
+//! a pipelined burst becomes one [`EngineShards::try_submit_batch`]
+//! hand-off. The *pump* thread drains the connection's reply channel
+//! and writes response frames. Both write whole lines under one mutex,
+//! so frames never interleave mid-line. A full in-flight window parks
+//! the reader — TCP backpressure, not an error; see
+//! [`admission`](crate::admission).
+//!
+//! ## Shutdown
+//!
+//! `shutdown` is drain-then-close: stop accepting, half-close every
+//! connection's read side (readers wind down after their current
+//! batch), drain the engine shards (every accepted request reaches its
+//! reply channel), then join the pumps — which exit only after writing
+//! out everything the engine produced. No accepted request is dropped.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use amp_service::{EngineConfig, EngineShards, ScheduleRequest, ServiceError};
+use crossbeam::channel::{self, Sender};
+use parking_lot::Mutex;
+
+use crate::admission::{InflightWindow, QuotaConfig, TenantQuotas};
+use crate::metrics::{NetMetrics, NetSnapshot};
+use crate::proto::{self, WireRequest};
+
+/// Sizing and limits of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Engine shards (≥ 1); requests route by instance fingerprint.
+    pub shards: usize,
+    /// Per-shard engine sizing.
+    pub per_shard: EngineConfig,
+    /// Connections served concurrently; beyond it, new connections get
+    /// a typed error frame and a clean close.
+    pub max_connections: usize,
+    /// Longest accepted frame in bytes; longer lines are answered with
+    /// `FRAME_TOO_LARGE` and discarded (the connection survives).
+    pub max_line_bytes: usize,
+    /// Longest accepted task chain per request.
+    pub max_tasks: usize,
+    /// Per-connection in-flight window (backpressure bound).
+    pub window: usize,
+    /// Per-tenant token-bucket quota; `None` disables quotas.
+    pub quota: Option<QuotaConfig>,
+    /// Most requests per engine hand-off.
+    pub batch_max: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = thread::available_parallelism().map_or(4, usize::from);
+        let shards = 4;
+        let workers = (cores / shards).max(1);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards,
+            per_shard: EngineConfig {
+                workers,
+                racer_threads: workers * 2,
+                queue_depth: 256,
+                cache_capacity: 1024,
+                cache_shards: 8,
+                ..EngineConfig::default()
+            },
+            max_connections: 64,
+            max_line_bytes: 64 * 1024,
+            max_tasks: 512,
+            window: 64,
+            quota: None,
+            batch_max: 32,
+        }
+    }
+}
+
+/// State shared by the acceptor and every connection thread.
+struct Shared {
+    shards: EngineShards,
+    net: NetMetrics,
+    quotas: TenantQuotas,
+    cfg: ServerConfig,
+    closing: AtomicBool,
+    /// Live connections, for read-side half-close during drain.
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    /// Every reader/pump handle ever spawned, joined at shutdown.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+}
+
+/// One line-oriented socket writer; whole frames only, shared between
+/// the reader (direct rejections, control responses) and the pump.
+struct ConnWriter {
+    stream: TcpStream,
+    /// Set on the first write failure; later writes become no-ops so a
+    /// dead client cannot wedge the drain path.
+    broken: bool,
+}
+
+impl ConnWriter {
+    fn write_line(&mut self, line: &str) {
+        if self.broken {
+            return;
+        }
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        if self.stream.write_all(framed.as_bytes()).is_err() {
+            self.broken = true;
+        }
+    }
+}
+
+/// A running socket front end.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the acceptor thread.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shards: EngineShards::start(cfg.shards, &cfg.per_shard),
+            net: NetMetrics::new(),
+            quotas: TenantQuotas::new(cfg.quota),
+            cfg,
+            closing: AtomicBool::new(false),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            threads: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = thread::Builder::new()
+            .name("amp-net-acceptor".to_string())
+            .spawn(move || accept_loop(&listener, &acceptor_shared))?;
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wire-layer counters.
+    #[must_use]
+    pub fn net_snapshot(&self) -> NetSnapshot {
+        self.shared.net.snapshot()
+    }
+
+    /// The full status snapshot served by the `{"op":"status"}` control
+    /// frame: wire counters plus the sharded fleet status (aggregate
+    /// and per-shard service metrics and cache hit/miss counters).
+    #[must_use]
+    pub fn status_json(&self) -> String {
+        status_json(&self.shared)
+    }
+
+    /// Direct access to the engine fleet (tests, embedders).
+    #[must_use]
+    pub fn shards(&self) -> &EngineShards {
+        &self.shared.shards
+    }
+
+    /// Graceful drain-then-close shutdown; dropping does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.shared.closing.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = acceptor.join();
+        // Half-close every connection: readers see EOF after finishing
+        // the frames already buffered, so admissions stop per-socket.
+        for stream in self.shared.conns.lock().values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        // Fleet drain: every accepted request reaches its reply channel.
+        self.shared.shards.drain();
+        // Pumps write out the drained responses, then exit when the
+        // last reply sender (reader's, or a queued job's) drops.
+        let handles = std::mem::take(&mut *self.shared.threads.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The full status snapshot (shared by the control frame and
+/// [`Server::status_json`]).
+fn status_json(shared: &Shared) -> String {
+    format!(
+        "{{\"net\":{},\"fleet\":{}}}",
+        shared.net.snapshot().to_json(),
+        shared.shards.status_json()
+    )
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.closing.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.closing.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.conns.lock().len() >= shared.cfg.max_connections {
+            shared.net.connection_refused();
+            let mut writer = ConnWriter {
+                stream,
+                broken: false,
+            };
+            writer.write_line(&proto::render_error(
+                None,
+                "TOO_MANY_CONNECTIONS",
+                &format!(
+                    "server serves at most {} concurrent connections",
+                    shared.cfg.max_connections
+                ),
+            ));
+            continue;
+        }
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let spawned = thread::Builder::new()
+            .name(format!("amp-net-conn-{conn_id}"))
+            .spawn(move || serve_connection(&conn_shared, stream, conn_id));
+        match spawned {
+            Ok(handle) => shared.threads.lock().push(handle),
+            Err(_) => {
+                // Spawn failure degrades to a refused connection.
+                shared.net.connection_refused();
+            }
+        }
+    }
+}
+
+/// Per-connection context threaded through the framing helpers.
+struct Conn<'a> {
+    shared: &'a Arc<Shared>,
+    writer: &'a Arc<Mutex<ConnWriter>>,
+    window: &'a Arc<InflightWindow>,
+    reply_tx: &'a Sender<amp_service::ScheduleResponse>,
+}
+
+impl Conn<'_> {
+    /// Writes a frame produced by the reader itself (rejections,
+    /// control responses).
+    fn write_direct(&self, line: &str) {
+        self.writer.lock().write_line(line);
+        self.shared.net.frame_out();
+    }
+
+    /// Hands the pending batch to the engine; bounced members are
+    /// answered with their typed error right here.
+    fn flush_batch(&self, batch: &mut Vec<ScheduleRequest>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as u64;
+        // Admission is counted *before* the hand-off: the engine can
+        // answer a member the instant it is enqueued, and the response
+        // pump's decrement must never beat this increment.
+        self.shared.net.requests_admitted(n);
+        let submission = self
+            .shared
+            .shards
+            .try_submit_batch(std::mem::take(batch), self.reply_tx);
+        self.shared.net.batch_submitted(n);
+        if !submission.rejected.is_empty() {
+            self.shared
+                .net
+                .requests_bounced(submission.rejected.len() as u64);
+        }
+        for (request, error) in submission.rejected {
+            // The slot acquired for this member frees now; accepted
+            // members free theirs when the pump writes the response.
+            self.window.release();
+            match error {
+                ServiceError::Overloaded => self.shared.net.rejected_overload(),
+                ServiceError::ShuttingDown => self.shared.net.rejected_shutdown(),
+                _ => {}
+            }
+            self.write_direct(&proto::render_error(
+                Some(request.id),
+                error.code(),
+                &error.to_string(),
+            ));
+        }
+    }
+
+    /// Parses and admits one frame. Pushes admitted requests onto
+    /// `batch`; everything else is answered immediately.
+    fn handle_line(&self, line: &[u8], batch: &mut Vec<ScheduleRequest>) {
+        let text = match std::str::from_utf8(line) {
+            Ok(t) => t.trim_end_matches('\r'),
+            Err(_) => {
+                self.shared.net.frame_in();
+                self.shared.net.parse_error();
+                self.write_direct(&proto::render_error(
+                    None,
+                    "PARSE_ERROR",
+                    "frame is not valid UTF-8",
+                ));
+                return;
+            }
+        };
+        if text.trim().is_empty() {
+            // Blank lines are tolerated (interactive clients, netcat).
+            return;
+        }
+        self.shared.net.frame_in();
+        match proto::parse_request(text, self.shared.cfg.max_tasks) {
+            Err((id, err)) => {
+                self.shared.net.parse_error();
+                self.write_direct(&proto::render_error(id, err.code, &err.message));
+            }
+            Ok(WireRequest::Ping) => {
+                self.write_direct("{\"ok\":\"pong\",\"op\":\"ping\"}");
+            }
+            Ok(WireRequest::Status) => {
+                let status = status_json(self.shared);
+                self.write_direct(&format!("{{\"ok\":{status},\"op\":\"status\"}}"));
+            }
+            Ok(WireRequest::Schedule { request, tenant }) => {
+                if !self.shared.quotas.admit(&tenant, Instant::now()) {
+                    self.shared.net.rejected_quota();
+                    self.write_direct(&proto::render_error(
+                        Some(request.id),
+                        "QUOTA_EXCEEDED",
+                        &format!("tenant {tenant:?} is over its request quota"),
+                    ));
+                    return;
+                }
+                if !self.window.try_acquire() {
+                    // Window full: ship what we have so responses keep
+                    // flowing, then park until a slot frees. This stall
+                    // is the backpressure — the socket is simply not
+                    // read while we wait.
+                    self.flush_batch(batch);
+                    self.window.acquire();
+                }
+                batch.push(request);
+            }
+        }
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+    shared.net.connection_opened();
+    let _ = stream.set_nodelay(true);
+    // A dead-slow client blocks the pump at most this long per frame;
+    // after that the writer goes `broken` and drains become no-ops.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let Ok(write_half) = stream.try_clone() else {
+        shared.net.connection_closed();
+        return;
+    };
+    if let Ok(registered) = stream.try_clone() {
+        shared.conns.lock().insert(conn_id, registered);
+    }
+    let writer = Arc::new(Mutex::new(ConnWriter {
+        stream: write_half,
+        broken: false,
+    }));
+    let window = Arc::new(InflightWindow::new(shared.cfg.window));
+    let (reply_tx, reply_rx) = channel::unbounded();
+    // The response pump: engine replies → wire frames, in arrival order.
+    let pump_writer = Arc::clone(&writer);
+    let pump_window = Arc::clone(&window);
+    let pump_shared = Arc::clone(shared);
+    let pump = thread::Builder::new()
+        .name(format!("amp-net-pump-{conn_id}"))
+        .spawn(move || {
+            while let Ok(response) = reply_rx.recv() {
+                let line = proto::render_response(&response);
+                pump_writer.lock().write_line(&line);
+                pump_shared.net.response_out();
+                pump_window.release();
+            }
+        });
+    match pump {
+        Ok(handle) => shared.threads.lock().push(handle),
+        Err(_) => {
+            // Without a pump no response can ever leave; refuse the
+            // connection instead of accepting requests into a void.
+            shared.conns.lock().remove(&conn_id);
+            shared.net.connection_closed();
+            return;
+        }
+    }
+
+    let conn = Conn {
+        shared,
+        writer: &writer,
+        window: &window,
+        reply_tx: &reply_tx,
+    };
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut batch: Vec<ScheduleRequest> = Vec::new();
+    // When a line overruns `max_line_bytes` we answer once, then
+    // discard bytes until its terminating newline.
+    let mut discarding = false;
+    loop {
+        // Greedy drain: consume every complete frame already buffered
+        // before the next syscall — this is what turns a pipelined
+        // burst into one batch.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            if discarding {
+                discarding = false;
+                continue;
+            }
+            conn.handle_line(&line[..line.len() - 1], &mut batch);
+            if batch.len() >= shared.cfg.batch_max {
+                conn.flush_batch(&mut batch);
+            }
+        }
+        if !discarding && buf.len() > shared.cfg.max_line_bytes {
+            shared.net.oversized_frame();
+            conn.write_direct(&proto::render_error(
+                None,
+                "FRAME_TOO_LARGE",
+                &format!(
+                    "frame exceeds {} bytes; it was discarded",
+                    shared.cfg.max_line_bytes
+                ),
+            ));
+            buf.clear();
+            discarding = true;
+        } else if discarding {
+            buf.clear();
+        }
+        // Nothing more is buffered: ship the batch before blocking.
+        conn.flush_batch(&mut batch);
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    conn.flush_batch(&mut batch);
+    // Dropping the reader's sender lets the pump exit once the engine
+    // has answered everything this connection submitted.
+    drop(reply_tx);
+    shared.conns.lock().remove(&conn_id);
+    shared.net.connection_closed();
+}

@@ -1,0 +1,375 @@
+//! Edge-of-the-wire integration tests: real sockets against a real
+//! server, probing the admission contracts and the malformed-input
+//! surface.
+//!
+//! The contracts under test:
+//!
+//! * quota exhaustion answers `QUOTA_EXCEEDED` (not `OVERLOADED`), and
+//!   only for the offending tenant;
+//! * a full in-flight window slows the reader down (backpressure) —
+//!   it never rejects and never disconnects;
+//! * malformed frames (truncated JSON, oversized lines, interleaved
+//!   garbage) get a typed answer or a clean close, never a panic, and
+//!   never poison the frames around them.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use amp_core::json::Json;
+use amp_net::{QuotaConfig, Server, ServerConfig};
+use amp_service::{EngineConfig, Policy, ScheduleRequest, TaskSpec};
+
+fn small_server_config() -> ServerConfig {
+    ServerConfig {
+        shards: 2,
+        per_shard: EngineConfig {
+            workers: 2,
+            racer_threads: 2,
+            queue_depth: 64,
+            cache_capacity: 64,
+            cache_shards: 2,
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+fn request(id: u64, spread: u64) -> ScheduleRequest {
+    ScheduleRequest {
+        id,
+        tasks: vec![
+            TaskSpec {
+                weight_big: 10 + spread,
+                weight_little: 25 + spread,
+                replicable: false,
+            },
+            TaskSpec {
+                weight_big: 40,
+                weight_little: 90,
+                replicable: true,
+            },
+        ],
+        big_cores: 2,
+        little_cores: 2,
+        policy: Policy::Strategy("FERTAC".to_string()),
+        deadline_us: None,
+    }
+}
+
+fn connect(server: &Server) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) {
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.write_all(b"\n").expect("write newline");
+}
+
+/// Reads one response frame and returns `(id, Ok(outcome) | Err(code))`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (Option<u64>, Result<Json, String>) {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("read frame");
+    assert!(n > 0, "server closed the connection unexpectedly");
+    let response = amp_net::proto::parse_response(line.trim_end()).expect("parseable frame");
+    (response.id, response.result.map_err(|(code, _)| code))
+}
+
+#[test]
+fn quota_exhaustion_is_typed_and_tenant_scoped() {
+    // per_second: 0 — no refill, so admissions are exactly the burst.
+    let server = Server::start(ServerConfig {
+        quota: Some(QuotaConfig {
+            burst: 3,
+            per_second: 0,
+        }),
+        ..small_server_config()
+    })
+    .expect("server");
+    let (mut stream, mut reader) = connect(&server);
+
+    // The hog: 6 requests against a burst of 3.
+    for id in 0..6 {
+        send_line(
+            &mut stream,
+            &amp_net::proto::render_request(&request(id, id), "hog"),
+        );
+    }
+    let mut ok = 0;
+    let mut quota = 0;
+    for _ in 0..6 {
+        match read_response(&mut reader) {
+            (Some(_), Ok(_)) => ok += 1,
+            (Some(_), Err(code)) => {
+                // The typed-rejection contract: quota pressure is
+                // QUOTA_EXCEEDED, never conflated with OVERLOADED.
+                assert_eq!(code, "QUOTA_EXCEEDED");
+                quota += 1;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!((ok, quota), (3, 3));
+
+    // Fairness: a quiet tenant on the same connection is untouched.
+    send_line(
+        &mut stream,
+        &amp_net::proto::render_request(&request(100, 1), "quiet"),
+    );
+    let (id, result) = read_response(&mut reader);
+    assert_eq!(id, Some(100));
+    assert!(result.is_ok(), "quiet tenant must still be admitted");
+
+    // And the hog stays rejected (no refill at per_second 0).
+    send_line(
+        &mut stream,
+        &amp_net::proto::render_request(&request(101, 1), "hog"),
+    );
+    let (id, result) = read_response(&mut reader);
+    assert_eq!(id, Some(101));
+    assert_eq!(result.expect_err("hog is out of quota"), "QUOTA_EXCEEDED");
+
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn full_window_backpressures_instead_of_disconnecting() {
+    let window = 4;
+    let server = Server::start(ServerConfig {
+        window,
+        ..small_server_config()
+    })
+    .expect("server");
+    let (mut stream, mut reader) = connect(&server);
+
+    // Pipeline far more requests than the window admits at once. All
+    // must be answered: a full window pauses the reader, it never
+    // rejects or closes.
+    let total = 100u64;
+    for id in 0..total {
+        send_line(
+            &mut stream,
+            &amp_net::proto::render_request(&request(id, id % 7), "public"),
+        );
+    }
+    let mut seen = vec![false; total as usize];
+    for _ in 0..total {
+        let (id, result) = read_response(&mut reader);
+        let id = id.expect("every response correlates") as usize;
+        assert!(!seen[id], "duplicate response for id {id}");
+        seen[id] = true;
+        assert!(result.is_ok(), "no request may be rejected by the window");
+    }
+    assert!(seen.iter().all(|&answered| answered));
+
+    // The wire metrics prove the bound held: at no instant were more
+    // than `window` requests of this connection in flight.
+    let snapshot = server.net_snapshot();
+    assert_eq!(snapshot.accepted, total);
+    assert!(
+        snapshot.peak_inflight <= window as u64,
+        "peak inflight {} exceeded the window {}",
+        snapshot.peak_inflight,
+        window
+    );
+    assert_eq!(snapshot.connections_refused, 0);
+
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_typed_answers_and_spare_their_neighbors() {
+    let server = Server::start(ServerConfig {
+        max_line_bytes: 1024,
+        ..small_server_config()
+    })
+    .expect("server");
+    let (mut stream, mut reader) = connect(&server);
+
+    // 1. Interleaved garbage: answered PARSE_ERROR, connection lives.
+    send_line(&mut stream, "!!! this is not json !!!");
+    let (id, result) = read_response(&mut reader);
+    assert_eq!(id, None, "garbage has no recoverable id");
+    assert_eq!(result.expect_err("garbage is rejected"), "PARSE_ERROR");
+
+    // 2. Truncated JSON — a strict prefix of a request object. The
+    //    codec must refuse it (a prefix of a container never parses).
+    let valid = amp_net::proto::render_request(&request(7, 1), "public");
+    send_line(&mut stream, &valid[..valid.len() / 2]);
+    let (_, result) = read_response(&mut reader);
+    let code = result.expect_err("truncated frame is rejected");
+    assert!(
+        code == "PARSE_ERROR" || code == "BAD_REQUEST",
+        "unexpected code {code}"
+    );
+
+    // 3. Oversized line: typed FRAME_TOO_LARGE, then the connection
+    //    keeps working.
+    let huge = format!("{{\"id\":9,\"pad\":\"{}\"}}", "x".repeat(4096));
+    send_line(&mut stream, &huge);
+    let (_, result) = read_response(&mut reader);
+    assert_eq!(
+        result.expect_err("oversized is rejected"),
+        "FRAME_TOO_LARGE"
+    );
+
+    // 4. A well-formed request right after all that abuse still works.
+    send_line(
+        &mut stream,
+        &amp_net::proto::render_request(&request(42, 3), "public"),
+    );
+    let (id, result) = read_response(&mut reader);
+    assert_eq!(id, Some(42));
+    assert!(
+        result.is_ok(),
+        "the connection must survive malformed frames"
+    );
+
+    // 5. Structured-but-wrong: valid JSON missing required fields keeps
+    //    its id for correlation.
+    send_line(&mut stream, "{\"id\":77,\"policy\":\"FERTAC\"}");
+    let (id, result) = read_response(&mut reader);
+    assert_eq!(id, Some(77));
+    assert_eq!(result.expect_err("missing fields"), "BAD_REQUEST");
+
+    let snapshot = server.net_snapshot();
+    assert!(snapshot.parse_errors >= 3);
+    assert_eq!(snapshot.oversized_frames, 1);
+    assert_eq!(snapshot.connections_refused, 0);
+
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn fuzzed_garbage_never_panics_the_server() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let server = Server::start(ServerConfig {
+        max_line_bytes: 512,
+        ..small_server_config()
+    })
+    .expect("server");
+    let mut rng = StdRng::seed_from_u64(0xF0_22);
+    let (mut stream, mut reader) = connect(&server);
+    let mut expected_answers = 0u64;
+    for round in 0..200u64 {
+        let roll = rng.gen_range(0..5u32);
+        match roll {
+            // Random bytes (newline-free so they stay one frame).
+            0 => {
+                let len = rng.gen_range(1..64usize);
+                let mut bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(1..=255u8)).collect();
+                for b in &mut bytes {
+                    if *b == b'\n' {
+                        *b = b'?';
+                    }
+                }
+                stream.write_all(&bytes).expect("write");
+                stream.write_all(b"\n").expect("newline");
+                expected_answers += 1;
+            }
+            // Truncated valid request.
+            1 => {
+                let full = amp_net::proto::render_request(&request(round, round % 5), "public");
+                let cut = rng.gen_range(1..full.len());
+                send_line(&mut stream, &full[..cut]);
+                expected_answers += 1;
+            }
+            // Oversized frame.
+            2 => {
+                send_line(&mut stream, &"y".repeat(2048));
+                expected_answers += 1;
+            }
+            // Blank line: tolerated silently.
+            3 => send_line(&mut stream, "   "),
+            // A valid request, which must still succeed amid the abuse.
+            _ => {
+                send_line(
+                    &mut stream,
+                    &amp_net::proto::render_request(&request(round, round % 5), "public"),
+                );
+                expected_answers += 1;
+            }
+        }
+    }
+    // Every answerable frame got an answer; the connection never died.
+    for _ in 0..expected_answers {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read");
+        assert!(n > 0, "server must not close mid-fuzz");
+        assert!(
+            amp_net::proto::parse_response(line.trim_end()).is_ok(),
+            "every answer is a well-formed frame: {line:?}"
+        );
+    }
+    // Liveness proof: a ping round-trips after the storm.
+    send_line(&mut stream, "{\"op\":\"ping\"}");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read pong");
+    assert!(line.contains("pong"));
+
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn status_frame_exposes_fleet_and_per_shard_cache_counters() {
+    let server = Server::start(small_server_config()).expect("server");
+    let (mut stream, mut reader) = connect(&server);
+
+    // Warm the cache: same instance twice; the second must be a hit.
+    for id in [1u64, 2] {
+        send_line(
+            &mut stream,
+            &amp_net::proto::render_request(&request(id, 0), "public"),
+        );
+        let (_, result) = read_response(&mut reader);
+        assert!(result.is_ok());
+    }
+
+    send_line(&mut stream, "{\"op\":\"status\"}");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read status");
+    let parsed = Json::parse(line.trim_end()).expect("status frame parses");
+    let Json::Obj(top) = parsed else {
+        panic!("status must be an object")
+    };
+    let Some(Json::Obj(ok)) = top.get("ok") else {
+        panic!("status carries ok")
+    };
+    let Some(Json::Obj(net)) = ok.get("net") else {
+        panic!("status carries net counters")
+    };
+    assert!(net.contains_key("frames_in"));
+    let Some(Json::Obj(fleet)) = ok.get("fleet") else {
+        panic!("status carries fleet")
+    };
+    let Some(Json::Obj(cache)) = fleet.get("cache") else {
+        panic!("fleet carries aggregate cache stats")
+    };
+    assert_eq!(cache.get("hits"), Some(&Json::Int(1)), "one warm hit");
+    let Some(Json::Arr(shards)) = fleet.get("per_shard") else {
+        panic!("fleet carries per-shard stats")
+    };
+    assert_eq!(shards.len(), 2);
+    for shard in shards {
+        let Json::Obj(shard) = shard else {
+            panic!("per-shard entry is an object")
+        };
+        assert!(
+            shard.contains_key("cache"),
+            "each shard exposes its own cache hit/miss counters"
+        );
+    }
+
+    drop(stream);
+    server.shutdown();
+}

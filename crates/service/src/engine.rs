@@ -11,6 +11,16 @@
 //! [`portfolio`](crate::portfolio) — and send exactly one
 //! [`ScheduleResponse`] per request on the caller's reply channel.
 //!
+//! Pipelined front ends (the `amp-net` socket server) hand over whole
+//! bursts at once: [`Engine::try_submit_batch`] enqueues many requests
+//! as *one* queue slot, and the worker that dequeues the batch fans the
+//! cache-missing single-strategy members into
+//! [`schedule_many_with`](amp_core::sched::batch::schedule_many_with)
+//! so one hand-off amortizes the queue round-trip and the solves share
+//! warm per-worker scratches. Batch members still get exactly one
+//! response each, in no guaranteed order — responses carry the request
+//! id precisely so ordering never matters.
+//!
 //! ## Robustness contract
 //!
 //! *No accepted request is ever dropped without a response* — even when
@@ -36,18 +46,30 @@
 //! once the queue fills, and [`Engine::schedule_blocking`] returns
 //! [`ServiceError::NoWorkers`] immediately.
 //!
-//! Shutdown is graceful: [`Engine::shutdown`] (or dropping the engine)
-//! closes the job queue, lets the workers drain every request already
-//! accepted, joins them, and only then tears down the racer pool.
+//! Shutdown is graceful *and shared-owner safe*: [`Engine::close`]
+//! stops admissions through a plain `&self` (so an `Arc<Engine>` held
+//! by many connection threads can initiate shutdown), [`Engine::drain`]
+//! additionally waits until every accepted request has been answered
+//! and the workers have exited, and [`Engine::shutdown`] / `Drop` are
+//! thin wrappers over `drain`. A submission racing with `close` either
+//! returns [`ServiceError::ShuttingDown`] or wins the race — and a
+//! winning submission is still served, because the submitter holds its
+//! own clone of the queue sender until the enqueue completes, so the
+//! workers cannot observe "closed and empty" while the job is in
+//! flight. There is no window in which a request is accepted (`Ok`
+//! returned to the caller) but never answered.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use amp_core::sched::batch::schedule_many_with;
 use amp_core::sched::{strategy_by_name, SchedScratch};
-use amp_core::Solution;
+use amp_core::{Resources, Solution, TaskChain};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
 
 use crate::cache::{CacheKey, CacheStats, SolutionCache};
 use crate::error::ServiceError;
@@ -112,20 +134,58 @@ impl std::fmt::Debug for EngineConfig {
     }
 }
 
-/// One queued unit of work.
-struct Job {
-    request: ScheduleRequest,
-    reply: Sender<ScheduleResponse>,
-    accepted_at: Instant,
+/// One queued unit of work: a single request, or a pipelined burst that
+/// travels as one queue slot.
+enum Job {
+    Single {
+        request: ScheduleRequest,
+        reply: Sender<ScheduleResponse>,
+        accepted_at: Instant,
+    },
+    Batch {
+        requests: Vec<ScheduleRequest>,
+        reply: Sender<ScheduleResponse>,
+        accepted_at: Instant,
+    },
+}
+
+impl Job {
+    /// Recovers the members of a batch job bounced back by the channel.
+    fn into_batch_requests(self) -> Vec<ScheduleRequest> {
+        match self {
+            Job::Batch { requests, .. } => requests,
+            Job::Single { request, .. } => vec![request],
+        }
+    }
+}
+
+/// A batch bounced at the door: no member was enqueued, no response
+/// will arrive for any of them, and all of them come back to the caller
+/// paired with the typed error each is owed.
+#[derive(Debug)]
+pub struct RejectedBatch {
+    /// The members, in submission order.
+    pub requests: Vec<ScheduleRequest>,
+    /// Why the batch was refused ([`ServiceError::Overloaded`] or
+    /// [`ServiceError::ShuttingDown`]).
+    pub error: ServiceError,
 }
 
 /// A running scheduling service.
 pub struct Engine {
-    job_tx: Option<Sender<Job>>,
+    /// `None` once closed. Behind a mutex so [`Engine::close`] works
+    /// through `&self` (shared `Arc<Engine>` owners can shut down);
+    /// submitters clone the sender out and enqueue outside the lock, so
+    /// a racing close never blocks on a full queue and a winning
+    /// submission keeps the channel alive until its enqueue lands.
+    job_tx: Mutex<Option<Sender<Job>>>,
     /// Kept so the queue stays connected even with zero workers; workers
     /// hold their own clones.
     _job_rx: Receiver<Job>,
-    workers: Vec<JoinHandle<()>>,
+    /// Behind a mutex so [`Engine::drain`] can join through `&self`;
+    /// the guard is held across the joins so concurrent drains both
+    /// return only after the pool has fully exited.
+    workers: Mutex<Vec<JoinHandle<()>>>,
     configured_workers: usize,
     metrics: Arc<ServiceMetrics>,
     cache: Arc<SolutionCache>,
@@ -166,34 +226,44 @@ impl Engine {
             .collect();
         metrics.record_threads_spawned(workers.len() as u64 + racers.stats().threads_spawned);
         Engine {
-            job_tx: Some(job_tx),
+            job_tx: Mutex::new(Some(job_tx)),
             _job_rx: job_rx,
             configured_workers: workers.len(),
-            workers,
+            workers: Mutex::new(workers),
             metrics,
             cache,
             racers,
         }
     }
 
-    fn sender(&self) -> &Sender<Job> {
-        self.job_tx.as_ref().expect("engine not shut down")
+    /// A private clone of the queue sender, or `None` once closed. The
+    /// clone is taken under the lock but used outside it: it keeps the
+    /// channel connected for the duration of the enqueue even if
+    /// [`Engine::close`] drops the primary sender concurrently, which is
+    /// what guarantees an accepted job is always drained.
+    fn sender(&self) -> Option<Sender<Job>> {
+        self.job_tx.lock().clone()
     }
 
     /// Non-blocking submission. Rejects with
     /// [`ServiceError::Overloaded`] when the job queue is full; the
     /// request is then *not* enqueued and no response will arrive for it.
+    /// After [`Engine::close`] it rejects with
+    /// [`ServiceError::ShuttingDown`].
     pub fn try_submit(
         &self,
         request: ScheduleRequest,
         reply: Sender<ScheduleResponse>,
     ) -> Result<(), ServiceError> {
-        let job = Job {
+        let Some(tx) = self.sender() else {
+            return Err(ServiceError::ShuttingDown);
+        };
+        let job = Job::Single {
             request,
             reply,
             accepted_at: Instant::now(),
         };
-        match self.sender().try_send(job) {
+        match tx.try_send(job) {
             Ok(()) => {
                 self.metrics.record_accepted();
                 Ok(())
@@ -203,6 +273,54 @@ impl Engine {
                 Err(ServiceError::Overloaded)
             }
             Err(TrySendError::Disconnected(_)) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Non-blocking submission of a pipelined burst as one queue slot.
+    ///
+    /// All-or-nothing: on `Ok(n)` every request will receive exactly one
+    /// response on `reply` (in no guaranteed order — match by id); on
+    /// rejection *none* was enqueued and every member travels back in
+    /// the [`RejectedBatch`], so the caller can answer each one with the
+    /// typed error. Cache-missing members that share a strategy are
+    /// solved together via the batched scheduler kernel. An empty batch
+    /// is a no-op.
+    pub fn try_submit_batch(
+        &self,
+        requests: Vec<ScheduleRequest>,
+        reply: Sender<ScheduleResponse>,
+    ) -> Result<usize, RejectedBatch> {
+        let n = requests.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        let Some(tx) = self.sender() else {
+            return Err(RejectedBatch {
+                requests,
+                error: ServiceError::ShuttingDown,
+            });
+        };
+        let job = Job::Batch {
+            requests,
+            reply,
+            accepted_at: Instant::now(),
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.metrics.record_accepted_n(n as u64);
+                Ok(n)
+            }
+            Err(TrySendError::Full(job)) => {
+                self.metrics.record_rejected_n(n as u64);
+                Err(RejectedBatch {
+                    requests: job.into_batch_requests(),
+                    error: ServiceError::Overloaded,
+                })
+            }
+            Err(TrySendError::Disconnected(job)) => Err(RejectedBatch {
+                requests: job.into_batch_requests(),
+                error: ServiceError::ShuttingDown,
+            }),
         }
     }
 
@@ -219,12 +337,15 @@ impl Engine {
         if self.configured_workers == 0 {
             return self.try_submit(request, reply);
         }
-        let job = Job {
+        let Some(tx) = self.sender() else {
+            return Err(ServiceError::ShuttingDown);
+        };
+        let job = Job::Single {
             request,
             reply,
             accepted_at: Instant::now(),
         };
-        match self.sender().send(job) {
+        match tx.send(job) {
             Ok(()) => {
                 self.metrics.record_accepted();
                 Ok(())
@@ -275,43 +396,69 @@ impl Engine {
         self.cache.stats()
     }
 
-    /// Service metrics and cache counters as one JSON object.
+    /// Service metrics and cache counters as one JSON object. The hit
+    /// rate is reported in integer per-mille (`hit_rate_milli`, 0–1000)
+    /// so the status document stays inside the canonical JSON format,
+    /// which has no floats.
     #[must_use]
     pub fn status_json(&self) -> String {
         let cache = self.cache_stats();
         let metrics = self.metrics().to_json();
         format!(
             "{{\"service\":{metrics},\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
-             \"insertions\":{},\"entries\":{},\"capacity\":{},\"hit_rate\":{:.4}}}}}",
+             \"insertions\":{},\"entries\":{},\"capacity\":{},\"hit_rate_milli\":{}}}}}",
             cache.hits,
             cache.misses,
             cache.evictions,
             cache.insertions,
             cache.entries,
             cache.capacity,
-            cache.hit_rate(),
+            (cache.hit_rate() * 1000.0).round() as u64,
         )
     }
 
-    /// Closes the queue, drains every accepted request and joins the
-    /// workers. Dropping the engine does the same.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
+    /// Closes the job queue through a shared reference: later
+    /// submissions fail with [`ServiceError::ShuttingDown`], while every
+    /// already-accepted request still drains to a response. Idempotent.
+    ///
+    /// This is the admission-stop half of shutdown, callable from any
+    /// thread holding an `Arc<Engine>` (the socket front end closes
+    /// admissions first, then drains connections, then calls
+    /// [`Engine::drain`]).
+    pub fn close(&self) {
+        drop(self.job_tx.lock().take());
     }
 
-    fn shutdown_inner(&mut self) {
-        drop(self.job_tx.take());
-        for worker in self.workers.drain(..) {
+    /// True once [`Engine::close`] (or shutdown/drop) has run.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.job_tx.lock().is_none()
+    }
+
+    /// Closes the queue, waits for the workers to drain every accepted
+    /// request, and joins them — all through `&self`, so shared owners
+    /// can run a full graceful shutdown. Concurrent callers all block
+    /// until the pool has fully exited. Idempotent.
+    pub fn drain(&self) {
+        self.close();
+        let mut workers = self.workers.lock();
+        for worker in workers.drain(..) {
             let _ = worker.join();
         }
         // The racer pool (shared via Arc) tears itself down when the
         // last reference drops — after the workers, by construction.
     }
+
+    /// Closes the queue, drains every accepted request and joins the
+    /// workers. Dropping the engine does the same.
+    pub fn shutdown(self) {
+        self.drain();
+    }
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        self.shutdown_inner();
+        self.drain();
     }
 }
 
@@ -350,6 +497,13 @@ fn supervised_worker(
     metrics.record_worker_stopped();
 }
 
+/// Intra-batch parallelism cap: how many scoped solver threads one
+/// engine worker may fan a batch across. Small on purpose — the engine
+/// already runs one worker per core; batching mostly amortizes queue
+/// hand-offs, and a modest fan-out picks up the slack on bursty loads
+/// without oversubscribing the machine.
+const BATCH_FANOUT: usize = 4;
+
 fn worker_loop(
     rx: &Receiver<Job>,
     metrics: &ServiceMetrics,
@@ -360,41 +514,247 @@ fn worker_loop(
     // One scratch arena per worker, reused across every request the
     // worker ever handles: steady-state scheduling allocates nothing.
     let mut scratch = SchedScratch::new();
+    // Extra scratches for batched jobs, grown on demand up to
+    // `BATCH_FANOUT` and likewise reused across batches.
+    let mut batch_scratches: Vec<SchedScratch> = Vec::new();
     // `recv` keeps returning queued jobs after the engine closes the
     // queue and only errors once it is both closed *and* empty — that is
     // exactly the drain-then-exit shutdown contract.
     while let Ok(job) = rx.recv() {
-        // Panic isolation: an unwinding strategy (or any compute-path
-        // bug) still yields exactly one typed response for the request.
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            handle(
-                &job.request,
+        match job {
+            Job::Single {
+                request,
+                reply,
+                accepted_at,
+            } => {
+                let result = compute_guarded(
+                    &request,
+                    metrics,
+                    cache,
+                    portfolio_cfg,
+                    racers,
+                    &mut scratch,
+                );
+                respond(&reply, request.id, result, accepted_at, metrics);
+            }
+            Job::Batch {
+                requests,
+                reply,
+                accepted_at,
+            } => run_batch(
+                requests,
+                &reply,
+                accepted_at,
                 metrics,
                 cache,
                 portfolio_cfg,
                 racers,
                 &mut scratch,
-            )
-        }))
-        .unwrap_or_else(|panic| {
+                &mut batch_scratches,
+            ),
+        }
+    }
+}
+
+/// Runs one request's compute under panic isolation: an unwinding
+/// strategy (or any compute-path bug) still yields exactly one typed
+/// result, and the possibly half-written scratch is recycled.
+fn compute_guarded(
+    request: &ScheduleRequest,
+    metrics: &ServiceMetrics,
+    cache: &SolutionCache,
+    portfolio_cfg: &PortfolioConfig,
+    racers: &RacerPool,
+    scratch: &mut SchedScratch,
+) -> Result<ScheduleOutcome, ServiceError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        handle(request, metrics, cache, portfolio_cfg, racers, scratch)
+    }))
+    .unwrap_or_else(|panic| {
+        metrics.record_worker_panic();
+        // The interrupted solve may have left the arena mid-write;
+        // recycle it rather than trust it.
+        *scratch = SchedScratch::new();
+        Err(ServiceError::Internal(format!(
+            "worker panicked while scheduling: {}",
+            panic_message(panic.as_ref())
+        )))
+    })
+}
+
+/// Records and delivers one response. A client that dropped its reply
+/// receiver forfeits the answer; that is its choice, not an engine
+/// failure.
+fn respond(
+    reply: &Sender<ScheduleResponse>,
+    id: u64,
+    result: Result<ScheduleOutcome, ServiceError>,
+    accepted_at: Instant,
+    metrics: &ServiceMetrics,
+) {
+    let is_error = result.is_err();
+    metrics.record_response(accepted_at.elapsed(), is_error);
+    let _ = reply.send(ScheduleResponse { id, result });
+}
+
+/// Serves a pipelined batch: validation errors and cache hits answer
+/// immediately, portfolio members run through the regular single-request
+/// path, and cache-missing members that share a (known) strategy are
+/// solved together through the batched scheduler kernel on the worker's
+/// persistent scratch pool. Exactly one response per member, always.
+#[allow(clippy::too_many_arguments)]
+fn run_batch(
+    requests: Vec<ScheduleRequest>,
+    reply: &Sender<ScheduleResponse>,
+    accepted_at: Instant,
+    metrics: &ServiceMetrics,
+    cache: &SolutionCache,
+    portfolio_cfg: &PortfolioConfig,
+    racers: &RacerPool,
+    scratch: &mut SchedScratch,
+    batch_scratches: &mut Vec<SchedScratch>,
+) {
+    let mut groups: BTreeMap<&'static str, Vec<ScheduleRequest>> = BTreeMap::new();
+    let mut solos: Vec<ScheduleRequest> = Vec::new();
+    for request in requests {
+        // Fast paths mirror `handle` exactly: typed validation errors
+        // and cache hits never wait for the solver fan-out.
+        if request.tasks.is_empty() {
+            respond(
+                reply,
+                request.id,
+                Err(ServiceError::EmptyChain),
+                accepted_at,
+                metrics,
+            );
+            continue;
+        }
+        if request.big_cores == 0 && request.little_cores == 0 {
+            respond(
+                reply,
+                request.id,
+                Err(ServiceError::NoCores),
+                accepted_at,
+                metrics,
+            );
+            continue;
+        }
+        if let Some(hit) = cache.get(&CacheKey::for_request(&request)) {
+            respond(reply, request.id, Ok(hit), accepted_at, metrics);
+            continue;
+        }
+        match &request.policy {
+            Policy::Strategy(name) => match strategy_by_name(name) {
+                Some(strategy) => groups.entry(strategy.name()).or_default().push(request),
+                None => {
+                    let err = ServiceError::UnknownStrategy { name: name.clone() };
+                    respond(reply, request.id, Err(err), accepted_at, metrics);
+                }
+            },
+            Policy::Portfolio => solos.push(request),
+        }
+    }
+    for request in solos {
+        let result = compute_guarded(&request, metrics, cache, portfolio_cfg, racers, scratch);
+        respond(reply, request.id, result, accepted_at, metrics);
+    }
+    for (name, members) in groups {
+        if members.len() == 1 {
+            // A lone member gains nothing from the fan-out; keep it on
+            // the worker's warm single-request scratch.
+            let request = &members[0];
+            let result = compute_guarded(request, metrics, cache, portfolio_cfg, racers, scratch);
+            respond(reply, request.id, result, accepted_at, metrics);
+            continue;
+        }
+        run_group(
+            name,
+            members,
+            reply,
+            accepted_at,
+            metrics,
+            cache,
+            racers,
+            batch_scratches,
+        );
+    }
+}
+
+/// Solves one same-strategy group through `schedule_many_with`, then
+/// vets, caches and answers each member. The whole group runs under one
+/// panic guard: an unwind anywhere in the fan-out turns into a typed
+/// `Internal` response for every member and a recycled scratch pool.
+#[allow(clippy::too_many_arguments)]
+fn run_group(
+    name: &'static str,
+    members: Vec<ScheduleRequest>,
+    reply: &Sender<ScheduleResponse>,
+    accepted_at: Instant,
+    metrics: &ServiceMetrics,
+    cache: &SolutionCache,
+    racers: &RacerPool,
+    batch_scratches: &mut Vec<SchedScratch>,
+) {
+    let strategy = racers.wrapped(strategy_by_name(name).expect("group key is a known strategy"));
+    let chains: Vec<TaskChain> = members.iter().map(ScheduleRequest::chain).collect();
+    let jobs: Vec<(&TaskChain, Resources)> = chains
+        .iter()
+        .zip(&members)
+        .map(|(chain, request)| (chain, request.resources()))
+        .collect();
+    let fanout = members.len().min(BATCH_FANOUT);
+    while batch_scratches.len() < fanout {
+        batch_scratches.push(SchedScratch::new());
+    }
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        schedule_many_with(&*strategy, &jobs, &mut batch_scratches[..fanout])
+    }));
+    match solved {
+        Ok(results) => {
+            for ((request, chain), maybe) in members.iter().zip(&chains).zip(results) {
+                let result = match maybe {
+                    None => Err(ServiceError::Infeasible),
+                    Some(solution) => {
+                        // Same vet-before-cache defense as `handle`.
+                        if solution_is_sound(&solution, chain, request.resources()) {
+                            let outcome = ScheduleOutcome::from_solution(
+                                strategy.name(),
+                                &solution,
+                                chain,
+                                true,
+                            );
+                            cache.insert(CacheKey::for_request(request), outcome.clone());
+                            Ok(outcome)
+                        } else {
+                            metrics.record_invalid_solution();
+                            Err(ServiceError::Internal(format!(
+                                "strategy {name} produced an invalid solution; \
+                                 refusing to serve or cache it"
+                            )))
+                        }
+                    }
+                };
+                respond(reply, request.id, result, accepted_at, metrics);
+            }
+        }
+        Err(panic) => {
             metrics.record_worker_panic();
-            // The interrupted solve may have left the arena mid-write;
-            // recycle it rather than trust it.
-            scratch = SchedScratch::new();
-            Err(ServiceError::Internal(format!(
-                "worker panicked while scheduling: {}",
+            // Any scratch in the pool may be mid-write; recycle them all.
+            batch_scratches.clear();
+            let msg = format!(
+                "worker panicked while batch scheduling: {}",
                 panic_message(panic.as_ref())
-            )))
-        });
-        let is_error = result.is_err();
-        let response = ScheduleResponse {
-            id: job.request.id,
-            result,
-        };
-        metrics.record_response(job.accepted_at.elapsed(), is_error);
-        // A client that dropped its reply receiver forfeits the answer;
-        // that is its choice, not an engine failure.
-        let _ = job.reply.send(response);
+            );
+            for request in &members {
+                respond(
+                    reply,
+                    request.id,
+                    Err(ServiceError::Internal(msg.clone())),
+                    accepted_at,
+                    metrics,
+                );
+            }
+        }
     }
 }
 
@@ -627,6 +987,197 @@ mod tests {
         let mut ids: Vec<u64> = rx.iter().map(|r: ScheduleResponse| r.id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..32).collect::<Vec<_>>());
+    }
+
+    /// One batch slot carries all of its members: validation errors,
+    /// unknown strategies, portfolio members and grouped same-strategy
+    /// solves all answer exactly once, and grouped results are
+    /// bit-identical to what the core scheduler computes directly.
+    #[test]
+    fn batch_submission_matches_sequential_and_caches() {
+        let e = engine(2);
+        let pools = [(2u64, 2u64), (1, 3), (3, 1), (2, 0)];
+        let mut requests = Vec::new();
+        let mut id = 0u64;
+        for strat in ["FERTAC", "HeRAD", "2CATAC"] {
+            for &(b, l) in &pools {
+                requests.push(ScheduleRequest::from_chain(
+                    id,
+                    &chain(),
+                    Resources::new(b, l),
+                    Policy::Strategy(strat.to_string()),
+                ));
+                id += 1;
+            }
+        }
+        let strategy_only = requests.clone();
+        requests.push(ScheduleRequest::from_chain(
+            100,
+            &chain(),
+            Resources::new(0, 0),
+            Policy::Portfolio,
+        ));
+        let mut empty =
+            ScheduleRequest::from_chain(101, &chain(), Resources::new(2, 2), Policy::Portfolio);
+        empty.tasks.clear();
+        requests.push(empty);
+        requests.push(ScheduleRequest::from_chain(
+            102,
+            &chain(),
+            Resources::new(2, 2),
+            Policy::Strategy("NoSuchStrategy".to_string()),
+        ));
+        requests.push(ScheduleRequest::from_chain(
+            103,
+            &chain(),
+            Resources::new(2, 2),
+            Policy::Portfolio,
+        ));
+        let total = requests.len();
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(
+            e.try_submit_batch(requests.clone(), tx).expect("accepted"),
+            total
+        );
+        let mut results = std::collections::BTreeMap::new();
+        for _ in 0..total {
+            let r: ScheduleResponse = rx.recv().expect("one response per member");
+            assert!(results.insert(r.id, r.result).is_none(), "duplicate id");
+        }
+        assert!(rx.try_recv().is_err(), "no extra responses");
+        // Grouped members match the core scheduler exactly.
+        for req in &strategy_only {
+            let Policy::Strategy(name) = &req.policy else {
+                unreachable!()
+            };
+            let strategy = strategy_by_name(name).expect("known");
+            let direct = strategy
+                .schedule(&req.chain(), req.resources())
+                .expect("feasible");
+            let expect =
+                ScheduleOutcome::from_solution(strategy.name(), &direct, &req.chain(), true);
+            assert_eq!(results[&req.id].as_ref().expect("feasible"), &expect);
+        }
+        assert_eq!(results[&100], Err(ServiceError::NoCores));
+        assert_eq!(results[&101], Err(ServiceError::EmptyChain));
+        assert_eq!(
+            results[&102],
+            Err(ServiceError::UnknownStrategy {
+                name: "NoSuchStrategy".to_string()
+            })
+        );
+        assert!(results[&103].is_ok(), "portfolio member answers");
+        // A repeat batch of the strategy members is served from cache.
+        let (tx, rx) = channel::unbounded();
+        let n = strategy_only.len();
+        assert_eq!(e.try_submit_batch(strategy_only, tx).expect("accepted"), n);
+        for _ in 0..n {
+            let r: ScheduleResponse = rx.recv().expect("response");
+            assert!(r.result.expect("feasible").cache_hit, "second pass hits");
+        }
+    }
+
+    /// A batch is one queue slot: a depth-1 queue accepts a 16-request
+    /// burst, and a rejected batch rejects (and counts) every member.
+    #[test]
+    fn batch_occupies_one_queue_slot_and_rejects_wholesale() {
+        let e = Engine::start(EngineConfig {
+            workers: 0,
+            racer_threads: 0,
+            queue_depth: 1,
+            cache_capacity: 0,
+            cache_shards: 1,
+            ..EngineConfig::default()
+        });
+        let (tx, _rx) = channel::unbounded();
+        let requests: Vec<ScheduleRequest> = (0..16)
+            .map(|id| {
+                ScheduleRequest::from_chain(id, &chain(), Resources::new(1, 1), Policy::Portfolio)
+            })
+            .collect();
+        assert_eq!(
+            e.try_submit_batch(requests.clone(), tx.clone()).unwrap(),
+            16
+        );
+        let bounced = e.try_submit_batch(requests.clone(), tx).unwrap_err();
+        assert_eq!(bounced.error, ServiceError::Overloaded);
+        let ids = |reqs: &[ScheduleRequest]| reqs.iter().map(|r| r.id).collect::<Vec<_>>();
+        assert_eq!(
+            ids(&bounced.requests),
+            ids(&requests),
+            "every member travels back on rejection"
+        );
+        let m = e.metrics();
+        assert_eq!((m.requests, m.rejected), (16, 16));
+    }
+
+    /// The satellite audit regression: closing the engine through a
+    /// shared `Arc` while submitters race must never lose (or duplicate)
+    /// a response for an accepted request — the exact window a socket
+    /// front end would hit on drain. Before `close`/`drain` existed,
+    /// shutdown required owning the engine by value, and a shared-owner
+    /// front end had no safe way to stop admissions at all.
+    #[test]
+    fn close_behind_arc_never_loses_an_accepted_response() {
+        let e = Arc::new(engine(2));
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let (accepted_tx, accepted_rx) = channel::unbounded();
+        let mut threads = Vec::new();
+        for t in 0..4u64 {
+            let e = Arc::clone(&e);
+            let reply_tx = reply_tx.clone();
+            let accepted_tx = accepted_tx.clone();
+            threads.push(thread::spawn(move || {
+                for i in 0..200u64 {
+                    let id = t * 1000 + i;
+                    let req = ScheduleRequest::from_chain(
+                        id,
+                        &chain(),
+                        Resources::new(1 + id % 3, id % 4),
+                        Policy::Strategy("FERTAC".to_string()),
+                    );
+                    match e.try_submit(req, reply_tx.clone()) {
+                        // Accepted: a response is now owed, even across
+                        // a racing close.
+                        Ok(()) => accepted_tx.send(id).unwrap(),
+                        // Backpressure: not enqueued, no response owed.
+                        Err(ServiceError::Overloaded) => {}
+                        Err(ServiceError::ShuttingDown) => break,
+                        Err(other) => panic!("unexpected submit error: {other:?}"),
+                    }
+                }
+            }));
+        }
+        // Let the submitters race, then slam the door mid-stream.
+        thread::sleep(Duration::from_millis(2));
+        e.close();
+        e.drain();
+        assert!(e.is_closed());
+        for th in threads {
+            th.join().unwrap();
+        }
+        drop(reply_tx);
+        drop(accepted_tx);
+        let mut accepted: Vec<u64> = accepted_rx.iter().collect();
+        let mut answered: Vec<u64> = reply_rx.iter().map(|r: ScheduleResponse| r.id).collect();
+        accepted.sort_unstable();
+        answered.sort_unstable();
+        assert_eq!(
+            answered, accepted,
+            "every accepted request answered exactly once"
+        );
+        // Post-close submissions get the typed error, not a panic.
+        let (tx, _rx) = channel::unbounded();
+        let late =
+            ScheduleRequest::from_chain(9999, &chain(), Resources::new(1, 1), Policy::Portfolio);
+        assert_eq!(
+            e.try_submit(late.clone(), tx.clone()).unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        assert_eq!(
+            e.try_submit_batch(vec![late], tx).unwrap_err().error,
+            ServiceError::ShuttingDown
+        );
     }
 
     /// A panic injected into the compute path still yields exactly one

@@ -28,7 +28,11 @@
 //!   drain-then-join graceful shutdown;
 //! * **[`metrics`]** — lock-free counters (including panic, invalid
 //!   solution and thread-accounting gauges) and a latency histogram
-//!   exported as a JSON snapshot.
+//!   exported as a JSON snapshot;
+//! * **[`shards`]** — horizontal scaling: N independent engines behind
+//!   a fingerprint router, so identical instances always share a cache
+//!   while throughput and cache capacity scale with the shard count
+//!   (this is what the `amp-net` socket front end mounts).
 //!
 //! ## Quickstart
 //!
@@ -58,9 +62,10 @@ pub mod metrics;
 pub mod portfolio;
 pub mod racer;
 pub mod request;
+pub mod shards;
 
 pub use cache::{CacheKey, CacheStats, SolutionCache};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, RejectedBatch};
 pub use error::ServiceError;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use portfolio::{PortfolioConfig, PortfolioOutcome};
@@ -68,3 +73,4 @@ pub use racer::{solution_is_sound, RacerPool, RacerPoolStats, StrategyWrap};
 pub use request::{
     format_period, Policy, ScheduleOutcome, ScheduleRequest, ScheduleResponse, TaskSpec,
 };
+pub use shards::{BatchSubmission, EngineShards};

@@ -71,9 +71,21 @@ impl ServiceMetrics {
         self.requests.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts `n` requests accepted at once (a batch occupies one queue
+    /// slot but is `n` requests for accounting).
+    pub fn record_accepted_n(&self, n: u64) {
+        self.requests.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Counts a request rejected by backpressure.
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` requests rejected at once (a rejected batch rejects
+    /// every member).
+    pub fn record_rejected_n(&self, n: u64) {
+        self.rejected.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Counts a delivered response and its end-to-end latency.
@@ -203,6 +215,31 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Adds `other`'s counters into `self`: counts sum, the
+    /// `workers_alive` gauge sums (total threads serving across pools),
+    /// and histograms add bucket-wise. This is how per-shard snapshots
+    /// aggregate into a fleet view (see
+    /// [`EngineShards`](crate::shards::EngineShards)).
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        self.requests += other.requests;
+        self.responses += other.responses;
+        self.errors += other.errors;
+        self.rejected += other.rejected;
+        self.portfolio_complete += other.portfolio_complete;
+        self.portfolio_truncated += other.portfolio_truncated;
+        self.worker_panics += other.worker_panics;
+        self.invalid_solutions += other.invalid_solutions;
+        self.workers_alive += other.workers_alive;
+        self.spawn_failures += other.spawn_failures;
+        self.threads_spawned += other.threads_spawned;
+        self.racer_panics += other.racer_panics;
+        self.racer_invalid += other.racer_invalid;
+        self.racer_cancelled += other.racer_cancelled;
+        for (mine, theirs) in self.latency.iter_mut().zip(&other.latency) {
+            *mine += theirs;
+        }
+    }
+
     /// Upper-bound estimate (ns) of the `q`-quantile of response latency,
     /// `q` in `[0, 1]`. Returns 0 with no recorded responses. The
     /// estimate is the upper edge of the histogram bucket containing the

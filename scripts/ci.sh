@@ -29,3 +29,12 @@ cargo test --release -q -p amp-service --test panic_safety --test thread_stabili
 # allocations, HeRAD's pool-delta sweep_speedup dropping below 1.5, or
 # HeRAD's batched median exceeding the cold median.
 cargo run --release -p amp-bench --bin perf -- --smoke --out BENCH_sched.json
+
+# Network smoke gate: the seeded load generator boots a 4-shard server on
+# loopback and audits the wire end to end. Steady phase: every pipelined
+# request answered, zero lost/duplicated/misrouted by id, cache hit rate
+# > 90% on the repeated-request pool. Overload phase: a starved queue
+# must surface as typed OVERLOADED rejections (never silence or a
+# disconnect) with a bounded p99. The latency/throughput report lands in
+# BENCH_net.json.
+cargo run --release -p amp-net --bin net_loadgen -- --smoke --out BENCH_net.json

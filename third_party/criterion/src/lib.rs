@@ -1,0 +1,277 @@
+//! Offline shim for `criterion`: groups, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — geometric calibration to a small
+//! wall-clock budget, then one timed batch, reported as ns/iter on stdout.
+//! There is no statistical analysis, outlier rejection, or HTML report;
+//! numbers are indicative, not publishable. The CI perf gate uses its own
+//! harness and does not depend on these numbers.
+
+use std::fmt::{self, Display};
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser identity, re-exported for bench bodies.
+pub fn black_box<T>(value: T) -> T {
+    hint_black_box(value)
+}
+
+/// Expected amount of work per iteration, used to derive a rate line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A two-part benchmark name: function + parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `function/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id with only a parameter part.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Runs one benchmark body and records its per-iteration time.
+pub struct Bencher {
+    budget: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count to the measurement budget, times one
+    /// batch, and records the mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                hint_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || iters >= 1 << 28 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            // Grow fast while cheap, but never overshoot the budget by
+            // more than ~4x.
+            iters = if elapsed.as_nanos() == 0 {
+                iters.saturating_mul(16)
+            } else {
+                iters.saturating_mul(4)
+            };
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count. The shim times a single calibrated
+    /// batch, so this only scales the measurement budget slightly.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        // The real crate spends `time` across many samples; the shim times
+        // one batch, so a fraction of the budget gives comparable runtime.
+        self.measurement_time = time / 10;
+        self
+    }
+
+    /// Accepted for API compatibility; the calibration loop is the warm-up.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration work estimate used for the rate column.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, self.measurement_time, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs `f` with a borrowed input as a benchmark named `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, self.measurement_time, self.throughput, &mut |b| {
+                f(b, input);
+            });
+        self
+    }
+
+    /// Ends the group. (No cross-benchmark analysis in the shim.)
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filters are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.default_measurement;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time,
+            throughput: None,
+        }
+    }
+
+    /// Runs `f` as a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.default_measurement;
+        self.run_one(name, budget, None, &mut f);
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        label: &str,
+        budget: Duration,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            budget,
+            ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        let ns = bencher.ns_per_iter;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / ns * 1e9)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / ns * 1e9)
+            }
+            _ => String::new(),
+        };
+        println!("bench {label:<56} {ns:>14.1} ns/iter{rate}");
+    }
+}
+
+/// Bundles benchmark functions into a runner callable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test --benches` cargo invokes the binary with
+            // `--test`; a smoke pass of the groups is the desired behavior
+            // there too, so arguments are simply ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.measurement_time(Duration::from_millis(20));
+        let mut observed = 0.0;
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            observed = 1.0;
+        });
+        group.finish();
+        assert!(observed > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_both_parts() {
+        assert_eq!(BenchmarkId::new("otac", 42).to_string(), "otac/42");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,423 @@
+//! MPMC channels with crossbeam's API shape: `bounded` / `unbounded`
+//! constructors, cloneable `Sender`/`Receiver`, disconnect tracking via
+//! endpoint counts, and deadline-aware receives.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error of a blocking send: every receiver is gone. Carries the
+/// undelivered message back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error of a non-blocking send.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity; the message is handed back.
+    Full(T),
+    /// Every receiver is gone; the message is handed back.
+    Disconnected(T),
+}
+
+/// Error of a blocking receive: the queue is empty and every sender is
+/// gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error of a deadline-bounded receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message available.
+    Timeout,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error of a non-blocking receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty (senders still connected).
+    Empty,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Inner<T> {
+    fn new(capacity: Option<usize>) -> Arc<Self> {
+        Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            capacity,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers once every clone drops.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel. Cloneable; each message is delivered
+/// to exactly one receiver.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// A channel buffering at most `cap` messages; sends beyond that block
+/// (`send`) or fail (`try_send`). `cap` must be at least 1 — the shim does
+/// not implement crossbeam's zero-capacity rendezvous channels.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "shim channels do not support zero capacity");
+    let inner = Inner::new(Some(cap));
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+/// A channel with no capacity bound: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Inner::new(None);
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocking send: waits for queue space, fails only when every
+    /// receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut queue = self.inner.lock();
+        loop {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(msg));
+            }
+            match self.inner.capacity {
+                Some(cap) if queue.len() >= cap => {
+                    queue = self
+                        .inner
+                        .not_full
+                        .wait(queue)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking send: fails with [`TrySendError::Full`] at capacity.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut queue = self.inner.lock();
+        if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.inner.capacity {
+            if queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when no message is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake every blocked receiver so it can
+            // observe the disconnect (after draining the queue).
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocking receive: drains buffered messages even after every sender
+    /// dropped; reports [`RecvError`] only once empty *and* disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.inner.lock();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            queue = self
+                .inner
+                .not_empty
+                .wait(queue)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.inner.lock();
+        if let Some(msg) = queue.pop_front() {
+            drop(queue);
+            self.inner.not_full.notify_one();
+            return Ok(msg);
+        }
+        if self.inner.senders.load(Ordering::SeqCst) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receive bounded by an absolute deadline.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        let mut queue = self.inner.lock();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timeout) = self
+                .inner
+                .not_empty
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            queue = guard;
+        }
+    }
+
+    /// Receive bounded by a relative timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.recv_deadline(Instant::now() + timeout)
+    }
+
+    /// A blocking iterator over received messages; ends on disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// A non-blocking iterator over currently buffered messages.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+
+    /// Messages currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when no message is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last receiver gone: wake every blocked sender so it can fail.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { receiver: self }
+    }
+}
+
+/// Blocking borrowing iterator of [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// Non-blocking iterator of [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// Blocking owning iterator.
+pub struct IntoIter<T> {
+    receiver: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bounded_enforces_capacity_and_drains_after_disconnect() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3).unwrap_err(), TrySendError::Full(3));
+        drop(tx);
+        // Buffered messages survive sender disconnect.
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_delivers_each_message_exactly_once() {
+        let (tx, rx) = unbounded::<u64>();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().sum::<u64>())
+            })
+            .collect();
+        drop(rx);
+        for i in 1..=1000u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn send_fails_once_receivers_are_gone() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+        assert_eq!(tx.try_send(8).unwrap_err(), TrySendError::Disconnected(8));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_when_space_frees() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let t = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send(2))
+        };
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_disconnects() {
+        let (tx, rx) = bounded::<u8>(1);
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert_eq!(rx.recv_deadline(deadline), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(
+            rx.recv_deadline(Instant::now() + Duration::from_millis(20)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim for `crossbeam`: the `channel` and `thread::scope` APIs
+//! the workspace uses, implemented over `std::sync`.
+//!
+//! Semantics the workspace relies on (pinned by the tests below):
+//!
+//! * channels are MPMC — both [`channel::Sender`] and [`channel::Receiver`]
+//!   clone, and every message is delivered to exactly one receiver;
+//! * `recv` keeps draining buffered messages after the last sender drops
+//!   and only reports disconnect once the queue is empty (the service
+//!   engine's drain-then-join shutdown depends on this);
+//! * dropping the last receiver fails subsequent sends with the message
+//!   handed back;
+//! * [`thread::scope`] joins every spawned thread before returning and
+//!   surfaces spawned-thread panics as `Err`, not an unwind.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,71 @@
+//! Scoped threads with crossbeam's API shape, over `std::thread::scope`.
+//!
+//! Differences from `std` that callers rely on: the closure receives a
+//! `&Scope` wrapper, `spawn` takes a zero-argument closure, and a panic in
+//! any spawned thread is returned as `Err` from [`scope`] instead of
+//! unwinding through the caller.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle for spawning threads tied to the enclosing [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; it is joined before [`scope`] returns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(f)
+    }
+}
+
+/// Runs `f` with a [`Scope`], joins every spawned thread, and returns
+/// `Err` with the panic payload if the closure or any spawned thread
+/// panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let total = AtomicU64::new(0);
+        let data = [1u64, 2, 3, 4];
+        let result = scope(|s| {
+            for &x in &data {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(x, Ordering::Relaxed);
+                });
+            }
+            7
+        });
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn spawned_panic_is_an_err_not_an_unwind() {
+        let result = scope(|s| {
+            s.spawn(|| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

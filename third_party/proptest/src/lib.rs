@@ -1,0 +1,530 @@
+//! Offline shim for `proptest`: the `proptest!` macro, `Strategy` with
+//! `prop_map`/`prop_filter`, `any`, `Just`, tuple and range strategies, and
+//! `collection::vec`, driven by a seeded sampling engine.
+//!
+//! Differences from the real crate that test authors must keep in mind:
+//!
+//! - **No shrinking.** A failing case panics with the sampled values in the
+//!   assertion message; it is not minimised. The conformance fuzz runner
+//!   carries its own shrinker for this reason.
+//! - **Rejection is counted.** `prop_filter` / `prop_assume` rejections
+//!   consume attempts from a bounded budget (200 per case) and the test
+//!   fails if the budget is exhausted, so over-tight filters fail loudly
+//!   instead of looping forever.
+//! - Case seeds are a pure function of the test name and attempt number,
+//!   so failures replay deterministically; `.proptest-regressions` files
+//!   are ignored.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// The engine's PRNG (SplitMix64). One fresh, deterministically seeded
+/// instance is created per sampling attempt.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = TestRng { state: seed };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, bound)`; panics if `bound == 0`.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "empty sampling range");
+        (u128::from(self.next_u64())) % bound
+    }
+}
+
+/// FNV-1a of a string; used to derive per-test seed bases.
+#[must_use]
+pub fn fnv(s: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A generator of values. `sample` returns `None` when a filter rejected
+/// the draw; the engine retries with a fresh seed.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or `None` on filter rejection.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`; `whence` labels the filter in the
+    /// exhausted-budget panic.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let value = self.inner.sample(rng)?;
+        if (self.pred)(&value) {
+            Some(value)
+        } else {
+            let _ = self.whence;
+            None
+        }
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                Some((self.start as u128 + rng.below(span)) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u128) - (start as u128) + 1;
+                Some((start as u128 + rng.below(span)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                Some((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                Some((start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// One uniform draw from the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The canonical whole-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for [`vec`], convertible from usize ranges
+    /// and a fixed usize.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.size.max - self.size.min) as u128 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.sample(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    /// Generates `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted samples each test must execute.
+    pub cases: u32,
+    /// Extra attempts allowed beyond `cases` before filter/assume
+    /// rejections fail the test.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted samples per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Formats a sampled value for rejection/failure diagnostics.
+pub fn describe<T: fmt::Debug>(value: &T) -> String {
+    format!("{value:?}")
+}
+
+/// Error half of a test-case body's `Result`. Bodies may `return Ok(())`
+/// to end a case early; `prop_assume!` returns `Err(Reject)` to discard
+/// the sample without failing the test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`.
+    Reject,
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the subset the workspace uses: an optional leading
+/// `#![proptest_config(expr)]`, then one or more
+/// `fn name(pat in strategy, ...) { body }` items carrying arbitrary
+/// attributes (including `#[test]` and doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let seed_base = $crate::fnv(stringify!($name));
+            let mut done: u32 = 0;
+            let mut attempt: u64 = 0;
+            while done < config.cases {
+                attempt += 1;
+                assert!(
+                    attempt <= u64::from(config.cases) + u64::from(config.max_global_rejects),
+                    "proptest shim: rejection budget exhausted in {} after {} accepted cases",
+                    stringify!($name),
+                    done
+                );
+                let mut rng = $crate::TestRng::from_seed(
+                    seed_base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                match ($($crate::Strategy::sample(&($strategy), &mut rng),)+) {
+                    ($(Some($pat),)+) => {
+                        // The body runs in a closure returning Result so
+                        // tests can `return Ok(())` early and prop_assume!
+                        // can discard a case via Err(Reject).
+                        let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                            (|| {
+                                $body
+                                ::core::result::Result::Ok(())
+                            })();
+                        match outcome {
+                            Ok(()) => done += 1,
+                            Err($crate::TestCaseError::Reject) => {}
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Rejects the current case when the condition does not hold; the engine
+/// draws a fresh sample (consuming rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Sampled tuples respect their component ranges.
+        #[test]
+        fn tuples_stay_in_bounds((a, b, flag) in (1u64..=50, 0u8..6, any::<bool>())) {
+            prop_assert!((1..=50).contains(&a));
+            prop_assert!(b < 6);
+            let _ = flag;
+        }
+
+        #[test]
+        fn map_and_filter_compose(v in prop::collection::vec(1u64..=9, 1..=8)
+            .prop_filter("nonempty sum", |v| v.iter().sum::<u64>() > 2)
+            .prop_map(|v| (v.iter().sum::<u64>(), v)))
+        {
+            let (sum, items) = v;
+            prop_assert!(sum > 2);
+            prop_assert!(!items.is_empty() && items.len() <= 8);
+            prop_assert_eq!(sum, items.iter().sum::<u64>());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        use super::{Strategy, TestRng};
+        let strat = (1u64..=1000, 1u64..=1000);
+        let a = strat.sample(&mut TestRng::from_seed(99));
+        let b = strat.sample(&mut TestRng::from_seed(99));
+        assert_eq!(a, b);
+    }
+}

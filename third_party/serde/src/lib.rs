@@ -1,0 +1,17 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros.
+//!
+//! The workspace annotates its wire types with
+//! `#[derive(Serialize, Deserialize)]` but serializes exclusively through
+//! the hand-rolled `amp_core::json` codec, so the traits carry no methods
+//! and the derives (see `serde_derive`) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The workspace never serializes through serde (the wire format is the
+//! hand-rolled `amp_core::json` codec), so deriving `Serialize` /
+//! `Deserialize` only needs to parse — no impls are generated.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
