@@ -52,6 +52,7 @@ use amp_bench::alloc_track::{self, TrackingAllocator};
 use amp_conformance::gen::{instance_for_seed, GenConfig};
 use amp_core::sched::{schedule_many_with, Fertac, Herad, Otac, SchedScratch, Scheduler, Twocatac};
 use amp_core::{Ratio, Resources, Solution, TaskChain};
+use amp_service::{ChainTier, TaskSpec};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -316,6 +317,60 @@ fn bench_strategy(
     }
 }
 
+struct TierReport {
+    serve: Dist,
+    /// Tier cold solves per fresh-tier sweep round — must be exactly
+    /// one per chain (the solve-once contract, as a perf gate).
+    cold_solves_per_sweep: u64,
+    /// Tier serves (hits + grows) per round; with the cold solves they
+    /// account for every grid job.
+    tier_serves_per_sweep: u64,
+}
+
+/// Times the same `(b, ℓ)` grid through the service's chain tier: a
+/// fresh tier per round, so each chain pays one cold solve and every
+/// other pool is answered by growing/extracting the one cached table.
+/// The per-serve distribution is compared against the cold sweep
+/// (per-pool `schedule()` from nothing) in the gate below.
+fn bench_chain_tier(
+    chains: &[TaskChain],
+    grid: &[(&TaskChain, Resources)],
+    cfg: &PerfConfig,
+) -> TierReport {
+    let keys: Vec<Vec<TaskSpec>> = chains
+        .iter()
+        .map(|c| c.tasks().iter().map(TaskSpec::from).collect())
+        .collect();
+    let chain_index = |target: &TaskChain| -> usize {
+        chains
+            .iter()
+            .position(|c| std::ptr::eq(c, target))
+            .expect("grid chains come from the workload")
+    };
+    let mut samples = Vec::with_capacity(cfg.reps * grid.len());
+    let mut cold_solves = 0u64;
+    let mut tier_serves = 0u64;
+    let mut out = Solution::empty();
+    for _ in 0..cfg.reps {
+        let tier = ChainTier::new(chains.len().max(1), None);
+        for &(chain, r) in grid {
+            let key = &keys[chain_index(chain)];
+            let t = Instant::now();
+            let (_, feasible) = tier.serve(black_box(key), black_box(chain), r, &mut out);
+            samples.push(t.elapsed().as_nanos());
+            assert!(black_box(feasible), "tier sweep solve infeasible");
+        }
+        let stats = tier.stats();
+        cold_solves += stats.cold_solves;
+        tier_serves += stats.hits + stats.grows;
+    }
+    TierReport {
+        serve: dist(&mut samples),
+        cold_solves_per_sweep: cold_solves / cfg.reps as u64,
+        tier_serves_per_sweep: tier_serves / cfg.reps as u64,
+    }
+}
+
 struct RatioCmpReport {
     integer_ns: f64,
     equal_den_ns: f64,
@@ -368,10 +423,16 @@ fn bench_ratio_cmp() -> RatioCmpReport {
 
 /// Hand-rolled JSON (the workspace pins no JSON crate for binaries):
 /// stable key order, two-space indent.
-fn render_json(cfg: &PerfConfig, reports: &[StrategyReport], ratio: &RatioCmpReport) -> String {
+fn render_json(
+    cfg: &PerfConfig,
+    reports: &[StrategyReport],
+    ratio: &RatioCmpReport,
+    tier: &TierReport,
+    tier_speedup: f64,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"amp-bench/perf/v2\",\n");
+    s.push_str("  \"schema\": \"amp-bench/perf/v3\",\n");
     s.push_str("  \"config\": {\n");
     s.push_str(&format!("    \"smoke\": {},\n", cfg.smoke));
     s.push_str(&format!("    \"instances\": {},\n", cfg.instances));
@@ -401,6 +462,15 @@ fn render_json(cfg: &PerfConfig, reports: &[StrategyReport], ratio: &RatioCmpRep
     s.push_str(&format!(
         "  \"ratio_cmp\": {{ \"integer_ns\": {:.2}, \"equal_den_ns\": {:.2}, \"cross_den_ns\": {:.2} }},\n",
         ratio.integer_ns, ratio.equal_den_ns, ratio.cross_den_ns
+    ));
+    s.push_str(&format!(
+        "  \"chain_tier\": {{ \"median_ns\": {}, \"p99_ns\": {}, \"speedup_vs_cold_sweep\": {:.2}, \
+         \"cold_solves_per_sweep\": {}, \"tier_serves_per_sweep\": {} }},\n",
+        tier.serve.median_ns,
+        tier.serve.p99_ns,
+        tier_speedup,
+        tier.cold_solves_per_sweep,
+        tier.tier_serves_per_sweep
     ));
     s.push_str("  \"strategies\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -490,8 +560,14 @@ fn main() {
         "ratio_cmp  integer {:.2} ns  equal_den {:.2} ns  cross_den {:.2} ns",
         ratio.integer_ns, ratio.equal_den_ns, ratio.cross_den_ns
     );
+    let tier = bench_chain_tier(&chains, &grid, &cfg);
+    let tier_speedup = reports[0].cold_sweep.median_ns as f64 / tier.serve.median_ns.max(1) as f64;
+    eprintln!(
+        "chain_tier serve {:>7} ns ({:.2}x vs cold sweep)  {} cold solve(s)/sweep, {} tier serve(s)/sweep",
+        tier.serve.median_ns, tier_speedup, tier.cold_solves_per_sweep, tier.tier_serves_per_sweep
+    );
 
-    let json = render_json(&cfg, &reports, &ratio);
+    let json = render_json(&cfg, &reports, &ratio, &tier, tier_speedup);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -529,11 +605,26 @@ fn main() {
         );
         failed = true;
     }
+    if tier.cold_solves_per_sweep != chains.len() as u64 {
+        eprintln!(
+            "FAIL: chain tier paid {} cold solves per sweep, expected exactly {} (one per chain)",
+            tier.cold_solves_per_sweep,
+            chains.len()
+        );
+        failed = true;
+    }
+    if tier_speedup < 1.5 {
+        eprintln!(
+            "FAIL: chain-tier sweep speedup {tier_speedup:.2} < 1.5 (solve-once extraction regressed)"
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     eprintln!(
-        "OK: HeRAD warm steady state allocation-free, sweep_speedup {:.2} >= 1.5, batched <= cold",
+        "OK: HeRAD warm steady state allocation-free, sweep_speedup {:.2} >= 1.5, batched <= cold, \
+         chain tier solve-once at {tier_speedup:.2}x",
         herad.sweep_speedup
     );
 }

@@ -25,6 +25,8 @@ const USAGE: &str = "usage: conformance [OPTIONS]
   --no-corpus         skip the corpus replay
   --no-service        skip the amp-service equivalence checks
   --no-chaos          skip the fault-injection (chaos) checks
+  --chain-tier-only   run only the chain-tier extraction checks (the
+                      solve-once cache gate; skips service and chaos)
   --save-failures DIR write shrunken failing instances as JSON into DIR
   --help              print this help";
 
@@ -51,6 +53,7 @@ fn parse_args(args: &[String]) -> Result<RunnerConfig, String> {
             "--no-corpus" => cfg.corpus_dir = None,
             "--no-service" => cfg.check_service = false,
             "--no-chaos" => cfg.check_chaos = false,
+            "--chain-tier-only" => cfg.chain_tier_only = true,
             "--save-failures" => {
                 cfg.save_failures = Some(PathBuf::from(value("--save-failures")?));
             }
@@ -122,6 +125,13 @@ mod tests {
         let cfg = parse_args(&args(&["--no-chaos"])).unwrap();
         assert!(!cfg.check_chaos);
         assert!(cfg.check_service, "other checks stay on");
+    }
+
+    #[test]
+    fn chain_tier_only_flag_narrows_the_run() {
+        let cfg = parse_args(&args(&["--chain-tier-only", "--seeds", "1000"])).unwrap();
+        assert!(cfg.chain_tier_only);
+        assert_eq!(cfg.seeds, 1000);
     }
 
     #[test]

@@ -214,6 +214,7 @@ impl ChaosHarness {
             cache_shards: 4,
             portfolio: PortfolioConfig::default(),
             fault_wrap: Some(chaos_wrap(cfg, Arc::clone(&counters))),
+            ..EngineConfig::default()
         });
         ChaosHarness {
             engine,

@@ -8,8 +8,8 @@
 
 use crate::instance::Instance;
 use amp_core::sched::{
-    optimal_period, optimal_usage_front, paper_strategies, schedule_many, Fertac, Herad, Otac,
-    Pruning, SchedScratch, Scheduler, Twocatac,
+    optimal_period, optimal_usage_front, paper_strategies, schedule_many, ChainTable, Fertac,
+    Herad, Otac, Pruning, SchedScratch, Scheduler, Twocatac,
 };
 use amp_core::{Ratio, Resources, Solution, Task, TaskChain};
 use amp_service::{Engine, Policy, ScheduleRequest};
@@ -678,6 +678,119 @@ pub fn check_sweep(inst: &Instance) -> Vec<Mismatch> {
     out
 }
 
+/// Differential checks of the solve-once chain tier's building block,
+/// [`ChainTable`]: one table is cold-solved at the smallest pool, grown
+/// in place across the ascending `(b, ℓ)` grid up to one step past the
+/// instance pool, and every covered sub-pool answer must be bit-identical
+/// to a fresh `Herad::new()` solve (`TIER_DIVERGE`) with the exact
+/// optimal period (`TIER_PERIOD`). The fully-grown table is then
+/// serialized, parsed back, checked byte-stable (`TIER_SNAPSHOT`), and
+/// re-extracted over the grid in *descending* order — restored tables
+/// must answer sub-pools just like live ones.
+#[must_use]
+pub fn check_chain_tier(inst: &Instance) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    if inst.tasks.is_empty() {
+        return out;
+    }
+    let chain = inst.chain();
+    let herad = Herad::new();
+    let ascending: Vec<(u64, u64)> = (0..=inst.big + 1)
+        .flat_map(|b| (0..=inst.little + 1).map(move |l| (b, l)))
+        .collect();
+    let mut table: Option<ChainTable> = None;
+    let mut warm = Solution::empty();
+    for &(b, l) in &ascending {
+        let r = Resources::new(b, l);
+        let t = match table.as_mut() {
+            None => table.insert(ChainTable::solve(&chain, r)),
+            Some(t) => {
+                if !t.covers(r) {
+                    t.grow_to(&chain, r);
+                }
+                t
+            }
+        };
+        let got = t.extract(&chain, r, &mut warm).then(|| warm.clone());
+        let fresh = herad.schedule(&chain, r);
+        if got != fresh {
+            out.push(Mismatch::new(
+                "TIER_DIVERGE",
+                inst,
+                format!(
+                    "grown table at {r}: extracted {} but fresh solve computes {}",
+                    fmt_solution(&got),
+                    fmt_solution(&fresh)
+                ),
+            ));
+        }
+        let period = t.period_at(r);
+        let optimum = herad.optimal_period(&chain, r);
+        if period != optimum {
+            out.push(Mismatch::new(
+                "TIER_PERIOD",
+                inst,
+                format!(
+                    "grown table at {r}: period {} but the optimum is {}",
+                    fmt_period(period),
+                    fmt_period(optimum)
+                ),
+            ));
+        }
+    }
+
+    // Snapshot round trip at the final (maximal) dimensions, then answer
+    // the same grid from the restored table in descending order.
+    let table = table.expect("grid is never empty");
+    let text = table.render();
+    let restored = match ChainTable::parse(&text) {
+        Ok(restored) => restored,
+        Err(e) => {
+            out.push(Mismatch::new(
+                "TIER_SNAPSHOT",
+                inst,
+                format!("serialized table does not parse back: {e}"),
+            ));
+            return out;
+        }
+    };
+    if restored.render() != text {
+        out.push(Mismatch::new(
+            "TIER_SNAPSHOT",
+            inst,
+            "re-rendering a parsed table changes its bytes".to_string(),
+        ));
+    }
+    for &(b, l) in ascending.iter().rev() {
+        let r = Resources::new(b, l);
+        let got = restored.extract(&chain, r, &mut warm).then(|| warm.clone());
+        let fresh = herad.schedule(&chain, r);
+        if got != fresh {
+            out.push(Mismatch::new(
+                "TIER_DIVERGE",
+                inst,
+                format!(
+                    "restored table at {r}: extracted {} but fresh solve computes {}",
+                    fmt_solution(&got),
+                    fmt_solution(&fresh)
+                ),
+            ));
+        }
+        if restored.period_at(r) != herad.optimal_period(&chain, r) {
+            out.push(Mismatch::new(
+                "TIER_PERIOD",
+                inst,
+                format!(
+                    "restored table at {r}: period {} but the optimum is {}",
+                    fmt_period(restored.period_at(r)),
+                    fmt_period(herad.optimal_period(&chain, r))
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Differential check of HeRAD's layer-parallel DP kernel against the
 /// sequential driver: forced-parallel solves at several worker counts
 /// (including more workers than table rows) must return bit-identical
@@ -710,13 +823,14 @@ pub fn check_parallel(inst: &Instance) -> Vec<Mismatch> {
 }
 
 /// Runs the library-level checks (differential + metamorphic + hot-path +
-/// sweep warm-start + parallel-kernel) on one instance.
+/// sweep warm-start + chain-tier + parallel-kernel) on one instance.
 #[must_use]
 pub fn check_library(inst: &Instance) -> Vec<Mismatch> {
     let mut out = check_core(inst);
     out.extend(check_metamorphic(inst));
     out.extend(check_scratch(inst));
     out.extend(check_sweep(inst));
+    out.extend(check_chain_tier(inst));
     out.extend(check_parallel(inst));
     out
 }

@@ -39,8 +39,8 @@ pub mod shrink;
 
 pub use chaos::{chaos_wrap, ChaosConfig, ChaosCounters, ChaosHarness, ChaosScheduler};
 pub use checks::{
-    check_core, check_library, check_metamorphic, check_parallel, check_scratch, check_service,
-    check_sweep, Mismatch,
+    check_chain_tier, check_core, check_library, check_metamorphic, check_parallel, check_scratch,
+    check_service, check_sweep, Mismatch,
 };
 pub use gen::{instance_for_seed, instance_strategy, task_strategy, GenConfig};
 pub use instance::{Instance, TaskDef};

@@ -28,6 +28,11 @@ pub struct RunnerConfig {
     /// deliberately chaotic engine (see [`crate::chaos`]). The injection
     /// schedule is deterministic, so CI failures replay locally.
     pub check_chaos: bool,
+    /// Run *only* the chain-tier extraction checks
+    /// ([`checks::check_chain_tier`]) instead of the full library
+    /// battery — the CI gate uses this to push the solve-once tier
+    /// through many more seeds than the full battery could afford.
+    pub chain_tier_only: bool,
     /// Where to save shrunken failing instances; `None` keeps them
     /// in-memory only.
     pub save_failures: Option<PathBuf>,
@@ -42,6 +47,7 @@ impl Default for RunnerConfig {
             corpus_dir: Some(corpus::default_corpus_dir()),
             check_service: true,
             check_chaos: true,
+            chain_tier_only: false,
             save_failures: None,
         }
     }
@@ -96,10 +102,12 @@ impl Report {
 /// loaded; check failures are *not* errors — they are reported in the
 /// [`Report`].
 pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corpus::CorpusError> {
-    let engine = cfg
-        .check_service
-        .then(|| Engine::start(EngineConfig::default()));
+    let engine =
+        (cfg.check_service && !cfg.chain_tier_only).then(|| Engine::start(EngineConfig::default()));
     let check = |inst: &Instance| -> Vec<Mismatch> {
+        if cfg.chain_tier_only {
+            return checks::check_chain_tier(inst);
+        }
         let mut found = checks::check_library(inst);
         if let Some(engine) = &engine {
             found.extend(checks::check_service(engine, inst));
@@ -108,10 +116,8 @@ pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corp
     };
     // The chaotic engine is separate from the clean equivalence engine:
     // injected faults must never contaminate the differential checks.
-    let chaos = cfg
-        .check_chaos
+    let chaos = (cfg.check_chaos && !cfg.chain_tier_only)
         .then(|| ChaosHarness::new(ChaosConfig::default()));
-
     let mut report = Report::default();
     let record_failure = |inst: &Instance,
                           mismatches: Vec<Mismatch>,
@@ -253,7 +259,7 @@ mod tests {
             corpus_dir: None,
             check_service: false,
             check_chaos: false,
-            save_failures: None,
+            ..RunnerConfig::default()
         };
         let mut lines = Vec::new();
         let report = run(&cfg, &mut |line| lines.push(line.to_string())).expect("no corpus I/O");
@@ -272,7 +278,7 @@ mod tests {
             corpus_dir: Some(corpus::default_corpus_dir()),
             check_service: false,
             check_chaos: false,
-            save_failures: None,
+            ..RunnerConfig::default()
         };
         let report = run(&cfg, &mut |_| {}).expect("corpus loads");
         assert!(report.corpus_replayed >= 8);
@@ -288,7 +294,7 @@ mod tests {
             corpus_dir: Some(PathBuf::from("/nonexistent/corpus")),
             check_service: false,
             check_chaos: false,
-            save_failures: None,
+            ..RunnerConfig::default()
         };
         assert!(run(&cfg, &mut |_| {}).is_err());
     }

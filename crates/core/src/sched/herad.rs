@@ -785,6 +785,469 @@ impl Table {
     }
 }
 
+/// Decoding a serialized [`ChainTable`] failed. Every variant is a clean
+/// rejection: callers treat the table as absent (a cache miss), never as
+/// a half-loaded answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainTableError {
+    /// The input is not canonical JSON.
+    Parse {
+        /// Byte offset into the input where parsing failed.
+        offset: usize,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// The document parses but carries an unknown `kind`/`version`/
+    /// `pruning` header — written by a different (possibly future) build.
+    Version {
+        /// The offending header value, e.g. `"version 2"`.
+        found: String,
+    },
+    /// The document parses and the header matches, but the payload is
+    /// inconsistent: wrong cell count, unparseable cell, checksum
+    /// mismatch, empty chain.
+    Malformed {
+        /// What was inconsistent.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ChainTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainTableError::Parse { offset, message } => {
+                write!(f, "chain table parse error at byte {offset}: {message}")
+            }
+            ChainTableError::Version { found } => {
+                write!(f, "chain table version mismatch: {found}")
+            }
+            ChainTableError::Malformed { message } => {
+                write!(f, "chain table malformed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainTableError {}
+
+/// Header constants for the serialized form. Bump `FORMAT_VERSION` on any
+/// incompatible layout change; old snapshots then load as clean misses.
+const CHAIN_TABLE_KIND: &str = "amp-chain-table";
+const CHAIN_TABLE_VERSION: u64 = 1;
+
+/// FNV-1a over a byte slice, continuing from `h` (offset basis
+/// `0xcbf2_9ce4_8422_2325`).
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &byte in bytes {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// A solved HeRAD DP table detached from any scratch, keyed by the chain
+/// alone: the service's solve-once cache tier stores one per distinct
+/// `(weights, replicability)` vector and answers every covered sub-pool by
+/// pure extraction (see the module docs on pool independence). Grows in
+/// place via the pool-delta driver when a larger pool arrives, and
+/// round-trips through canonical JSON ([`ChainTable::to_json`] /
+/// [`ChainTable::from_json`]) for snapshot persistence.
+///
+/// Always solved with [`Pruning::Aggressive`] — the same policy
+/// [`Herad::new`] uses — so extraction is bit-identical to the service's
+/// cold HeRAD path.
+#[derive(Debug)]
+pub struct ChainTable {
+    /// The chain key: `(weight_big, weight_little, replicable)` per task.
+    tasks: Vec<(u64, u64, bool)>,
+    table: Table,
+}
+
+impl ChainTable {
+    /// Solves the chain cold at exactly `resources`, using the same kernel
+    /// selection as [`Herad::new`] (sequential below the cell threshold,
+    /// layer-parallel above it).
+    #[must_use]
+    pub fn solve(chain: &TaskChain, resources: Resources) -> ChainTable {
+        let b = usize::try_from(resources.big).expect("core count fits usize");
+        let l = usize::try_from(resources.little).expect("core count fits usize");
+        let herad = Herad::new();
+        let cells = chain.len() * (b + 1) * (l + 1);
+        let mut table = Table::default();
+        table.rebuild(
+            chain,
+            b,
+            l,
+            Pruning::Aggressive,
+            herad.kernel_workers(cells),
+        );
+        ChainTable {
+            tasks: chain
+                .tasks()
+                .iter()
+                .map(|t| (t.weight_big, t.weight_little, t.replicable))
+                .collect(),
+            table,
+        }
+    }
+
+    /// Whether this table was solved for exactly this chain (weights and
+    /// replicability; names are ignored, as in scheduling itself).
+    #[must_use]
+    pub fn matches(&self, chain: &TaskChain) -> bool {
+        self.tasks.len() == chain.len()
+            && self
+                .tasks
+                .iter()
+                .zip(chain.tasks())
+                .all(|(&(wb, wl, rep), t)| {
+                    wb == t.weight_big && wl == t.weight_little && rep == t.replicable
+                })
+    }
+
+    /// Whether the solved region already contains this pool (extraction
+    /// needs no growth).
+    #[must_use]
+    pub fn covers(&self, resources: Resources) -> bool {
+        let b = usize::try_from(resources.big).expect("core count fits usize");
+        let l = usize::try_from(resources.little).expect("core count fits usize");
+        self.table.covers(self.tasks.len(), b, l)
+    }
+
+    /// Extends the solved region to cover `resources` via the pool-delta
+    /// driver (dimensions only grow, never shrink). The caller must pass
+    /// the same chain the table was solved for.
+    pub fn grow_to(&mut self, chain: &TaskChain, resources: Resources) {
+        debug_assert!(self.matches(chain), "grow_to keeps the chain");
+        let b = usize::try_from(resources.big).expect("core count fits usize");
+        let l = usize::try_from(resources.little).expect("core count fits usize");
+        let grown_b = b.max(self.table.dim_b());
+        let grown_l = l.max(self.table.dim_l());
+        self.table
+            .grow(chain, grown_b, grown_l, Pruning::Aggressive);
+    }
+
+    /// Extracts the schedule for any covered sub-pool into `out`,
+    /// bit-identical to a fresh [`Herad::new`] solve at that pool
+    /// (extraction walk + replicable-stage merge). Returns `false` with an
+    /// empty solution when the pool is exhausted or the instance is
+    /// infeasible on it.
+    pub fn extract(&self, chain: &TaskChain, resources: Resources, out: &mut Solution) -> bool {
+        debug_assert!(self.matches(chain), "extract keeps the chain");
+        debug_assert!(self.covers(resources), "extract needs a covered pool");
+        out.stages_mut().clear();
+        if resources.is_exhausted() {
+            return false;
+        }
+        let feasible = self.table.extract_into(chain, resources, out.stages_mut());
+        if feasible {
+            out.merge_replicable_stages_in_place(chain);
+        }
+        feasible
+    }
+
+    /// `P*(n, B, L)` for a covered pool; `None` when infeasible there.
+    #[must_use]
+    pub fn period_at(&self, resources: Resources) -> Option<Ratio> {
+        debug_assert!(self.covers(resources), "period_at needs a covered pool");
+        if resources.is_exhausted() {
+            return None;
+        }
+        let p = self.table.period_at(resources);
+        p.is_finite().then_some(p)
+    }
+
+    /// The solved dimensions `(dim_b, dim_l)` — every pool with
+    /// `big ≤ dim_b` and `little ≤ dim_l` is covered.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.table.dim_b(), self.table.dim_l())
+    }
+
+    /// The chain key this table answers for, as
+    /// `(weight_big, weight_little, replicable)` per task.
+    #[must_use]
+    pub fn tasks(&self) -> &[(u64, u64, bool)] {
+        &self.tasks
+    }
+
+    /// Approximate heap footprint of the logical cell region, for cache
+    /// accounting.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.tasks.len() * (self.table.dim_b() + 1) * (self.table.dim_l() + 1)
+    }
+
+    /// One task as its canonical string form `"wb,wl,0|1"`.
+    fn encode_task(wb: u64, wl: u64, rep: bool) -> String {
+        format!("{wb},{wl},{}", u8::from(rep))
+    }
+
+    /// One cell as its canonical string form
+    /// `"pbest,prev_b,prev_l,acc_b,acc_l,v,start"`, with `pbest` an exact
+    /// `num/den` rational (or `inf`) and `v` one of `B`/`L`. Strings keep
+    /// the codec float-free and carry the `u128` rational exactly.
+    fn encode_cell(cell: &Cell) -> String {
+        let pbest = if cell.pbest.is_infinite() {
+            "inf".to_string()
+        } else {
+            format!("{}/{}", cell.pbest.numer(), cell.pbest.denom())
+        };
+        let v = match cell.v {
+            CoreType::Big => 'B',
+            CoreType::Little => 'L',
+        };
+        format!(
+            "{pbest},{},{},{},{},{v},{}",
+            cell.prev_b, cell.prev_l, cell.acc_b, cell.acc_l, cell.start
+        )
+    }
+
+    fn decode_cell(text: &str) -> Result<Cell, ChainTableError> {
+        let malformed = |msg: &str| ChainTableError::Malformed {
+            message: format!("{msg} in cell {text:?}"),
+        };
+        let mut parts = text.split(',');
+        let mut next = |what: &'static str| {
+            parts
+                .next()
+                .ok_or_else(|| malformed(&format!("missing {what}")))
+        };
+        let pbest_text = next("pbest")?;
+        let pbest = if pbest_text == "inf" {
+            Ratio::INFINITY
+        } else {
+            let (num, den) = pbest_text
+                .split_once('/')
+                .ok_or_else(|| malformed("pbest is not num/den"))?;
+            let num: u128 = num.parse().map_err(|_| malformed("bad numerator"))?;
+            let den: u128 = den.parse().map_err(|_| malformed("bad denominator"))?;
+            if den == 0 {
+                return Err(malformed("zero denominator"));
+            }
+            Ratio::new_raw(num, den)
+        };
+        let parse_u32 = |text: &str| -> Result<u32, ChainTableError> {
+            text.parse().map_err(|_| malformed("bad counter"))
+        };
+        let prev_b = parse_u32(next("prev_b")?)?;
+        let prev_l = parse_u32(next("prev_l")?)?;
+        let acc_b = parse_u32(next("acc_b")?)?;
+        let acc_l = parse_u32(next("acc_l")?)?;
+        let v = match next("core type")? {
+            "B" => CoreType::Big,
+            "L" => CoreType::Little,
+            _ => return Err(malformed("bad core type")),
+        };
+        let start = parse_u32(next("start")?)?;
+        if parts.next().is_some() {
+            return Err(malformed("trailing fields"));
+        }
+        Ok(Cell {
+            pbest,
+            prev_b,
+            prev_l,
+            acc_b,
+            acc_l,
+            v,
+            start,
+        })
+    }
+
+    /// Content checksum over the canonical task and cell strings plus the
+    /// dimensions — catches payloads that parse but were corrupted.
+    fn checksum(tasks: &[String], dim_b: usize, dim_l: usize, cells: &[String]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        fnv1a(&mut h, &(tasks.len() as u64).to_le_bytes());
+        fnv1a(&mut h, &(dim_b as u64).to_le_bytes());
+        fnv1a(&mut h, &(dim_l as u64).to_le_bytes());
+        for t in tasks {
+            fnv1a(&mut h, t.as_bytes());
+            fnv1a(&mut h, b";");
+        }
+        for c in cells {
+            fnv1a(&mut h, c.as_bytes());
+            fnv1a(&mut h, b";");
+        }
+        h
+    }
+
+    /// Serializes the full solved region as a canonical-JSON document with
+    /// a versioned header and a content checksum. Floats never appear: the
+    /// exact rationals travel as `num/den` strings.
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let (b, l) = (self.table.dim_b(), self.table.dim_l());
+        let n = self.tasks.len();
+        let tasks: Vec<String> = self
+            .tasks
+            .iter()
+            .map(|&(wb, wl, rep)| Self::encode_task(wb, wl, rep))
+            .collect();
+        let mut cells = Vec::with_capacity(n * (b + 1) * (l + 1));
+        for j in 1..=n {
+            for rb in 0..=b {
+                for rl in 0..=l {
+                    cells.push(Self::encode_cell(&self.table.get(j, rb, rl)));
+                }
+            }
+        }
+        let checksum = Self::checksum(&tasks, b, l, &cells);
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("kind".to_string(), Json::Str(CHAIN_TABLE_KIND.to_string()));
+        obj.insert("version".to_string(), Json::Int(CHAIN_TABLE_VERSION));
+        obj.insert("pruning".to_string(), Json::Str("aggressive".to_string()));
+        obj.insert("dim_b".to_string(), Json::Int(b as u64));
+        obj.insert("dim_l".to_string(), Json::Int(l as u64));
+        obj.insert(
+            "tasks".to_string(),
+            Json::Arr(tasks.into_iter().map(Json::Str).collect()),
+        );
+        obj.insert(
+            "cells".to_string(),
+            Json::Arr(cells.into_iter().map(Json::Str).collect()),
+        );
+        obj.insert("checksum".to_string(), Json::Int(checksum));
+        Json::Obj(obj)
+    }
+
+    /// Decodes a document produced by [`ChainTable::to_json`], validating
+    /// the header, the payload shape and the content checksum. Any
+    /// inconsistency is a typed [`ChainTableError`]; a decoded table is
+    /// fully usable (extraction, growth, re-serialization).
+    pub fn from_json(doc: &crate::json::Json) -> Result<ChainTable, ChainTableError> {
+        let malformed = |message: &str| ChainTableError::Malformed {
+            message: message.to_string(),
+        };
+        let obj = doc
+            .as_obj()
+            .ok_or_else(|| malformed("document is not an object"))?;
+        let kind = obj
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or_else(|| malformed("missing kind"))?;
+        if kind != CHAIN_TABLE_KIND {
+            return Err(ChainTableError::Version {
+                found: format!("kind {kind:?}"),
+            });
+        }
+        let version = obj
+            .get("version")
+            .and_then(crate::json::Json::as_int)
+            .ok_or_else(|| malformed("missing version"))?;
+        if version != CHAIN_TABLE_VERSION {
+            return Err(ChainTableError::Version {
+                found: format!("version {version}"),
+            });
+        }
+        let pruning = obj
+            .get("pruning")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| malformed("missing pruning"))?;
+        if pruning != "aggressive" {
+            return Err(ChainTableError::Version {
+                found: format!("pruning {pruning:?}"),
+            });
+        }
+        let dim_b = obj
+            .get("dim_b")
+            .and_then(crate::json::Json::as_int)
+            .ok_or_else(|| malformed("missing dim_b"))?;
+        let dim_l = obj
+            .get("dim_l")
+            .and_then(crate::json::Json::as_int)
+            .ok_or_else(|| malformed("missing dim_l"))?;
+        let b = usize::try_from(dim_b).map_err(|_| malformed("dim_b overflows"))?;
+        let l = usize::try_from(dim_l).map_err(|_| malformed("dim_l overflows"))?;
+        let task_strings: Vec<String> = obj
+            .get("tasks")
+            .and_then(crate::json::Json::as_arr)
+            .ok_or_else(|| malformed("missing tasks"))?
+            .iter()
+            .map(|t| {
+                t.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| malformed("task is not a string"))
+            })
+            .collect::<Result<_, _>>()?;
+        if task_strings.is_empty() {
+            return Err(malformed("empty chain"));
+        }
+        let cell_strings: Vec<String> = obj
+            .get("cells")
+            .and_then(crate::json::Json::as_arr)
+            .ok_or_else(|| malformed("missing cells"))?
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| malformed("cell is not a string"))
+            })
+            .collect::<Result<_, _>>()?;
+        let n = task_strings.len();
+        let expected = n
+            .checked_mul(b + 1)
+            .and_then(|x| x.checked_mul(l + 1))
+            .ok_or_else(|| malformed("cell count overflows"))?;
+        if cell_strings.len() != expected {
+            return Err(malformed(&format!(
+                "expected {expected} cells for {n} tasks at ({b}, {l}), found {}",
+                cell_strings.len()
+            )));
+        }
+        let checksum = obj
+            .get("checksum")
+            .and_then(crate::json::Json::as_int)
+            .ok_or_else(|| malformed("missing checksum"))?;
+        let computed = Self::checksum(&task_strings, b, l, &cell_strings);
+        if checksum != computed {
+            return Err(malformed("checksum mismatch"));
+        }
+        let tasks: Vec<(u64, u64, bool)> = task_strings
+            .iter()
+            .map(|t| {
+                let bad = || malformed(&format!("bad task {t:?}"));
+                let mut parts = t.split(',');
+                let wb: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let wl: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let rep = match parts.next().ok_or_else(bad)? {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad()),
+                };
+                if parts.next().is_some() {
+                    return Err(bad());
+                }
+                Ok((wb, wl, rep))
+            })
+            .collect::<Result<_, _>>()?;
+        let cells: Vec<Cell> = cell_strings
+            .iter()
+            .map(|c| Self::decode_cell(c))
+            .collect::<Result<_, _>>()?;
+        Ok(ChainTable {
+            tasks,
+            table: Table { cells, n, b, l },
+        })
+    }
+
+    /// [`ChainTable::to_json`] rendered compactly.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.to_json().render_compact()
+    }
+
+    /// Parses text straight into a table ([`crate::json::Json::parse`] +
+    /// [`ChainTable::from_json`]).
+    pub fn parse(text: &str) -> Result<ChainTable, ChainTableError> {
+        let doc = crate::json::Json::parse(text).map_err(|e| ChainTableError::Parse {
+            offset: e.offset,
+            message: e.message,
+        })?;
+        Self::from_json(&doc)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1163,5 +1626,106 @@ mod tests {
         assert!(herad.schedule_into(&c, Resources::new(6, 2), &mut scratch, &mut out));
         assert_eq!(scratch.herad_sweep.table.dim_b(), 6);
         assert_eq!(scratch.herad_sweep.table.dim_l(), 4);
+    }
+
+    #[test]
+    fn chain_table_extracts_every_covered_pool_bit_identically() {
+        let c = chain();
+        let mut table = ChainTable::solve(&c, Resources::new(2, 1));
+        assert!(table.matches(&c));
+        // Grow through a few pools, then extract the full grid.
+        table.grow_to(&c, Resources::new(4, 3));
+        table.grow_to(&c, Resources::new(3, 4));
+        assert_eq!(table.dims(), (4, 4));
+        let mut out = Solution::empty();
+        for b in 0..=4u64 {
+            for l in 0..=4u64 {
+                let r = Resources::new(b, l);
+                assert!(table.covers(r));
+                let warm = table.extract(&c, r, &mut out).then(|| out.clone());
+                assert_eq!(warm, Herad::new().schedule(&c, r), "diverges at {r}");
+                assert_eq!(
+                    table.period_at(r),
+                    Herad::new().optimal_period(&c, r),
+                    "period diverges at {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_table_round_trips_through_json() {
+        let c = chain();
+        let mut table = ChainTable::solve(&c, Resources::new(1, 0));
+        table.grow_to(&c, Resources::new(3, 3));
+        let text = table.render();
+        let loaded = ChainTable::parse(&text).expect("round trip");
+        assert_eq!(loaded.tasks(), table.tasks());
+        assert_eq!(loaded.dims(), table.dims());
+        // Identical re-render (bitwise stable serialization)...
+        assert_eq!(loaded.render(), text);
+        // ...and identical answers, including after further growth.
+        let mut grown = loaded;
+        grown.grow_to(&c, Resources::new(5, 4));
+        let mut out = Solution::empty();
+        for (b, l) in [(0, 0), (1, 1), (3, 3), (0, 3), (3, 0), (5, 4), (2, 4)] {
+            let r = Resources::new(b, l);
+            let warm = grown.extract(&c, r, &mut out).then(|| out.clone());
+            assert_eq!(warm, Herad::new().schedule(&c, r), "diverges at {r}");
+        }
+    }
+
+    #[test]
+    fn chain_table_rejects_corrupt_documents() {
+        let c = chain();
+        let table = ChainTable::solve(&c, Resources::new(2, 2));
+        let text = table.render();
+        // Not JSON at all.
+        assert!(matches!(
+            ChainTable::parse("not json"),
+            Err(ChainTableError::Parse { .. })
+        ));
+        // Truncation: either a parse error or a malformed payload,
+        // never a panic or a table.
+        for cut in [1, text.len() / 4, text.len() / 2, text.len() - 2] {
+            assert!(ChainTable::parse(&text[..cut]).is_err(), "cut at {cut}");
+        }
+        // Version skew.
+        let skewed = text.replace("\"version\":1", "\"version\":2");
+        assert!(matches!(
+            ChainTable::parse(&skewed),
+            Err(ChainTableError::Version { .. })
+        ));
+        let alien = text.replace("amp-chain-table", "amp-other-thing");
+        assert!(matches!(
+            ChainTable::parse(&alien),
+            Err(ChainTableError::Version { .. })
+        ));
+        // Content tampering: a flipped digit fails the checksum.
+        let idx = text.find("\"cells\":[\"").expect("cells field") + "\"cells\":[\"".len();
+        let mut tampered = text.clone();
+        let original = tampered.as_bytes()[idx];
+        let flipped = if original == b'1' { '2' } else { '1' };
+        tampered.replace_range(idx..=idx, &flipped.to_string());
+        assert!(matches!(
+            ChainTable::parse(&tampered),
+            Err(ChainTableError::Malformed { .. })
+        ));
+        // Checksum tampering is equally fatal.
+        let fake = text.replace("\"checksum\":", "\"checksum\":1");
+        assert!(ChainTable::parse(&fake).is_err());
+    }
+
+    #[test]
+    fn chain_table_solves_and_serializes_degenerate_pools() {
+        let single = TaskChain::new(vec![Task::new(5, 9, true)]);
+        for (b, l) in [(0, 0), (1, 0), (0, 1)] {
+            let table = ChainTable::solve(&single, Resources::new(b, l));
+            let loaded = ChainTable::parse(&table.render()).expect("round trip");
+            let r = Resources::new(b, l);
+            let mut out = Solution::empty();
+            let warm = loaded.extract(&single, r, &mut out).then(|| out.clone());
+            assert_eq!(warm, Herad::new().schedule(&single, r), "at {r}");
+        }
     }
 }

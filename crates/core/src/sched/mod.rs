@@ -20,7 +20,7 @@ pub use batch::{schedule_chains, schedule_many, schedule_many_with};
 pub use binary_search::{schedule_binary_search, schedule_binary_search_into, PeriodBounds};
 pub use brute::{all_optimal_solutions, optimal_period, optimal_usage_front, BruteForce};
 pub use fertac::Fertac;
-pub use herad::{Herad, Pruning};
+pub use herad::{ChainTable, ChainTableError, Herad, Pruning};
 pub use otac::Otac;
 pub use scratch::SchedScratch;
 pub use twocatac::Twocatac;

@@ -5,19 +5,26 @@
 //! * **Self-hosted** (default): boots an in-process [`Server`] on a
 //!   loopback port, drives it, audits the responses, and prints a JSON
 //!   report. `--smoke` runs the CI gate: a steady phase that must be
-//!   audit-clean with a warm cache, then an overload phase that must
-//!   produce *typed* rejections, never silence.
+//!   audit-clean with a warm cache, an overload phase that must produce
+//!   *typed* rejections (never silence), then a pool-sweep phase that
+//!   must pay exactly one cold HeRAD solve across every pool shape of a
+//!   chain (the solve-once chain tier) and a warm-restart phase that
+//!   must serve the same sweep entirely from a snapshot loaded at boot.
 //! * **External** (`--addr HOST:PORT`): drives an already-running
 //!   server; the audit still applies, the cache/overload assertions
 //!   don't (the server's config is unknown).
 //!
 //! Exit status is 0 only when every audit and smoke assertion holds.
 
-use std::net::SocketAddr;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use amp_net::{loadgen, LoadConfig, Server, ServerConfig};
+use amp_core::json::Json;
+use amp_net::{loadgen, proto, LoadConfig, Server, ServerConfig};
+use amp_service::{Policy, ScheduleRequest, TaskSpec};
 
 struct Args {
     addr: Option<SocketAddr>,
@@ -28,12 +35,14 @@ struct Args {
     shards: usize,
     smoke: bool,
     out: Option<String>,
+    snapshot_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: net_loadgen [--smoke] [--addr HOST:PORT] [--connections N] \
-         [--requests N] [--distinct N] [--seed N] [--shards N] [--out FILE]"
+         [--requests N] [--distinct N] [--seed N] [--shards N] [--out FILE] \
+         [--snapshot-out FILE]"
     );
     std::process::exit(2);
 }
@@ -48,6 +57,7 @@ fn parse_args() -> Args {
         shards: 4,
         smoke: false,
         out: None,
+        snapshot_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,6 +73,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = Some(value("--out")),
+            "--snapshot-out" => args.snapshot_out = Some(value("--snapshot-out")),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -92,6 +103,89 @@ fn check(failures: &mut Vec<String>, ok: bool, what: &str) {
     if !ok {
         failures.push(what.to_string());
     }
+}
+
+/// The one fixed chain the pool-sweep phase revisits under every pool
+/// shape; a mix of sequential and replicable stages so the HeRAD table
+/// is non-trivial.
+fn sweep_chain() -> Vec<TaskSpec> {
+    [
+        (10, 25, false),
+        (40, 90, true),
+        (8, 8, true),
+        (5, 12, false),
+    ]
+    .into_iter()
+    .map(|(weight_big, weight_little, replicable)| TaskSpec {
+        weight_big,
+        weight_little,
+        replicable,
+    })
+    .collect()
+}
+
+/// Every pool shape the sweep visits: 12 distinct `(big, little)`
+/// pairs, all of one chain, in growing order so the tier's grow path is
+/// exercised as well as pure extraction.
+fn sweep_pools() -> Vec<(u64, u64)> {
+    (1..=3u64)
+        .flat_map(|big| (0..=3u64).map(move |little| (big, little)))
+        .collect()
+}
+
+/// Pipelines one HeRAD schedule frame per pool shape over a single
+/// connection and returns how many came back as success frames.
+fn drive_sweep(addr: SocketAddr) -> std::io::Result<u64> {
+    let pools = sweep_pools();
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut write_half = stream.try_clone()?;
+    for (seq, &(big_cores, little_cores)) in pools.iter().enumerate() {
+        let request = ScheduleRequest {
+            id: seq as u64,
+            tasks: sweep_chain(),
+            big_cores,
+            little_cores,
+            policy: Policy::Strategy("HeRAD".to_string()),
+            deadline_us: None,
+        };
+        let frame = format!("{}\n", proto::render_request(&request, "public"));
+        write_half.write_all(frame.as_bytes())?;
+    }
+    let mut ok = 0;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    for _ in 0..pools.len() {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        if let Ok(response) = proto::parse_response(line.trim_end()) {
+            if response.result.is_ok() {
+                ok += 1;
+            }
+        }
+    }
+    Ok(ok)
+}
+
+/// Pulls one counter out of the `fleet.chain_cache` block of a status
+/// snapshot; `u64::MAX` (which fails every assertion loudly) when the
+/// block or key is missing.
+fn chain_tier_counter(status: &str, key: &str) -> u64 {
+    Json::parse(status)
+        .ok()
+        .and_then(|doc| {
+            doc.as_obj()?
+                .get("fleet")?
+                .as_obj()?
+                .get("chain_cache")?
+                .as_obj()?
+                .get(key)?
+                .as_int()
+        })
+        .unwrap_or(u64::MAX)
 }
 
 fn main() -> ExitCode {
@@ -246,6 +340,135 @@ fn main() -> ExitCode {
                 "overload: {} sent, {} ok, {} OVERLOADED, p99 {}us",
                 overload.sent, overload.ok, overloaded, overload.p99_us
             );
+
+            // Pool sweep: the same chain under 12 distinct pool shapes.
+            // Every request misses the exact-fingerprint LRU (the pool
+            // is part of that key), so this is the chain tier's
+            // end-to-end gate: one cold HeRAD solve, everything else
+            // answered by growing/extracting the one cached table.
+            let snap_path = args.snapshot_out.clone().map_or_else(
+                || {
+                    std::env::temp_dir().join(format!(
+                        "amp-net-smoke-snapshot-{}.json",
+                        std::process::id()
+                    ))
+                },
+                PathBuf::from,
+            );
+            let sweep_server = match Server::start(ServerConfig {
+                shards: args.shards.max(1),
+                quota: None,
+                ..ServerConfig::default()
+            }) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("failed to start sweep-phase server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let sweep_total = sweep_pools().len() as u64;
+            let sweep_ok = match drive_sweep(sweep_server.local_addr()) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    eprintln!("sweep phase failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let sweep_status = sweep_server.status_json();
+            let cold = chain_tier_counter(&sweep_status, "cold_solves");
+            let warm_serves = chain_tier_counter(&sweep_status, "hits")
+                .saturating_add(chain_tier_counter(&sweep_status, "grows"));
+            check(&mut failures, sweep_ok == sweep_total, "sweep: all ok");
+            check(
+                &mut failures,
+                cold == 1,
+                "sweep: exactly one cold HeRAD solve across every pool shape",
+            );
+            check(
+                &mut failures,
+                warm_serves == sweep_total - 1,
+                "sweep: every other pool served from the chain tier",
+            );
+            check(
+                &mut failures,
+                chain_tier_counter(&sweep_status, "hit_rate_milli") > 0,
+                "sweep: chain-tier hit rate per-mille is split out and non-zero",
+            );
+            let written = match sweep_server.shards().save_tier_snapshot(&snap_path) {
+                Ok(written) => written,
+                Err(e) => {
+                    eprintln!("snapshot save failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            sweep_server.shutdown();
+            check(
+                &mut failures,
+                written == 1,
+                "sweep: snapshot holds the one grown table",
+            );
+            eprintln!(
+                "sweep: {sweep_ok}/{sweep_total} ok, {cold} cold solve(s), \
+                 {warm_serves} tier serves, snapshot {} ({written} table(s))",
+                snap_path.display()
+            );
+
+            // Warm restart: a fresh server loads the snapshot at boot
+            // and must answer the whole sweep without a single cold
+            // solve — persistence is the difference between "cache" and
+            // "solve-once".
+            let mut warm_per_shard = ServerConfig::default().per_shard;
+            warm_per_shard.snapshot_path = Some(snap_path.clone());
+            let warm_server = match Server::start(ServerConfig {
+                shards: args.shards.max(1),
+                per_shard: warm_per_shard,
+                quota: None,
+                ..ServerConfig::default()
+            }) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("failed to start warm-restart server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let warm_ok = match drive_sweep(warm_server.local_addr()) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    eprintln!("warm-restart phase failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let warm_status = warm_server.status_json();
+            warm_server.shutdown();
+            let warm_cold = chain_tier_counter(&warm_status, "cold_solves");
+            let warm_loaded = chain_tier_counter(&warm_status, "snapshot_loaded");
+            check(
+                &mut failures,
+                warm_ok == sweep_total,
+                "warm restart: all ok",
+            );
+            check(
+                &mut failures,
+                warm_cold == 0,
+                "warm restart: zero cold solves after loading the snapshot",
+            );
+            check(
+                &mut failures,
+                warm_loaded >= 1 && warm_loaded != u64::MAX,
+                "warm restart: snapshot tables loaded at boot",
+            );
+            check(
+                &mut failures,
+                chain_tier_counter(&warm_status, "hits") == sweep_total,
+                "warm restart: every pool shape extracted from the restored table",
+            );
+            eprintln!(
+                "warm restart: {warm_ok}/{sweep_total} ok, {warm_cold} cold solve(s), \
+                 {warm_loaded} snapshot table(s) loaded"
+            );
+            if args.snapshot_out.is_none() {
+                std::fs::remove_file(&snap_path).ok();
+            }
         }
         steady.to_json()
     };

@@ -468,6 +468,21 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
                 discarding = false;
                 continue;
             }
+            // The size limit applies to complete lines too, not just
+            // lines still accumulating — whether an oversized frame
+            // arrived in one read or many must not change its answer.
+            if line.len() - 1 > shared.cfg.max_line_bytes {
+                shared.net.oversized_frame();
+                conn.write_direct(&proto::render_error(
+                    None,
+                    "FRAME_TOO_LARGE",
+                    &format!(
+                        "frame exceeds {} bytes; it was discarded",
+                        shared.cfg.max_line_bytes
+                    ),
+                ));
+                continue;
+            }
             conn.handle_line(&line[..line.len() - 1], &mut batch);
             if batch.len() >= shared.cfg.batch_max {
                 conn.flush_batch(&mut batch);

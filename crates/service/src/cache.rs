@@ -53,10 +53,25 @@ impl CacheKey {
     }
 
     /// 64-bit FNV-1a fingerprint over the canonical byte encoding of the
-    /// key. Used for shard selection; equality always re-checks the full
-    /// key, so fingerprint collisions cost a probe, never a wrong answer.
+    /// full key (chain, pool and policy). Equality always re-checks the
+    /// full key, so fingerprint collisions cost a probe, never a wrong
+    /// answer.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
+        self.fnv(true)
+    }
+
+    /// Pool-free sibling of [`CacheKey::fingerprint`]: hashes the chain
+    /// and the policy but *not* the resource pool. The shard router keys
+    /// on this one, so every pool shape of one chain lands on the same
+    /// shard — which is what lets that shard's chain tier solve the chain
+    /// once and answer the whole fleet's pool sweep by extraction.
+    #[must_use]
+    pub fn chain_fingerprint(&self) -> u64 {
+        self.fnv(false)
+    }
+
+    fn fnv(&self, include_pool: bool) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = OFFSET;
@@ -72,8 +87,10 @@ impl CacheKey {
             eat(&t.weight_little.to_le_bytes());
             eat(&[u8::from(t.replicable)]);
         }
-        eat(&self.big_cores.to_le_bytes());
-        eat(&self.little_cores.to_le_bytes());
+        if include_pool {
+            eat(&self.big_cores.to_le_bytes());
+            eat(&self.little_cores.to_le_bytes());
+        }
         match &self.policy {
             Policy::Portfolio => eat(&[0]),
             Policy::Strategy(name) => {
@@ -330,6 +347,26 @@ mod tests {
             CacheKey::for_request(&a).fingerprint(),
             CacheKey::for_request(&b).fingerprint()
         );
+    }
+
+    #[test]
+    fn chain_fingerprint_ignores_the_pool_only() {
+        let mut a = key(5);
+        let mut b = key(5);
+        a.big_cores = 1;
+        a.little_cores = 7;
+        b.big_cores = 6;
+        b.little_cores = 0;
+        // Same chain, different pools: full fingerprints differ, the
+        // pool-free one does not.
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.chain_fingerprint(), b.chain_fingerprint());
+        // Different chains or policies still separate.
+        let c = key(6);
+        assert_ne!(a.chain_fingerprint(), c.chain_fingerprint());
+        let mut d = key(5);
+        d.policy = Policy::Strategy("HeRAD".to_string());
+        assert_ne!(a.chain_fingerprint(), d.chain_fingerprint());
     }
 
     #[test]

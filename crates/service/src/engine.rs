@@ -61,6 +61,7 @@
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -72,6 +73,7 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 
 use crate::cache::{CacheKey, CacheStats, SolutionCache};
+use crate::chain_tier::{ChainTier, ChainTierStats, SnapshotError, TierFaultHook};
 use crate::error::ServiceError;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::portfolio::{self, PortfolioConfig};
@@ -98,9 +100,21 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Portfolio tuning, applied to every `Policy::Portfolio` request.
     pub portfolio: PortfolioConfig,
+    /// Chain-tier capacity: how many distinct chains keep their solved
+    /// HeRAD DP table resident for solve-once serving across pool shapes
+    /// (see [`ChainTier`]). `0` disables the tier.
+    pub chain_capacity: usize,
+    /// Chain-tier snapshot file for warm restarts: loaded on start (a
+    /// bad file is counted and ignored — the tier starts empty), saved
+    /// via [`Engine::save_tier_snapshot`]. `None` disables persistence.
+    pub snapshot_path: Option<PathBuf>,
     /// Test-only fault-injection seam: wraps every scheduler the engine
     /// is about to run. Leave `None` in production.
     pub fault_wrap: Option<StrategyWrap>,
+    /// Test-only fault-injection seam for the chain tier (panics at
+    /// extraction/growth/cold-solve/snapshot sites). Leave `None` in
+    /// production.
+    pub tier_fault: Option<TierFaultHook>,
 }
 
 impl Default for EngineConfig {
@@ -115,7 +129,10 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             portfolio: PortfolioConfig::default(),
+            chain_capacity: 64,
+            snapshot_path: None,
             fault_wrap: None,
+            tier_fault: None,
         }
     }
 }
@@ -129,7 +146,10 @@ impl std::fmt::Debug for EngineConfig {
             .field("cache_capacity", &self.cache_capacity)
             .field("cache_shards", &self.cache_shards)
             .field("portfolio", &self.portfolio)
+            .field("chain_capacity", &self.chain_capacity)
+            .field("snapshot_path", &self.snapshot_path)
             .field("fault_wrap", &self.fault_wrap.is_some())
+            .field("tier_fault", &self.tier_fault.is_some())
             .finish()
     }
 }
@@ -189,28 +209,47 @@ pub struct Engine {
     configured_workers: usize,
     metrics: Arc<ServiceMetrics>,
     cache: Arc<SolutionCache>,
+    tier: Arc<ChainTier>,
     racers: Arc<RacerPool>,
 }
 
 impl Engine {
-    /// Starts the worker pool and the portfolio racer pool.
+    /// Starts the worker pool and the portfolio racer pool. When the
+    /// config names a snapshot path, the chain tier warm-restarts from it
+    /// first; a missing or invalid snapshot is counted
+    /// (`snapshot_rejected`) and the tier starts empty — start never
+    /// fails on snapshot problems.
     #[must_use]
     pub fn start(cfg: EngineConfig) -> Self {
         let (job_tx, job_rx) = channel::bounded::<Job>(cfg.queue_depth.max(1));
         let metrics = Arc::new(ServiceMetrics::new());
         let cache = Arc::new(SolutionCache::new(cfg.cache_capacity, cfg.cache_shards));
+        let tier = Arc::new(ChainTier::new(cfg.chain_capacity, cfg.tier_fault.clone()));
+        if let Some(path) = &cfg.snapshot_path {
+            // Typed rejection only: the error is visible in the tier's
+            // snapshot_rejected counter, and an empty tier is always safe.
+            let _ = tier.load_from(path);
+        }
         let racers = Arc::new(RacerPool::new(cfg.racer_threads, cfg.fault_wrap.clone()));
         let workers: Vec<JoinHandle<()>> = (0..cfg.workers)
             .filter_map(|i| {
                 let rx = job_rx.clone();
                 let worker_metrics = Arc::clone(&metrics);
                 let cache = Arc::clone(&cache);
+                let tier = Arc::clone(&tier);
                 let racers = Arc::clone(&racers);
                 let portfolio_cfg = cfg.portfolio;
                 let spawned = thread::Builder::new()
                     .name(format!("amp-service-worker-{i}"))
                     .spawn(move || {
-                        supervised_worker(&rx, &worker_metrics, &cache, &portfolio_cfg, &racers);
+                        supervised_worker(
+                            &rx,
+                            &worker_metrics,
+                            &cache,
+                            &tier,
+                            &portfolio_cfg,
+                            &racers,
+                        );
                     });
                 match spawned {
                     Ok(handle) => Some(handle),
@@ -232,6 +271,7 @@ impl Engine {
             workers: Mutex::new(workers),
             metrics,
             cache,
+            tier,
             racers,
         }
     }
@@ -390,23 +430,51 @@ impl Engine {
         snap
     }
 
-    /// Point-in-time cache counters.
+    /// Point-in-time cache counters (the exact-fingerprint LRU tier).
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
-    /// Service metrics and cache counters as one JSON object. The hit
-    /// rate is reported in integer per-mille (`hit_rate_milli`, 0–1000)
-    /// so the status document stays inside the canonical JSON format,
-    /// which has no floats.
+    /// Point-in-time chain-tier counters (the solve-once tier).
+    #[must_use]
+    pub fn tier_stats(&self) -> ChainTierStats {
+        self.tier.stats()
+    }
+
+    /// The chain tier itself — the shard router merges tier snapshots
+    /// across engines through this.
+    pub(crate) fn tier(&self) -> &ChainTier {
+        &self.tier
+    }
+
+    /// Saves the chain tier's tables to `path` (atomic write). Returns
+    /// how many tables were written.
+    pub fn save_tier_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        self.tier.save_to(path)
+    }
+
+    /// Restores chain-tier tables from a snapshot file; a bad file is a
+    /// typed error and changes nothing. Returns how many tables loaded.
+    pub fn load_tier_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        self.tier.load_from(path)
+    }
+
+    /// Service metrics and cache counters as one JSON object, with the
+    /// exact-fingerprint LRU (`"cache"`) and the chain tier
+    /// (`"chain_cache"`) reported *separately* — each with its own
+    /// integer per-mille hit rate, so dashboards and smoke gates can tell
+    /// replay hits from solve-once extraction hits. Per-mille keeps the
+    /// status document inside the canonical JSON format, which has no
+    /// floats.
     #[must_use]
     pub fn status_json(&self) -> String {
         let cache = self.cache_stats();
         let metrics = self.metrics().to_json();
         format!(
             "{{\"service\":{metrics},\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
-             \"insertions\":{},\"entries\":{},\"capacity\":{},\"hit_rate_milli\":{}}}}}",
+             \"insertions\":{},\"entries\":{},\"capacity\":{},\"hit_rate_milli\":{}}},\
+             \"chain_cache\":{}}}",
             cache.hits,
             cache.misses,
             cache.evictions,
@@ -414,6 +482,7 @@ impl Engine {
             cache.entries,
             cache.capacity,
             (cache.hit_rate() * 1000.0).round() as u64,
+            chain_cache_json(&self.tier_stats()),
         )
     }
 
@@ -462,6 +531,26 @@ impl Drop for Engine {
     }
 }
 
+/// Renders one tier's counters as the `"chain_cache"` JSON fragment
+/// (shared by [`Engine::status_json`] and the shard aggregate).
+pub(crate) fn chain_cache_json(stats: &ChainTierStats) -> String {
+    format!(
+        "{{\"hits\":{},\"grows\":{},\"cold_solves\":{},\"repairs\":{},\"evictions\":{},\
+         \"entries\":{},\"capacity\":{},\"snapshot_loaded\":{},\"snapshot_rejected\":{},\
+         \"hit_rate_milli\":{}}}",
+        stats.hits,
+        stats.grows,
+        stats.cold_solves,
+        stats.repairs,
+        stats.evictions,
+        stats.entries,
+        stats.capacity,
+        stats.snapshot_loaded,
+        stats.snapshot_rejected,
+        stats.hit_rate_milli(),
+    )
+}
+
 /// Extracts a human-readable message from a caught panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
@@ -481,13 +570,14 @@ fn supervised_worker(
     rx: &Receiver<Job>,
     metrics: &ServiceMetrics,
     cache: &SolutionCache,
+    tier: &ChainTier,
     portfolio_cfg: &PortfolioConfig,
     racers: &RacerPool,
 ) {
     metrics.record_worker_started();
     loop {
         let run = catch_unwind(AssertUnwindSafe(|| {
-            worker_loop(rx, metrics, cache, portfolio_cfg, racers);
+            worker_loop(rx, metrics, cache, tier, portfolio_cfg, racers);
         }));
         match run {
             Ok(()) => break,
@@ -508,6 +598,7 @@ fn worker_loop(
     rx: &Receiver<Job>,
     metrics: &ServiceMetrics,
     cache: &SolutionCache,
+    tier: &ChainTier,
     portfolio_cfg: &PortfolioConfig,
     racers: &RacerPool,
 ) {
@@ -531,6 +622,7 @@ fn worker_loop(
                     &request,
                     metrics,
                     cache,
+                    tier,
                     portfolio_cfg,
                     racers,
                     &mut scratch,
@@ -547,6 +639,7 @@ fn worker_loop(
                 accepted_at,
                 metrics,
                 cache,
+                tier,
                 portfolio_cfg,
                 racers,
                 &mut scratch,
@@ -559,16 +652,26 @@ fn worker_loop(
 /// Runs one request's compute under panic isolation: an unwinding
 /// strategy (or any compute-path bug) still yields exactly one typed
 /// result, and the possibly half-written scratch is recycled.
+#[allow(clippy::too_many_arguments)]
 fn compute_guarded(
     request: &ScheduleRequest,
     metrics: &ServiceMetrics,
     cache: &SolutionCache,
+    tier: &ChainTier,
     portfolio_cfg: &PortfolioConfig,
     racers: &RacerPool,
     scratch: &mut SchedScratch,
 ) -> Result<ScheduleOutcome, ServiceError> {
     catch_unwind(AssertUnwindSafe(|| {
-        handle(request, metrics, cache, portfolio_cfg, racers, scratch)
+        handle(
+            request,
+            metrics,
+            cache,
+            tier,
+            portfolio_cfg,
+            racers,
+            scratch,
+        )
     }))
     .unwrap_or_else(|panic| {
         metrics.record_worker_panic();
@@ -609,6 +712,7 @@ fn run_batch(
     accepted_at: Instant,
     metrics: &ServiceMetrics,
     cache: &SolutionCache,
+    tier: &ChainTier,
     portfolio_cfg: &PortfolioConfig,
     racers: &RacerPool,
     scratch: &mut SchedScratch,
@@ -645,6 +749,14 @@ fn run_batch(
         }
         match &request.policy {
             Policy::Strategy(name) => match strategy_by_name(name) {
+                // Tier-eligible members run through the sequential
+                // single-request path instead of the scoped fan-out: the
+                // chain tier serializes same-chain solves anyway (one
+                // cold solve, then pure extraction), so fanning them out
+                // would only have threads queue on the entry lock.
+                Some(strategy) if tier.enabled() && strategy.name() == "HeRAD" => {
+                    solos.push(request);
+                }
                 Some(strategy) => groups.entry(strategy.name()).or_default().push(request),
                 None => {
                     let err = ServiceError::UnknownStrategy { name: name.clone() };
@@ -655,7 +767,15 @@ fn run_batch(
         }
     }
     for request in solos {
-        let result = compute_guarded(&request, metrics, cache, portfolio_cfg, racers, scratch);
+        let result = compute_guarded(
+            &request,
+            metrics,
+            cache,
+            tier,
+            portfolio_cfg,
+            racers,
+            scratch,
+        );
         respond(reply, request.id, result, accepted_at, metrics);
     }
     for (name, members) in groups {
@@ -663,7 +783,15 @@ fn run_batch(
             // A lone member gains nothing from the fan-out; keep it on
             // the worker's warm single-request scratch.
             let request = &members[0];
-            let result = compute_guarded(request, metrics, cache, portfolio_cfg, racers, scratch);
+            let result = compute_guarded(
+                request,
+                metrics,
+                cache,
+                tier,
+                portfolio_cfg,
+                racers,
+                scratch,
+            );
             respond(reply, request.id, result, accepted_at, metrics);
             continue;
         }
@@ -758,10 +886,12 @@ fn run_group(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle(
     request: &ScheduleRequest,
     metrics: &ServiceMetrics,
     cache: &SolutionCache,
+    tier: &ChainTier,
     portfolio_cfg: &PortfolioConfig,
     racers: &RacerPool,
     scratch: &mut SchedScratch,
@@ -800,7 +930,18 @@ fn handle(
                 .ok_or_else(|| ServiceError::UnknownStrategy { name: name.clone() })?;
             let strategy = racers.wrapped(strategy);
             let mut solution = Solution::empty();
-            if !strategy.schedule_into(&chain, resources, scratch, &mut solution) {
+            // HeRAD requests go through the chain tier: one solved DP
+            // table per chain answers every pool shape by extraction
+            // (bit-identical to the direct solve, pinned by the
+            // conformance battery). Other strategies — and a disabled
+            // tier — take the direct solver path.
+            let feasible = if tier.enabled() && strategy.name() == "HeRAD" {
+                tier.serve(&request.tasks, &chain, resources, &mut solution)
+                    .1
+            } else {
+                strategy.schedule_into(&chain, resources, scratch, &mut solution)
+            };
+            if !feasible {
                 return Err(ServiceError::Infeasible);
             }
             vet(strategy.name(), &solution)?;
@@ -1353,5 +1494,155 @@ mod tests {
         }
         assert_eq!(e.cache_stats().insertions, 0);
         assert_eq!(e.metrics().invalid_solutions, 1);
+    }
+
+    /// The tentpole acceptance shape at engine scope: a pool sweep over
+    /// one chain pays exactly one cold HeRAD solve, every other pool is
+    /// answered from the chain table — and the answers are bit-identical
+    /// to a tier-less engine's.
+    #[test]
+    fn pool_sweep_pays_one_cold_solve_and_matches_a_tierless_engine() {
+        let tiered = engine(1);
+        let tierless = Engine::start(EngineConfig {
+            workers: 1,
+            racer_threads: 0,
+            queue_depth: 64,
+            cache_capacity: 0,
+            chain_capacity: 0,
+            ..EngineConfig::default()
+        });
+        let sweep: Vec<Resources> = (1..=3)
+            .flat_map(|big| (0..=3).map(move |little| Resources::new(big, little)))
+            .collect();
+        for (id, &pool) in sweep.iter().enumerate() {
+            let req = ScheduleRequest::from_chain(
+                id as u64,
+                &chain(),
+                pool,
+                Policy::Strategy("HeRAD".to_string()),
+            );
+            let a = tiered
+                .schedule_blocking(req.clone())
+                .result
+                .expect("tiered");
+            let b = tierless.schedule_blocking(req).result.expect("tierless");
+            assert_eq!(a, b, "tier answer must be bit-identical at pool {pool:?}");
+        }
+        let stats = tiered.tier_stats();
+        assert_eq!(stats.cold_solves, 1, "one chain = one cold solve");
+        assert_eq!(stats.hits + stats.grows, sweep.len() as u64 - 1);
+        assert!(stats.grows >= 1, "ascending sweep must grow in place");
+        assert_eq!(stats.entries, 1);
+        assert_eq!(tierless.tier_stats(), ChainTierStats::default());
+        let status = tiered.status_json();
+        assert!(status.contains("\"chain_cache\":{\"hits\":"));
+        assert!(status.contains("\"cold_solves\":1"));
+    }
+
+    /// A batched pool sweep routes its tier-eligible members through the
+    /// sequential solo path, so even one burst pays a single cold solve.
+    #[test]
+    fn batched_pool_sweep_still_pays_one_cold_solve() {
+        let e = engine(2);
+        let requests: Vec<ScheduleRequest> = (0..=3)
+            .flat_map(|big| (0..=3).map(move |little| (big, little)))
+            .filter(|&(big, little)| big + little > 0)
+            .enumerate()
+            .map(|(id, (big, little))| {
+                ScheduleRequest::from_chain(
+                    id as u64,
+                    &chain(),
+                    Resources::new(big, little),
+                    Policy::Strategy("HeRAD".to_string()),
+                )
+            })
+            .collect();
+        let n = requests.len();
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(e.try_submit_batch(requests, tx).unwrap(), n);
+        let mut feasible = 0;
+        for _ in 0..n {
+            if rx.recv().expect("response").result.is_ok() {
+                feasible += 1;
+            }
+        }
+        assert!(feasible >= n - 4, "only tiny pools may be infeasible");
+        let stats = e.tier_stats();
+        assert_eq!(stats.cold_solves, 1, "one chain = one cold solve per batch");
+        assert_eq!(stats.hits + stats.grows + stats.cold_solves, n as u64);
+    }
+
+    /// Warm restart through the engine config: an engine pointed at a
+    /// snapshot written by a previous engine answers the whole sweep
+    /// without a single cold solve; a corrupt snapshot is rejected with
+    /// a counter and the engine starts with clean misses.
+    #[test]
+    fn snapshot_path_warm_restarts_and_rejects_corruption() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "amp-engine-snapshot-{}-{:?}.json",
+            std::process::id(),
+            thread::current().id()
+        ));
+        let sweep: Vec<Resources> = (1..=3)
+            .flat_map(|big| (0..=2).map(move |little| Resources::new(big, little)))
+            .collect();
+        let first = engine(1);
+        for (id, &pool) in sweep.iter().enumerate() {
+            let req = ScheduleRequest::from_chain(
+                id as u64,
+                &chain(),
+                pool,
+                Policy::Strategy("HeRAD".to_string()),
+            );
+            assert!(first.schedule_blocking(req).result.is_ok());
+        }
+        assert_eq!(first.save_tier_snapshot(&path).expect("save"), 1);
+        first.shutdown();
+
+        let warm = Engine::start(EngineConfig {
+            workers: 1,
+            racer_threads: 0,
+            queue_depth: 64,
+            cache_capacity: 0,
+            snapshot_path: Some(path.clone()),
+            ..EngineConfig::default()
+        });
+        for (id, &pool) in sweep.iter().enumerate() {
+            let req = ScheduleRequest::from_chain(
+                100 + id as u64,
+                &chain(),
+                pool,
+                Policy::Strategy("HeRAD".to_string()),
+            );
+            assert!(warm.schedule_blocking(req).result.is_ok());
+        }
+        let stats = warm.tier_stats();
+        assert_eq!(stats.cold_solves, 0, "warm restart must not solve cold");
+        assert_eq!(stats.hits, sweep.len() as u64);
+        assert_eq!(stats.snapshot_loaded, 1);
+        warm.shutdown();
+
+        std::fs::write(&path, b"{\"kind\":\"amp-chain-tier-snapshot\",").unwrap();
+        let sour = Engine::start(EngineConfig {
+            workers: 1,
+            racer_threads: 0,
+            queue_depth: 8,
+            snapshot_path: Some(path.clone()),
+            ..EngineConfig::default()
+        });
+        let stats = sour.tier_stats();
+        assert_eq!(stats.snapshot_loaded, 0);
+        assert_eq!(stats.snapshot_rejected, 1);
+        // Clean miss, not a crash: the request still gets answered.
+        let req = ScheduleRequest::from_chain(
+            1,
+            &chain(),
+            Resources::new(2, 2),
+            Policy::Strategy("HeRAD".to_string()),
+        );
+        assert!(sour.schedule_blocking(req).result.is_ok());
+        assert_eq!(sour.tier_stats().cold_solves, 1);
+        std::fs::remove_file(&path).ok();
     }
 }

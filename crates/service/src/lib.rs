@@ -11,6 +11,10 @@
 //! * **[`cache`]** — a sharded LRU keyed by the instance's canonical
 //!   fingerprint (weights, replicability mask, resource pool, policy), so
 //!   repeated instances are answered bit-identically without recomputing;
+//! * **[`chain_tier`]** — the solve-once tier behind the LRU: one HeRAD
+//!   DP table per distinct chain answers *every* pool shape by pure
+//!   extraction (growing in place when a larger pool arrives), with
+//!   snapshot persistence for warm restarts;
 //! * **[`portfolio`]** — a deadline-bounded strategy portfolio: FERTAC
 //!   inline for an instant feasible answer, HeRAD and a node-budgeted
 //!   2CATAC raced on the persistent racer pool, best period (ties:
@@ -56,6 +60,7 @@
 //! ```
 
 pub mod cache;
+pub mod chain_tier;
 pub mod engine;
 pub mod error;
 pub mod metrics;
@@ -65,6 +70,7 @@ pub mod request;
 pub mod shards;
 
 pub use cache::{CacheKey, CacheStats, SolutionCache};
+pub use chain_tier::{ChainTier, ChainTierStats, SnapshotError, TierFaultHook, TierServe};
 pub use engine::{Engine, EngineConfig, RejectedBatch};
 pub use error::ServiceError;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};

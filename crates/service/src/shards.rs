@@ -1,12 +1,12 @@
 //! Horizontal sharding of the scheduling engine: N independent
 //! [`Engine`]s — each with its own bounded queue, worker pool, racer
-//! pool and solution cache — behind one router keyed by the request's
-//! canonical instance fingerprint.
+//! pool, solution cache and chain tier — behind one router keyed by the
+//! request's *pool-free* chain fingerprint.
 //!
-//! ## Why shard by fingerprint (and not round-robin)
+//! ## Why shard by chain fingerprint (and not round-robin)
 //!
-//! The same instance always lands on the same engine, so each engine's
-//! cache holds a *disjoint* slice of the instance space: no entry is
+//! The same chain always lands on the same engine, so each engine's
+//! caches hold a *disjoint* slice of the chain space: no entry is
 //! duplicated across shards, the fleet-wide cache capacity is the sum of
 //! the parts, and a repeated instance hits the cache no matter which
 //! connection (or which batch) carries it. Round-robin would smear
@@ -16,11 +16,20 @@
 //! into typed [`ServiceError::Overloaded`] backpressure instead of
 //! unbounded latency, which is what a wire front end wants to relay.
 //!
-//! The router remixes [`CacheKey::fingerprint`] with the 64-bit
-//! Fibonacci multiplier and routes on the *high* bits. Each engine's
-//! internal cache picks its lock shard with `fingerprint % cache_shards`
-//! (low bits); if the router used the low bits too, every engine would
-//! see only fingerprints congruent to its own index and populate a
+//! The routing key is [`CacheKey::chain_fingerprint`] — weights,
+//! replicability and policy, but *not* the resource pool — so every pool
+//! shape of one chain shares a shard. That is what makes the solve-once
+//! chain tier work fleet-wide: a pool sweep over one chain grows a
+//! single HeRAD table on a single engine instead of paying one cold
+//! solve per shard. The exact-fingerprint LRU still keys on the full
+//! instance (pool included) inside each engine, so distinct pools of one
+//! chain occupy distinct LRU entries on the same shard.
+//!
+//! The router remixes the fingerprint with the 64-bit Fibonacci
+//! multiplier and routes on the *high* bits. Each engine's internal
+//! cache picks its lock shard with `fingerprint % cache_shards` (low
+//! bits); if the router used the low bits too, every engine would see
+//! only fingerprints congruent to its own index and populate a
 //! correlated subset of its cache shards. The remix makes the two
 //! reductions statistically independent.
 //!
@@ -28,10 +37,13 @@
 //! admissions on every shard through `&self`, `drain` additionally
 //! waits until every accepted request is answered.
 
+use std::path::Path;
+
 use crossbeam::channel::Sender;
 
 use crate::cache::{CacheKey, CacheStats};
-use crate::engine::{Engine, EngineConfig};
+use crate::chain_tier::{self, ChainTierStats, SnapshotError};
+use crate::engine::{chain_cache_json, Engine, EngineConfig};
 use crate::error::ServiceError;
 use crate::metrics::MetricsSnapshot;
 use crate::request::{ScheduleRequest, ScheduleResponse};
@@ -74,11 +86,12 @@ impl EngineShards {
     }
 
     /// The shard a request routes to: stable across the fleet's
-    /// lifetime, so identical instances always share an engine (and its
-    /// cache).
+    /// lifetime and *pool-free*, so every resource pool of one chain
+    /// shares an engine (and its solve-once chain table — see module
+    /// docs).
     #[must_use]
     pub fn shard_of(&self, request: &ScheduleRequest) -> usize {
-        let fp = CacheKey::for_request(request).fingerprint();
+        let fp = CacheKey::for_request(request).chain_fingerprint();
         // Fibonacci remix, routed on the high bits — decorrelated from
         // the cache's low-bit `% cache_shards` reduction (see module
         // docs).
@@ -200,11 +213,69 @@ impl EngineShards {
         self.shards.iter().map(Engine::cache_stats).collect()
     }
 
+    /// Aggregated chain-tier counters across all shards.
+    #[must_use]
+    pub fn tier_stats(&self) -> ChainTierStats {
+        let mut total = ChainTierStats::default();
+        for engine in &self.shards {
+            let s = engine.tier_stats();
+            total.hits += s.hits;
+            total.grows += s.grows;
+            total.cold_solves += s.cold_solves;
+            total.repairs += s.repairs;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+            total.capacity += s.capacity;
+            total.snapshot_loaded += s.snapshot_loaded;
+            total.snapshot_rejected += s.snapshot_rejected;
+        }
+        total
+    }
+
+    /// Per-shard chain-tier counters, in shard order.
+    #[must_use]
+    pub fn per_shard_tier_stats(&self) -> Vec<ChainTierStats> {
+        self.shards.iter().map(Engine::tier_stats).collect()
+    }
+
+    /// Writes one merged snapshot of every shard's chain tier to `path`
+    /// (atomic temp-file-then-rename, same format as
+    /// [`Engine::save_tier_snapshot`]). Chains are disjoint across
+    /// shards — the router keys on the chain — so the merge is a plain
+    /// concatenation, re-sorted for byte-stable output. Returns how many
+    /// tables were written.
+    pub fn save_tier_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let mut tables: Vec<(String, amp_core::json::Json)> = self
+            .shards
+            .iter()
+            .flat_map(|engine| engine.tier().snapshot_tables())
+            .map(|doc| (doc.render_compact(), doc))
+            .collect();
+        tables.sort_by(|a, b| a.0.cmp(&b.0));
+        tables.dedup_by(|a, b| a.0 == b.0);
+        chain_tier::write_snapshot_file(path, tables.into_iter().map(|(_, d)| d).collect(), |_| {})
+    }
+
+    /// Restores every shard's chain tier from one merged snapshot file.
+    /// Each engine loads the full document and installs every table —
+    /// simpler than re-deriving the router's assignment, and the extra
+    /// copies are bounded by `chain_capacity` per shard (the shard that
+    /// owns a chain refreshes its copy on first touch; the others age
+    /// out via LRU eviction). All-or-nothing per shard; the first error
+    /// is returned. Returns the total number of installs.
+    pub fn load_tier_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let mut loaded = 0;
+        for engine in &self.shards {
+            loaded += engine.load_tier_snapshot(path)?;
+        }
+        Ok(loaded)
+    }
+
     /// Fleet status as one JSON object: shard count, aggregate service
-    /// metrics and cache counters, plus each shard's own status. Like
-    /// [`Engine::status_json`], the hit rate is integer per-mille
-    /// (`hit_rate_milli`) because the canonical JSON format has no
-    /// floats.
+    /// metrics, exact-cache and chain-tier counters, plus each shard's
+    /// own status. Like [`Engine::status_json`], hit rates are integer
+    /// per-mille (`hit_rate_milli`) because the canonical JSON format
+    /// has no floats.
     #[must_use]
     pub fn status_json(&self) -> String {
         let agg = self.metrics().to_json();
@@ -213,7 +284,7 @@ impl EngineShards {
         format!(
             "{{\"shards\":{},\"service\":{agg},\"cache\":{{\"hits\":{},\"misses\":{},\
              \"evictions\":{},\"insertions\":{},\"entries\":{},\"capacity\":{},\
-             \"hit_rate_milli\":{}}},\"per_shard\":[{}]}}",
+             \"hit_rate_milli\":{}}},\"chain_cache\":{},\"per_shard\":[{}]}}",
             self.shards.len(),
             cache.hits,
             cache.misses,
@@ -222,6 +293,7 @@ impl EngineShards {
             cache.entries,
             cache.capacity,
             (cache.hit_rate() * 1000.0).round() as u64,
+            chain_cache_json(&self.tier_stats()),
             per_shard.join(","),
         )
     }
@@ -309,6 +381,92 @@ mod tests {
             ..a.clone()
         };
         assert_eq!(fleet.shard_of(&a), fleet.shard_of(&b));
+    }
+
+    #[test]
+    fn routing_ignores_the_pool_so_every_pool_shape_shares_a_shard() {
+        let fleet = fleet(4, 1, 64);
+        for id in 0..32 {
+            let base = request(id, Policy::Strategy("HeRAD".to_string()));
+            let home = fleet.shard_of(&base);
+            for big in 0..5 {
+                for little in 0..5 {
+                    let req = ScheduleRequest {
+                        big_cores: big,
+                        little_cores: little,
+                        ..base.clone()
+                    };
+                    assert_eq!(
+                        fleet.shard_of(&req),
+                        home,
+                        "pool ({big},{little}) must not move chain {id} off its shard"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_pool_sweep_pays_one_cold_solve_and_snapshots_round_trip() {
+        // One chain under many pool shapes: the pool-free router keeps
+        // every request on one shard, whose chain tier answers all but
+        // the first by extraction or in-place growth.
+        let fleet = fleet(4, 1, 64);
+        let chain = TaskChain::new(vec![
+            Task::new(10, 25, false),
+            Task::new(40, 90, true),
+            Task::new(5, 12, false),
+        ]);
+        let sweep: Vec<Resources> = (1..=3)
+            .flat_map(|big| (0..=3).map(move |little| Resources::new(big, little)))
+            .collect();
+        for (id, &pool) in sweep.iter().enumerate() {
+            let req = ScheduleRequest::from_chain(
+                id as u64,
+                &chain,
+                pool,
+                Policy::Strategy("HeRAD".to_string()),
+            );
+            let response = fleet.schedule_blocking(req);
+            assert!(response.result.is_ok(), "pool {pool:?} must be feasible");
+        }
+        let stats = fleet.tier_stats();
+        assert_eq!(
+            stats.cold_solves, 1,
+            "one chain = one cold solve fleet-wide"
+        );
+        assert_eq!(stats.hits + stats.grows, sweep.len() as u64 - 1);
+        let status = fleet.status_json();
+        assert!(status.contains("\"chain_cache\":{\"hits\":"));
+
+        // Snapshot the fleet, restore a fresh one from it, replay the
+        // sweep: a warm restart pays zero cold solves.
+        let path = std::env::temp_dir().join(format!(
+            "amp-fleet-snapshot-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let written = fleet.save_tier_snapshot(&path).expect("save snapshot");
+        assert_eq!(written, 1, "one chain = one table in the merged snapshot");
+        fleet.shutdown();
+
+        let warm = self::fleet(4, 1, 64);
+        let loaded = warm.load_tier_snapshot(&path).expect("load snapshot");
+        assert_eq!(loaded, 4, "each shard installs the full document");
+        for (id, &pool) in sweep.iter().enumerate() {
+            let req = ScheduleRequest::from_chain(
+                1000 + id as u64,
+                &chain,
+                pool,
+                Policy::Strategy("HeRAD".to_string()),
+            );
+            assert!(warm.schedule_blocking(req).result.is_ok());
+        }
+        let stats = warm.tier_stats();
+        assert_eq!(stats.cold_solves, 0, "warm restart must never solve cold");
+        assert_eq!(stats.hits, sweep.len() as u64);
+        assert_eq!(stats.snapshot_loaded, 4);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

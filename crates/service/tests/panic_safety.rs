@@ -22,6 +22,7 @@ use amp_core::sched::{SchedScratch, Scheduler};
 use amp_core::{Resources, Solution, Task, TaskChain};
 use amp_service::{
     Engine, EngineConfig, Policy, PortfolioConfig, ScheduleRequest, ServiceError, StrategyWrap,
+    TierFaultHook,
 };
 use crossbeam::channel;
 
@@ -98,6 +99,7 @@ fn chaos_engine(workers: usize, wrap: StrategyWrap) -> Engine {
         cache_shards: 4,
         portfolio: PortfolioConfig::default(),
         fault_wrap: Some(wrap),
+        ..EngineConfig::default()
     })
 }
 
@@ -298,5 +300,200 @@ fn racer_chaos_never_poisons_the_cache() {
     assert_eq!(m.portfolio_complete, 0);
     assert_eq!(m.portfolio_truncated, 150);
     assert_eq!(m.racer_panics, 150, "one HeRAD death per request");
+    engine.shutdown();
+}
+
+/// Chain-tier chaos at scale: 10k HeRAD requests with panics injected
+/// through the tier's own fault seam — during extraction, in-place
+/// growth and cold solves, with extra pressure on the mutation sites.
+/// The contract: every accepted request is answered exactly once, a
+/// tier panic is a typed `INTERNAL` response (never a dead worker or a
+/// wrong answer), an interrupted mutation poisons only its own entry
+/// (the next request on that chain repairs it with a cold solve), and
+/// the end-of-run counters reconcile: every request either hit, grew,
+/// cold-solved, or died to an injected panic.
+#[test]
+fn tier_chaos_poisons_nothing_permanently_and_counters_reconcile() {
+    const REQUESTS: u64 = 10_000;
+    const CHAINS: u64 = 50;
+    let armed = Arc::new(AtomicU64::new(1));
+    let rolls = Arc::new(AtomicU64::new(0));
+    let mutation_rolls = Arc::new(AtomicU64::new(0));
+    let (armed_in_hook, rolls_in_hook, mutations_in_hook) = (
+        Arc::clone(&armed),
+        Arc::clone(&rolls),
+        Arc::clone(&mutation_rolls),
+    );
+    let tier_fault: TierFaultHook = Arc::new(move |site: &'static str| {
+        if armed_in_hook.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let n = rolls_in_hook.fetch_add(1, Ordering::Relaxed) + 1;
+        // Mutation sites (grow / cold / snapshot) are rare next to
+        // extractions, so they get their own denser schedule — the
+        // valid-flag protocol is what this test exists to break.
+        if site != "extract" {
+            let m = mutations_in_hook.fetch_add(1, Ordering::Relaxed) + 1;
+            if m.is_multiple_of(5) {
+                panic!("chaos: tier fault at {site} (mutation roll {m})");
+            }
+        }
+        if n.is_multiple_of(89) {
+            panic!("chaos: tier fault at {site} (roll {n})");
+        }
+    });
+    let engine = Engine::start(EngineConfig {
+        workers: 4,
+        racer_threads: 0,
+        queue_depth: 256,
+        // No exact-instance LRU: every request must face the tier.
+        cache_capacity: 0,
+        chain_capacity: 64,
+        tier_fault: Some(tier_fault),
+        ..EngineConfig::default()
+    });
+    let (tx, rx) = channel::unbounded();
+    for id in 0..REQUESTS {
+        let req = ScheduleRequest::from_chain(
+            id,
+            &chain_for(id % CHAINS),
+            Resources::new(1 + id % 3, id % 4),
+            Policy::Strategy("HeRAD".to_string()),
+        );
+        engine.submit(req, tx.clone()).expect("accepted");
+    }
+    drop(tx);
+
+    let mut seen = HashSet::new();
+    let mut internal_errors = 0u64;
+    for response in rx.iter() {
+        assert!(
+            seen.insert(response.id),
+            "duplicate response for id {}",
+            response.id
+        );
+        match response.result {
+            Ok(outcome) => {
+                let chain = chain_for(response.id % CHAINS);
+                assert!(
+                    outcome.solution().validate(&chain).is_ok(),
+                    "tier-served solution must validate (id {})",
+                    response.id
+                );
+            }
+            Err(ServiceError::Internal(msg)) => {
+                assert!(msg.contains("panic"), "unexpected internal error: {msg}");
+                internal_errors += 1;
+            }
+            Err(other) => panic!("unexpected error under tier chaos: {other:?}"),
+        }
+    }
+    assert_eq!(seen.len() as u64, REQUESTS, "no response may be lost");
+
+    let m = engine.metrics();
+    assert_eq!(m.responses, REQUESTS);
+    assert_eq!(m.workers_alive, 4, "pool must be restored to full size");
+    assert!(internal_errors > 0, "chaos actually fired");
+    assert_eq!(
+        m.worker_panics, internal_errors,
+        "every tier panic is a typed Internal response, and vice versa"
+    );
+    // Counter reconciliation: each serve bumps exactly one of
+    // hits/grows/cold_solves on success and none when the injected
+    // panic aborts it.
+    let t = engine.tier_stats();
+    assert_eq!(
+        t.hits + t.grows + t.cold_solves + internal_errors,
+        REQUESTS,
+        "tier counters must account for every request: {t:?}"
+    );
+    assert!(
+        t.repairs > 0,
+        "interrupted mutations must have been repaired: {t:?}"
+    );
+
+    // Disarm the chaos: the tier must now serve every chain at the full
+    // pool bit-identically to a fresh HeRAD solve — no entry is left
+    // wedged, poisoned entries repair transparently.
+    armed.store(0, Ordering::Relaxed);
+    let herad = amp_core::sched::Herad::new();
+    for id in 0..CHAINS {
+        let chain = chain_for(id);
+        let pool = Resources::new(3, 3);
+        let req = ScheduleRequest::from_chain(
+            REQUESTS + id,
+            &chain,
+            pool,
+            Policy::Strategy("HeRAD".to_string()),
+        );
+        let outcome = engine.schedule_blocking(req).result.expect("feasible");
+        let fresh = herad.schedule(&chain, pool).expect("feasible");
+        assert_eq!(
+            outcome.solution(),
+            fresh,
+            "post-chaos tier answer must be bit-identical (chain {id})"
+        );
+    }
+    engine.shutdown();
+}
+
+/// Snapshot-write chaos: a panic injected between the temp-file write
+/// and the rename must leave the previous snapshot byte-identical on
+/// disk and the tier fully serviceable — saving again after the fault
+/// clears succeeds.
+#[test]
+fn snapshot_write_panic_never_corrupts_the_previous_snapshot() {
+    let armed = Arc::new(AtomicU64::new(0));
+    let armed_in_hook = Arc::clone(&armed);
+    let tier_fault: TierFaultHook = Arc::new(move |site: &'static str| {
+        if site == "snapshot" && armed_in_hook.load(Ordering::Relaxed) == 1 {
+            panic!("chaos: die between snapshot write and rename");
+        }
+    });
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        racer_threads: 0,
+        queue_depth: 8,
+        tier_fault: Some(tier_fault),
+        ..EngineConfig::default()
+    });
+    let chain = chain_for(7);
+    for (id, pool) in [(1, 1), (2, 2), (3, 3)].iter().enumerate() {
+        let req = ScheduleRequest::from_chain(
+            id as u64,
+            &chain,
+            Resources::new(pool.0, pool.1),
+            Policy::Strategy("HeRAD".to_string()),
+        );
+        assert!(engine.schedule_blocking(req).result.is_ok());
+    }
+    let path = std::env::temp_dir().join(format!("amp-snapshot-chaos-{}.json", std::process::id()));
+    assert_eq!(engine.save_tier_snapshot(&path).expect("clean save"), 1);
+    let before = std::fs::read(&path).expect("snapshot exists");
+
+    armed.store(1, Ordering::Relaxed);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.save_tier_snapshot(&path)
+    }));
+    assert!(result.is_err(), "the injected snapshot panic must fire");
+    assert_eq!(
+        std::fs::read(&path).expect("snapshot still exists"),
+        before,
+        "an interrupted save must leave the previous snapshot untouched"
+    );
+
+    armed.store(0, Ordering::Relaxed);
+    assert_eq!(engine.save_tier_snapshot(&path).expect("save again"), 1);
+    // The tier itself was never touched by the failed save: pure hits.
+    let req = ScheduleRequest::from_chain(
+        99,
+        &chain,
+        Resources::new(2, 2),
+        Policy::Strategy("HeRAD".to_string()),
+    );
+    assert!(engine.schedule_blocking(req).result.is_ok());
+    assert_eq!(engine.tier_stats().repairs, 0);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(path.with_extension("json.tmp")).ok();
     engine.shutdown();
 }

@@ -37,6 +37,7 @@ fn small_engine() -> Engine {
         cache_shards: 4,
         portfolio: PortfolioConfig::default(),
         fault_wrap: None,
+        ..EngineConfig::default()
     })
 }
 

@@ -46,6 +46,7 @@ fn warm_portfolio_requests_spawn_no_new_threads() {
         cache_shards: 2,
         portfolio: PortfolioConfig::default(),
         fault_wrap: None,
+        ..EngineConfig::default()
     });
     // Warm-up: first contact with every chain shape, filling the cache
     // and growing each worker/racer scratch arena to its final size.

@@ -23,6 +23,14 @@ cargo run --release -p amp-conformance -- --seeds 500 --max-tasks 8 --max-big 4 
 cargo run --release -p amp-conformance -- --seeds 250 --seed-start 1000 --no-corpus --max-tasks 8 --max-big 4 --max-little 4
 cargo test --release -q -p amp-service --test panic_safety --test thread_stability
 
+# Chain-tier gate: the solve-once cache (grow-in-place HeRAD tables,
+# keyed on the chain alone) differentially checked against fresh solves
+# over a wide seed window — extraction at every covered pool, period
+# agreement, and a render/parse round trip per table. Skipping the
+# service/chaos layers keeps 1000 seeds cheap.
+cargo run --release -p amp-conformance -- --chain-tier-only --seeds 1000 --max-tasks 8 --max-big 4 --max-little 4
+cargo test --release -q -p amp-service --test snapshot_roundtrip
+
 # Perf gate: a small deterministic sweep through the perf runner. The
 # binary exits non-zero (failing this script) if any of its built-in
 # regression gates trip: warm-scratch HeRAD performing steady-state heap
@@ -35,6 +43,10 @@ cargo run --release -p amp-bench --bin perf -- --smoke --out BENCH_sched.json
 # request answered, zero lost/duplicated/misrouted by id, cache hit rate
 # > 90% on the repeated-request pool. Overload phase: a starved queue
 # must surface as typed OVERLOADED rejections (never silence or a
-# disconnect) with a bounded p99. The latency/throughput report lands in
-# BENCH_net.json.
-cargo run --release -p amp-net --bin net_loadgen -- --smoke --out BENCH_net.json
+# disconnect) with a bounded p99. Pool-sweep phase: 12 pool shapes of
+# one chain must pay exactly one cold HeRAD solve (chain-tier counters
+# split out per tier in the status frame). Warm-restart phase: a second
+# server loads the saved tier snapshot at boot and serves the sweep with
+# zero cold solves. The latency report lands in BENCH_net.json and the
+# tier snapshot in SNAP_chain_tier.json.
+cargo run --release -p amp-net --bin net_loadgen -- --smoke --out BENCH_net.json --snapshot-out SNAP_chain_tier.json
