@@ -27,6 +27,8 @@ const USAGE: &str = "usage: conformance [OPTIONS]
   --no-chaos          skip the fault-injection (chaos) checks
   --chain-tier-only   run only the chain-tier extraction checks (the
                       solve-once cache gate; skips service and chaos)
+  --energy-only       run only the energy battery (brute-force energy
+                      oracle + Pareto front; skips service and chaos)
   --save-failures DIR write shrunken failing instances as JSON into DIR
   --help              print this help";
 
@@ -54,6 +56,7 @@ fn parse_args(args: &[String]) -> Result<RunnerConfig, String> {
             "--no-service" => cfg.check_service = false,
             "--no-chaos" => cfg.check_chaos = false,
             "--chain-tier-only" => cfg.chain_tier_only = true,
+            "--energy-only" => cfg.energy_only = true,
             "--save-failures" => {
                 cfg.save_failures = Some(PathBuf::from(value("--save-failures")?));
             }
@@ -131,6 +134,14 @@ mod tests {
     fn chain_tier_only_flag_narrows_the_run() {
         let cfg = parse_args(&args(&["--chain-tier-only", "--seeds", "1000"])).unwrap();
         assert!(cfg.chain_tier_only);
+        assert_eq!(cfg.seeds, 1000);
+    }
+
+    #[test]
+    fn energy_only_flag_narrows_the_run() {
+        let cfg = parse_args(&args(&["--energy-only", "--seeds", "1000"])).unwrap();
+        assert!(cfg.energy_only);
+        assert!(!cfg.chain_tier_only);
         assert_eq!(cfg.seeds, 1000);
     }
 

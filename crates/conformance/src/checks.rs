@@ -27,7 +27,7 @@ pub struct Mismatch {
 }
 
 impl Mismatch {
-    fn new(code: &'static str, instance: &Instance, detail: String) -> Self {
+    pub(crate) fn new(code: &'static str, instance: &Instance, detail: String) -> Self {
         Mismatch {
             code,
             instance: instance.summary(),
@@ -823,7 +823,8 @@ pub fn check_parallel(inst: &Instance) -> Vec<Mismatch> {
 }
 
 /// Runs the library-level checks (differential + metamorphic + hot-path +
-/// sweep warm-start + chain-tier + parallel-kernel) on one instance.
+/// sweep warm-start + chain-tier + parallel-kernel + energy) on one
+/// instance.
 #[must_use]
 pub fn check_library(inst: &Instance) -> Vec<Mismatch> {
     let mut out = check_core(inst);
@@ -832,6 +833,7 @@ pub fn check_library(inst: &Instance) -> Vec<Mismatch> {
     out.extend(check_sweep(inst));
     out.extend(check_chain_tier(inst));
     out.extend(check_parallel(inst));
+    out.extend(crate::energy::check_energy(inst));
     out
 }
 

@@ -1,0 +1,442 @@
+//! The energy-conformance battery: a brute-force energy oracle plus
+//! differential and structural checks of the energy-aware strategies.
+//!
+//! The core crate's [`EnergyDp`] rests on a lemma — at a fixed operating
+//! period the *minimal* feasible core count is always energy-optimal for
+//! a stage, which makes total energy separable over HeRAD's DP lattice.
+//! The oracle here deliberately does **not** assume that lemma: it
+//! enumerates every interval decomposition, every core type and every
+//! replication count (not just the minimal one), scoring exact
+//! milliwatts. Agreement between the two is therefore an independent
+//! proof of the lemma on every fuzzed instance, not a restatement of it.
+//!
+//! Mismatch codes:
+//!
+//! * `ENERGY_DIVERGE` — the optimal DP disagrees with the oracle on
+//!   feasibility or on the minimal energy, a greedy strategy reports
+//!   *less* energy than the exhaustive optimum, or the Pareto front
+//!   violates a structural invariant (unsorted, dominated point, wrong
+//!   min-period endpoint);
+//! * `ENERGY_INFEASIBLE` — a strategy returned a schedule that is not
+//!   actually usable: invalid stages, pool overuse, a period above the
+//!   requested target, or a reported energy that does not match an
+//!   independent recomputation.
+
+use crate::checks::Mismatch;
+use crate::instance::Instance;
+use amp_core::sched::{
+    energy_strategies, pareto_front, EnergyDp, EnergyScheduler, Herad, Scheduler,
+};
+use amp_core::{CoreType, MilliPower, PowerModel, Ratio, Resources, Solution, Stage, TaskChain};
+
+/// Exact sum of two finite energies (infinite absorbs). Local because the
+/// core crate keeps its rational adder private: energies are the only
+/// `Ratio`s the workspace ever sums, and each summing site states its own
+/// overflow envelope. Here stage powers have denominators bounded by
+/// `1000 · max_weight · target_numer`, far inside `u128`.
+fn add(a: Ratio, b: Ratio) -> Ratio {
+    if a.is_infinite() || b.is_infinite() {
+        return Ratio::INFINITY;
+    }
+    Ratio::new(
+        a.numer() * b.denom() + b.numer() * a.denom(),
+        a.denom() * b.denom(),
+    )
+}
+
+/// Exhaustive minimal steady-state power (milliwatts) at operating period
+/// `target`, with one witness schedule. `None` when no decomposition
+/// meets the target (or the target itself is degenerate — zero or
+/// infinite, matching the [`EnergyScheduler`] contract).
+///
+/// Unlike the period oracle this enumerates *every* replication count of
+/// every stage, so it would detect a world where over-replicating
+/// (beyond the minimal feasible count) ever paid off — the exact
+/// assumption [`EnergyDp`] builds on. Branch-and-bound on the
+/// accumulated energy keeps the walk tame at conformance sizes.
+#[must_use]
+pub fn energy_oracle(
+    chain: &TaskChain,
+    resources: Resources,
+    power: &MilliPower,
+    target: Ratio,
+) -> Option<(Ratio, Solution)> {
+    if !target.is_finite() || target.is_zero() || chain.is_empty() {
+        return None;
+    }
+    let mut best: Option<(Ratio, Solution)> = None;
+    let mut stages = Vec::new();
+    explore(
+        chain,
+        power,
+        target,
+        0,
+        resources,
+        Ratio::ZERO,
+        &mut stages,
+        &mut best,
+    );
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore(
+    chain: &TaskChain,
+    power: &MilliPower,
+    target: Ratio,
+    start: usize,
+    left: Resources,
+    acc: Ratio,
+    stages: &mut Vec<Stage>,
+    best: &mut Option<(Ratio, Solution)>,
+) {
+    let n = chain.len();
+    if start == n {
+        if best.as_ref().is_none_or(|(be, _)| acc < *be) {
+            *best = Some((acc, Solution::new(stages.clone())));
+        }
+        return;
+    }
+    // Energy only grows along a branch: a prefix at or above the best is
+    // dead.
+    if best.as_ref().is_some_and(|(be, _)| acc >= *be) {
+        return;
+    }
+    for end in start..n {
+        for v in CoreType::BOTH {
+            let rep = chain.is_replicable(start, end);
+            let max_r = if rep { left.of(v) } else { left.of(v).min(1) };
+            for r in 1..=max_r {
+                if chain.stage_weight(start, end, r, v) > target {
+                    continue; // misses the target; more replicas may still fit
+                }
+                let stage = Stage::new(start, end, r, v);
+                let e = add(acc, power.stage_power_mw(chain, &stage, target));
+                stages.push(stage);
+                explore(
+                    chain,
+                    power,
+                    target,
+                    end + 1,
+                    left.minus(v, r),
+                    e,
+                    stages,
+                    best,
+                );
+                stages.pop();
+            }
+        }
+    }
+}
+
+/// Validates one strategy's claimed schedule at `target`: stage validity,
+/// pool budget, the throughput constraint, and the honesty of the
+/// reported energy against an independent recomputation.
+#[allow(clippy::too_many_arguments)]
+fn check_claim(
+    out: &mut Vec<Mismatch>,
+    inst: &Instance,
+    chain: &TaskChain,
+    power: &MilliPower,
+    label: &str,
+    solution: &Solution,
+    reported: Ratio,
+    target: Ratio,
+) -> bool {
+    if let Err(e) = solution.validate(chain) {
+        out.push(Mismatch::new(
+            "ENERGY_INFEASIBLE",
+            inst,
+            format!("{label}: invalid schedule at target {target}: {e}"),
+        ));
+        return false;
+    }
+    let used = solution.used_cores();
+    if used.big > inst.big || used.little > inst.little {
+        out.push(Mismatch::new(
+            "ENERGY_INFEASIBLE",
+            inst,
+            format!(
+                "{label}: uses ({}B, {}L) of ({}B, {}L) at target {target}",
+                used.big, used.little, inst.big, inst.little
+            ),
+        ));
+        return false;
+    }
+    let period = solution.period(chain);
+    if period > target {
+        out.push(Mismatch::new(
+            "ENERGY_INFEASIBLE",
+            inst,
+            format!("{label}: period {period} exceeds the target {target}"),
+        ));
+        return false;
+    }
+    let recomputed = power.solution_power_mw(chain, solution, target);
+    if recomputed != reported {
+        out.push(Mismatch::new(
+            "ENERGY_INFEASIBLE",
+            inst,
+            format!(
+                "{label}: reports {reported} mW but the schedule draws {recomputed} mW at target {target}"
+            ),
+        ));
+        return false;
+    }
+    true
+}
+
+/// The energy battery for one instance.
+///
+/// * [`EnergyDp`] must agree with the oracle on feasibility **and** on
+///   the minimal energy at every probed target (the throughput optimum
+///   `T*`, a mid-range `3/2·T*`, and a relaxed `3·T*`).
+/// * Every energy strategy's claim must be usable and honest (see
+///   [`check_claim`]), and never *cheaper* than the exhaustive optimum.
+/// * On unschedulable pools every strategy and the oracle must agree the
+///   answer is `None`, and the Pareto front must be empty.
+/// * The Pareto front must start at HeRAD's optimal period, ascend
+///   strictly in period, descend strictly in energy, and every point
+///   must be feasible at its own period with an honest energy figure.
+#[must_use]
+pub fn check_energy(inst: &Instance) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let chain = inst.chain();
+    let resources = inst.resources();
+    let model = PowerModel::typical();
+    let power = model.to_milli();
+
+    let Some(t_opt) = Herad::new()
+        .schedule(&chain, resources)
+        .map(|s| s.period(&chain))
+    else {
+        // Unschedulable even with no throughput constraint to speak of: a
+        // generous target (total big work, clamped to ≥ 1) must not
+        // tempt anyone into inventing a schedule.
+        let probe = Ratio::from_int(
+            inst.tasks
+                .iter()
+                .map(|t| t.weight_big.max(t.weight_little))
+                .sum::<u64>()
+                .max(1),
+        );
+        if let Some((e, _)) = energy_oracle(&chain, resources, &power, probe) {
+            out.push(Mismatch::new(
+                "ENERGY_DIVERGE",
+                inst,
+                format!("oracle schedules an unschedulable instance ({e} mW at {probe})"),
+            ));
+        }
+        for s in energy_strategies() {
+            if s.schedule_energy(&chain, resources, &power, probe)
+                .is_some()
+            {
+                out.push(Mismatch::new(
+                    "ENERGY_INFEASIBLE",
+                    inst,
+                    format!("{} invented a schedule on an unschedulable pool", s.name()),
+                ));
+            }
+        }
+        if !pareto_front(&chain, resources, &model).is_empty() {
+            out.push(Mismatch::new(
+                "ENERGY_DIVERGE",
+                inst,
+                "nonempty Pareto front on an unschedulable instance".to_string(),
+            ));
+        }
+        return out;
+    };
+
+    let targets = [
+        t_opt,
+        Ratio::new(t_opt.numer() * 3, t_opt.denom() * 2),
+        Ratio::new(t_opt.numer() * 3, t_opt.denom()),
+    ];
+    for target in targets {
+        let oracle = energy_oracle(&chain, resources, &power, target);
+        let dp = EnergyDp::new().schedule_energy(&chain, resources, &power, target);
+        match (&oracle, &dp) {
+            (None, None) => {}
+            (Some((oe, _)), None) => out.push(Mismatch::new(
+                "ENERGY_DIVERGE",
+                inst,
+                format!("EnergyDP infeasible at {target} where the oracle draws {oe} mW"),
+            )),
+            (None, Some((_, de))) => out.push(Mismatch::new(
+                "ENERGY_DIVERGE",
+                inst,
+                format!("EnergyDP claims {de} mW at {target} on an oracle-infeasible target"),
+            )),
+            (Some((oe, _)), Some((_, de))) => {
+                if de != oe {
+                    out.push(Mismatch::new(
+                        "ENERGY_DIVERGE",
+                        inst,
+                        format!("EnergyDP draws {de} mW at {target}, oracle optimum is {oe} mW"),
+                    ));
+                }
+            }
+        }
+        for s in energy_strategies() {
+            let Some((sol, e)) = s.schedule_energy(&chain, resources, &power, target) else {
+                continue; // greedy incompleteness is allowed; the DP is pinned above
+            };
+            if !check_claim(&mut out, inst, &chain, &power, s.name(), &sol, e, target) {
+                continue;
+            }
+            match &oracle {
+                Some((oe, _)) if e < *oe => out.push(Mismatch::new(
+                    "ENERGY_DIVERGE",
+                    inst,
+                    format!(
+                        "{} draws {e} mW at {target}, below the exhaustive optimum {oe} mW",
+                        s.name()
+                    ),
+                )),
+                // A valid, honest schedule on an oracle-infeasible target
+                // means the oracle's walk is broken, not the strategy.
+                None => out.push(Mismatch::new(
+                    "ENERGY_DIVERGE",
+                    inst,
+                    format!(
+                        "{} found a valid schedule at {target} the oracle missed",
+                        s.name()
+                    ),
+                )),
+                _ => {}
+            }
+        }
+    }
+
+    let front = pareto_front(&chain, resources, &model);
+    if front.is_empty() {
+        out.push(Mismatch::new(
+            "ENERGY_DIVERGE",
+            inst,
+            "empty Pareto front on a schedulable instance".to_string(),
+        ));
+        return out;
+    }
+    if front[0].period != t_opt {
+        out.push(Mismatch::new(
+            "ENERGY_DIVERGE",
+            inst,
+            format!(
+                "front starts at {} instead of the optimal period {t_opt}",
+                front[0].period
+            ),
+        ));
+    }
+    for w in front.windows(2) {
+        if w[0].period >= w[1].period || w[0].energy_mw <= w[1].energy_mw {
+            out.push(Mismatch::new(
+                "ENERGY_DIVERGE",
+                inst,
+                format!(
+                    "front not strictly trading off: ({}, {} mW) then ({}, {} mW)",
+                    w[0].period, w[0].energy_mw, w[1].period, w[1].energy_mw
+                ),
+            ));
+        }
+    }
+    for p in &front {
+        check_claim(
+            &mut out,
+            inst,
+            &chain,
+            &power,
+            "pareto_front",
+            &p.solution,
+            p.energy_mw,
+            p.period,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{instance_for_seed, GenConfig};
+    use crate::instance::TaskDef;
+
+    fn paper_like() -> Instance {
+        Instance::new(
+            "energy-paper-like",
+            vec![
+                TaskDef::new(3, 6, false),
+                TaskDef::new(2, 4, true),
+                TaskDef::new(4, 8, true),
+            ],
+            2,
+            2,
+        )
+    }
+
+    #[test]
+    fn oracle_matches_the_dp_on_the_known_instance() {
+        let inst = paper_like();
+        let chain = inst.chain();
+        let power = MilliPower::typical();
+        let t_opt = Herad::new()
+            .schedule(&chain, inst.resources())
+            .unwrap()
+            .period(&chain);
+        for k in 1..=4u128 {
+            let target = Ratio::new(t_opt.numer() * k, t_opt.denom());
+            let (oe, osol) = energy_oracle(&chain, inst.resources(), &power, target).unwrap();
+            let (_, de) = EnergyDp::new()
+                .schedule_energy(&chain, inst.resources(), &power, target)
+                .unwrap();
+            assert_eq!(oe, de, "target {target}");
+            assert!(osol.validate(&chain).is_ok());
+            assert_eq!(power.solution_power_mw(&chain, &osol, target), oe);
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_degenerate_targets_and_empty_pools() {
+        let inst = paper_like();
+        let chain = inst.chain();
+        let power = MilliPower::typical();
+        assert!(energy_oracle(&chain, inst.resources(), &power, Ratio::ZERO).is_none());
+        assert!(energy_oracle(&chain, inst.resources(), &power, Ratio::INFINITY).is_none());
+        assert!(
+            energy_oracle(&chain, Resources::new(0, 0), &power, Ratio::from_int(100)).is_none()
+        );
+    }
+
+    #[test]
+    fn battery_is_clean_on_the_known_instance() {
+        let found = check_energy(&paper_like());
+        assert!(found.is_empty(), "{found:#?}");
+    }
+
+    #[test]
+    fn battery_is_clean_on_seeded_instances() {
+        let cfg = GenConfig::small();
+        for seed in 0..25 {
+            let inst = instance_for_seed(seed, &cfg);
+            let found = check_energy(&inst);
+            assert!(found.is_empty(), "seed {seed}: {found:#?}");
+        }
+    }
+
+    #[test]
+    fn battery_flags_nothing_on_an_unschedulable_pool() {
+        let inst = Instance::new("no-cores", vec![TaskDef::new(2, 3, true)], 0, 0);
+        let found = check_energy(&inst);
+        assert!(found.is_empty(), "{found:#?}");
+    }
+
+    #[test]
+    fn energy_sums_are_exact() {
+        assert_eq!(
+            add(Ratio::new(1, 3), Ratio::new(1, 6)),
+            Ratio::new(1, 2),
+            "rational sum must normalize"
+        );
+        assert!(add(Ratio::INFINITY, Ratio::ZERO).is_infinite());
+    }
+}

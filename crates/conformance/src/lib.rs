@@ -13,6 +13,10 @@
 //!   tie-break), metamorphic properties of the optimal period, and
 //!   bit-identical equivalence between `amp-service` responses and
 //!   direct library calls;
+//! * [`energy`] — a brute-force *energy* oracle (every interval, core
+//!   type and replication count scored in exact milliwatts) pinning the
+//!   energy-aware strategies and the Pareto front's structural
+//!   invariants;
 //! * [`chaos`] — fault injection against the amp-service engine: a
 //!   deterministic `Scheduler` wrapper injecting panics, delays and
 //!   invalid solutions, with per-instance invariant checks (one response
@@ -31,6 +35,7 @@
 pub mod chaos;
 pub mod checks;
 pub mod corpus;
+pub mod energy;
 pub mod gen;
 pub mod instance;
 pub mod json;
@@ -42,6 +47,7 @@ pub use checks::{
     check_chain_tier, check_core, check_library, check_metamorphic, check_parallel, check_scratch,
     check_service, check_sweep, Mismatch,
 };
+pub use energy::{check_energy, energy_oracle};
 pub use gen::{instance_for_seed, instance_strategy, task_strategy, GenConfig};
 pub use instance::{Instance, TaskDef};
 pub use runner::{run, Report, RunnerConfig};

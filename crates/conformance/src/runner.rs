@@ -33,6 +33,11 @@ pub struct RunnerConfig {
     /// battery — the CI gate uses this to push the solve-once tier
     /// through many more seeds than the full battery could afford.
     pub chain_tier_only: bool,
+    /// Run *only* the energy battery ([`crate::energy::check_energy`])
+    /// instead of the full library battery — the CI gate uses this to
+    /// push the energy oracle through a wide seed window without paying
+    /// for the service/chaos layers on every seed.
+    pub energy_only: bool,
     /// Where to save shrunken failing instances; `None` keeps them
     /// in-memory only.
     pub save_failures: Option<PathBuf>,
@@ -48,6 +53,7 @@ impl Default for RunnerConfig {
             check_service: true,
             check_chaos: true,
             chain_tier_only: false,
+            energy_only: false,
             save_failures: None,
         }
     }
@@ -102,11 +108,14 @@ impl Report {
 /// loaded; check failures are *not* errors — they are reported in the
 /// [`Report`].
 pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corpus::CorpusError> {
-    let engine =
-        (cfg.check_service && !cfg.chain_tier_only).then(|| Engine::start(EngineConfig::default()));
+    let narrowed = cfg.chain_tier_only || cfg.energy_only;
+    let engine = (cfg.check_service && !narrowed).then(|| Engine::start(EngineConfig::default()));
     let check = |inst: &Instance| -> Vec<Mismatch> {
         if cfg.chain_tier_only {
             return checks::check_chain_tier(inst);
+        }
+        if cfg.energy_only {
+            return crate::energy::check_energy(inst);
         }
         let mut found = checks::check_library(inst);
         if let Some(engine) = &engine {
@@ -116,8 +125,7 @@ pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corp
     };
     // The chaotic engine is separate from the clean equivalence engine:
     // injected faults must never contaminate the differential checks.
-    let chaos = (cfg.check_chaos && !cfg.chain_tier_only)
-        .then(|| ChaosHarness::new(ChaosConfig::default()));
+    let chaos = (cfg.check_chaos && !narrowed).then(|| ChaosHarness::new(ChaosConfig::default()));
     let mut report = Report::default();
     let record_failure = |inst: &Instance,
                           mismatches: Vec<Mismatch>,
@@ -267,6 +275,23 @@ mod tests {
         assert_eq!(report.fuzzed, 40);
         assert_eq!(report.corpus_replayed, 0);
         assert!(lines.iter().any(|l| l.contains("40 instances checked")));
+    }
+
+    #[test]
+    fn energy_only_small_run_is_clean() {
+        let cfg = RunnerConfig {
+            seeds: 25,
+            seed_start: 0,
+            gen: GenConfig::small(),
+            corpus_dir: None,
+            check_service: false,
+            check_chaos: false,
+            energy_only: true,
+            ..RunnerConfig::default()
+        };
+        let report = run(&cfg, &mut |_| {}).expect("no corpus I/O");
+        assert!(report.is_clean(), "failures: {:#?}", report.failures);
+        assert_eq!(report.fuzzed, 25);
     }
 
     #[test]

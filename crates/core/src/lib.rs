@@ -49,7 +49,7 @@ pub mod sched;
 pub mod solution;
 
 pub use chain::{Task, TaskChain};
-pub use power::PowerModel;
+pub use power::{milliwatts_to_watts, watts_to_milliwatts, MilliPower, PowerModel};
 pub use ratio::Ratio;
 pub use resources::{CoreType, Resources};
 pub use solution::{period_of, stages_are_valid, used_cores_of, Solution, Stage, ValidationError};

@@ -1,0 +1,258 @@
+//! The energy evaluation the sequel paper adds on top of the base
+//! campaign: period×energy Pareto fronts of paper-shaped synthetic
+//! chains (20 tasks, weights `[1, 100]`, Table I pools, the three
+//! stateless ratios), with how much steady-state power a deployment
+//! saves by operating away from the throughput optimum.
+//!
+//! The run writes a JSON report (default `BENCH_energy.json`) and
+//! **exits non-zero** if any built-in gate trips, so CI can use it as a
+//! regression tripwire at a scale the conformance oracle cannot reach:
+//!
+//! * every front must be non-empty, start at HeRAD's optimal period and
+//!   trade off strictly (ascending period, descending energy);
+//! * relaxing the operating period to twice the optimum must never cost
+//!   energy;
+//! * the median front build must stay under a generous wall-clock bound
+//!   (a catastrophic-regression tripwire, not a benchmark).
+//!
+//! ```text
+//! energy_sweep [--smoke] [--chains N] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the per-cell chain count for CI gating.
+
+use amp_core::sched::{pareto_front, EnergyDp, EnergyScheduler, Herad, Scheduler};
+use amp_core::{PowerModel, Ratio, Resources};
+use amp_workload::{table1_resources, SyntheticConfig, PAPER_STATELESS_RATIOS};
+use std::time::Instant;
+
+const SEED: u64 = 0xE6E; // one RNG stream per cell, offset by cell index
+const FRONT_MEDIAN_BOUND_MS: f64 = 5_000.0;
+
+struct CellReport {
+    pool: Resources,
+    stateless_ratio: f64,
+    chains: usize,
+    front_len_mean: f64,
+    /// Mean % of steady-state power saved by the cheapest operating
+    /// point vs operating at the throughput optimum.
+    savings_pct_mean: f64,
+    /// Mean % saved by merely halving throughput (operating at 2·T*).
+    savings_at_2x_pct_mean: f64,
+    front_build_ms_median: f64,
+    dp_solve_ms_median: f64,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+fn run_cell(
+    pool: Resources,
+    stateless_ratio: f64,
+    chains: usize,
+    cell_index: u64,
+    failures: &mut Vec<String>,
+) -> CellReport {
+    let cfg = SyntheticConfig::paper(stateless_ratio);
+    let model = PowerModel::typical();
+    let power = model.to_milli();
+    let mut front_lens = Vec::new();
+    let mut savings = Vec::new();
+    let mut savings_2x = Vec::new();
+    let mut front_ms = Vec::new();
+    let mut dp_ms = Vec::new();
+    for (i, chain) in cfg
+        .generate_batch(SEED + cell_index, chains)
+        .iter()
+        .enumerate()
+    {
+        let label = format!(
+            "cell ({}B,{}L) sr={stateless_ratio} chain {i}",
+            pool.big, pool.little
+        );
+        let t_opt = Herad::new()
+            .schedule(chain, pool)
+            .expect("paper pools schedule every synthetic chain")
+            .period(chain);
+        let t0 = Instant::now();
+        let front = pareto_front(chain, pool, &model);
+        front_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        if front.is_empty() {
+            failures.push(format!("{label}: empty Pareto front"));
+            continue;
+        }
+        if front[0].period != t_opt {
+            failures.push(format!(
+                "{label}: front starts at {} instead of the optimal period {t_opt}",
+                front[0].period
+            ));
+        }
+        for w in front.windows(2) {
+            if w[0].period >= w[1].period || w[0].energy_mw <= w[1].energy_mw {
+                failures.push(format!("{label}: front is not a strict tradeoff"));
+                break;
+            }
+        }
+        let e_opt = front[0].energy_mw.to_f64();
+        let e_min = front.last().expect("non-empty").energy_mw.to_f64();
+        front_lens.push(front.len() as f64);
+        savings.push((e_opt - e_min) / e_opt * 100.0);
+
+        let relaxed = Ratio::new(t_opt.numer() * 2, t_opt.denom());
+        let t1 = Instant::now();
+        let solved = EnergyDp::new().schedule_energy(chain, pool, &power, relaxed);
+        dp_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+        match solved {
+            Some((_, e_2x)) => {
+                if e_2x > front[0].energy_mw {
+                    failures.push(format!("{label}: relaxing to 2·T* raised the draw"));
+                }
+                savings_2x.push((e_opt - e_2x.to_f64()) / e_opt * 100.0);
+            }
+            None => failures.push(format!("{label}: DP infeasible at 2·T*")),
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    CellReport {
+        pool,
+        stateless_ratio,
+        chains,
+        front_len_mean: mean(&front_lens),
+        savings_pct_mean: mean(&savings),
+        savings_at_2x_pct_mean: mean(&savings_2x),
+        front_build_ms_median: median(&mut front_ms),
+        dp_solve_ms_median: median(&mut dp_ms),
+    }
+}
+
+/// Hand-rolled JSON (the workspace pins no JSON crate for binaries):
+/// stable key order, two-space indent.
+fn render_json(smoke: bool, chains: usize, cells: &[CellReport]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"amp-experiments/energy/v1\",\n");
+    s.push_str(&format!(
+        "  \"config\": {{ \"smoke\": {smoke}, \"chains_per_cell\": {chains}, \"seed\": {SEED}, \"power_model\": \"typical\" }},\n"
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"pool\": {{ \"big\": {}, \"little\": {} }},\n",
+            c.pool.big, c.pool.little
+        ));
+        s.push_str(&format!(
+            "      \"stateless_ratio\": {:.1},\n",
+            c.stateless_ratio
+        ));
+        s.push_str(&format!("      \"chains\": {},\n", c.chains));
+        s.push_str(&format!(
+            "      \"front_len_mean\": {:.2},\n",
+            c.front_len_mean
+        ));
+        s.push_str(&format!(
+            "      \"savings_pct_mean\": {:.2},\n",
+            c.savings_pct_mean
+        ));
+        s.push_str(&format!(
+            "      \"savings_at_2x_pct_mean\": {:.2},\n",
+            c.savings_at_2x_pct_mean
+        ));
+        s.push_str(&format!(
+            "      \"front_build_ms_median\": {:.3},\n",
+            c.front_build_ms_median
+        ));
+        s.push_str(&format!(
+            "      \"dp_solve_ms_median\": {:.3}\n",
+            c.dp_solve_ms_median
+        ));
+        s.push_str(if i + 1 == cells.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut chains: Option<usize> = None;
+    let mut out_path = String::from("BENCH_energy.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--chains" => {
+                chains = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--chains needs a number");
+                    std::process::exit(2);
+                }));
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument: {other}\nusage: energy_sweep [--smoke] [--chains N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let chains = chains.unwrap_or(if smoke { 4 } else { 25 });
+
+    let mut failures = Vec::new();
+    let mut cells = Vec::new();
+    let mut cell_index = 0;
+    for pool in table1_resources() {
+        for sr in PAPER_STATELESS_RATIOS {
+            let report = run_cell(pool, sr, chains, cell_index, &mut failures);
+            eprintln!(
+                "({:>2}B,{:>2}L) sr={:.1}  front {:>5.1} pts  saves {:>5.1}% (at 2xT*: {:>5.1}%)  build {:>8.2} ms",
+                report.pool.big,
+                report.pool.little,
+                report.stateless_ratio,
+                report.front_len_mean,
+                report.savings_pct_mean,
+                report.savings_at_2x_pct_mean,
+                report.front_build_ms_median
+            );
+            cells.push(report);
+            cell_index += 1;
+        }
+    }
+
+    let json = render_json(smoke, chains, &cells);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+
+    let worst_front_ms = cells
+        .iter()
+        .map(|c| c.front_build_ms_median)
+        .fold(0.0f64, f64::max);
+    if worst_front_ms > FRONT_MEDIAN_BOUND_MS {
+        failures.push(format!(
+            "median front build {worst_front_ms:.1} ms exceeds the {FRONT_MEDIAN_BOUND_MS} ms tripwire"
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use amp_core::json::Json;
 use amp_net::{loadgen, proto, LoadConfig, Server, ServerConfig};
-use amp_service::{Policy, ScheduleRequest, TaskSpec};
+use amp_service::{Objective, Policy, ScheduleRequest, TaskSpec};
 
 struct Args {
     addr: Option<SocketAddr>,
@@ -148,6 +148,7 @@ fn drive_sweep(addr: SocketAddr) -> std::io::Result<u64> {
             big_cores,
             little_cores,
             policy: Policy::Strategy("HeRAD".to_string()),
+            objective: Objective::Period,
             deadline_us: None,
         };
         let frame = format!("{}\n", proto::render_request(&request, "public"));

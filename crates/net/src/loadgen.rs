@@ -30,7 +30,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use amp_service::{Policy, ScheduleRequest, TaskSpec};
+use amp_service::{Objective, Policy, ScheduleRequest, TaskSpec};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::proto;
@@ -195,6 +195,7 @@ pub fn instance_pool(cfg: &LoadConfig) -> Vec<ScheduleRequest> {
                 big_cores: rng.gen_range(1..=4u64),
                 little_cores: rng.gen_range(1..=4u64),
                 policy: Policy::Strategy(policies[rng.gen_range(0..policies.len())].to_string()),
+                objective: Objective::Period,
                 deadline_us: None,
             }
         })

@@ -21,6 +21,11 @@
 //! * `policy` — `"portfolio"` (case-insensitive) or a strategy name.
 //! * `tasks` — `[weight_big, weight_little, replicable(0|1)]` triples.
 //! * `deadline_us` — optional portfolio compute deadline.
+//! * `objective` — optional: `"period"` (the default when absent, so
+//!   pre-energy clients keep bit-identical behavior) or `"min_energy"`,
+//!   which additionally requires `target_period` as the exact
+//!   `"num/den"` string. Energy responses carry the served power as the
+//!   integer `energy_mw` (whole milliwatts — no floats on the wire).
 //!
 //! Control frames: `{"op":"status"}` returns the server status
 //! snapshot, `{"op":"ping"}` returns a pong (liveness probes).
@@ -39,7 +44,9 @@ use std::collections::BTreeMap;
 
 use amp_core::json::Json;
 use amp_core::CoreType;
-use amp_service::{Policy, ScheduleOutcome, ScheduleRequest, ScheduleResponse, TaskSpec};
+use amp_service::{
+    Objective, Policy, ScheduleOutcome, ScheduleRequest, ScheduleResponse, TaskSpec,
+};
 
 /// A transport-level rejection, answered without entering the engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -146,6 +153,29 @@ pub fn parse_request(
             )
         }
     };
+    let objective = match fields.get("objective") {
+        None => Objective::Period,
+        Some(Json::Str(s)) if s == "period" => Objective::Period,
+        Some(Json::Str(s)) if s == "min_energy" => match fields.get("target_period") {
+            Some(Json::Str(target)) => Objective::MinEnergy {
+                target_period: target.clone(),
+            },
+            _ => {
+                return fail(
+                    Some(id),
+                    WireError::bad_request(
+                        "objective \"min_energy\" requires string \"target_period\"",
+                    ),
+                )
+            }
+        },
+        Some(_) => {
+            return fail(
+                Some(id),
+                WireError::bad_request("\"objective\" must be \"period\" or \"min_energy\""),
+            )
+        }
+    };
     let policy = match fields.get("policy") {
         Some(Json::Str(s)) if s.eq_ignore_ascii_case("portfolio") => Policy::Portfolio,
         Some(Json::Str(s)) => Policy::Strategy(s.clone()),
@@ -199,6 +229,7 @@ pub fn parse_request(
             big_cores,
             little_cores,
             policy,
+            objective,
             deadline_us,
         },
         tenant,
@@ -224,6 +255,15 @@ pub fn render_request(request: &ScheduleRequest, tenant: &str) -> String {
         Policy::Strategy(name) => name.clone(),
     };
     fields.insert("policy".to_string(), Json::Str(policy));
+    // The default period objective is omitted so legacy frames stay
+    // byte-identical.
+    if let Objective::MinEnergy { target_period } = &request.objective {
+        fields.insert("objective".to_string(), Json::Str("min_energy".to_string()));
+        fields.insert(
+            "target_period".to_string(),
+            Json::Str(target_period.clone()),
+        );
+    }
     fields.insert(
         "tasks".to_string(),
         Json::Arr(
@@ -279,6 +319,11 @@ fn outcome_json(outcome: &ScheduleOutcome) -> Json {
     fields.insert("used_little".to_string(), Json::Int(outcome.used_little));
     fields.insert("cache_hit".to_string(), Json::Bool(outcome.cache_hit));
     fields.insert("complete".to_string(), Json::Bool(outcome.complete));
+    // Present exactly when the request's objective was energy; period
+    // responses stay byte-identical to the pre-energy wire.
+    if let Some(mw) = outcome.energy_milliwatts {
+        fields.insert("energy_mw".to_string(), Json::Int(mw));
+    }
     Json::Obj(fields)
 }
 
@@ -471,5 +516,107 @@ mod tests {
         let parsed = parse_response(&line).expect("parses");
         assert_eq!(parsed.id, None);
         assert_eq!(parsed.result.unwrap_err().0, "FRAME_TOO_LARGE");
+    }
+
+    #[test]
+    fn energy_objective_round_trips_through_the_wire() {
+        let req = request().with_objective(Objective::MinEnergy {
+            target_period: "5/2".to_string(),
+        });
+        let line = render_request(&req, "public");
+        assert!(line.contains("\"objective\":\"min_energy\""));
+        assert!(line.contains("\"target_period\":\"5/2\""));
+        match parse_request(&line, 64).expect("parses") {
+            WireRequest::Schedule { request, .. } => assert_eq!(request, req),
+            other => panic!("expected schedule, got {other:?}"),
+        }
+        // An explicit "period" objective parses to the default.
+        let line = "{\"id\":7,\"policy\":\"HeRAD\",\"big\":2,\"little\":2,\
+                    \"objective\":\"period\",\"tasks\":[[10,25,0]]}";
+        match parse_request(line, 64).expect("parses") {
+            WireRequest::Schedule { request, .. } => {
+                assert_eq!(request.objective, Objective::Period);
+            }
+            other => panic!("expected schedule, got {other:?}"),
+        }
+        // min_energy without a target is a correlatable rejection.
+        let line = "{\"id\":7,\"policy\":\"HeRAD\",\"big\":2,\"little\":2,\
+                    \"objective\":\"min_energy\",\"tasks\":[[10,25,0]]}";
+        let (id, err) = parse_request(line, 64).unwrap_err();
+        assert_eq!((id, err.code), (Some(7), "BAD_REQUEST"));
+        assert!(err.message.contains("target_period"), "{}", err.message);
+        // Unknown objectives are rejected, not silently defaulted.
+        let line = "{\"id\":7,\"policy\":\"HeRAD\",\"big\":2,\"little\":2,\
+                    \"objective\":\"min_carbon\",\"tasks\":[[10,25,0]]}";
+        let (id, err) = parse_request(line, 64).unwrap_err();
+        assert_eq!((id, err.code), (Some(7), "BAD_REQUEST"));
+    }
+
+    /// Backward-compatibility pin: a default-objective request renders
+    /// the exact pre-energy frame (no `objective` key), and a
+    /// default-objective response renders the exact pre-energy payload
+    /// (no `energy_mw` key). Byte-for-byte, so pre-PR clients and
+    /// recorded traffic stay valid.
+    #[test]
+    fn default_objective_frames_are_bit_identical_to_pre_energy_wire() {
+        let chain = TaskChain::new(vec![Task::new(10, 25, false), Task::new(40, 90, true)]);
+        let req = ScheduleRequest::from_chain(
+            3,
+            &chain,
+            Resources::new(2, 1),
+            Policy::Strategy("FERTAC".to_string()),
+        );
+        assert_eq!(
+            render_request(&req, "public"),
+            "{\"big\":2,\"id\":3,\"little\":1,\"policy\":\"FERTAC\",\
+             \"tasks\":[[10,25,0],[40,90,1]]}"
+        );
+        let solution = amp_core::sched::Fertac
+            .schedule(&chain, req.resources())
+            .expect("feasible");
+        let outcome = ScheduleOutcome::from_solution("FERTAC", &solution, &chain, true);
+        let line = render_response(&ScheduleResponse {
+            id: 3,
+            result: Ok(outcome.clone()),
+        });
+        assert!(!line.contains("energy_mw"));
+        assert_eq!(
+            line,
+            format!(
+                "{{\"id\":3,\"ok\":{{\"cache_hit\":false,\"complete\":true,\
+                 \"decomposition\":\"{}\",\"period\":\"{}\",\"stages\":{},\
+                 \"strategy\":\"FERTAC\",\"used_big\":{},\"used_little\":{}}}}}",
+                outcome.decomposition,
+                outcome.period,
+                Json::Arr(
+                    outcome
+                        .stages
+                        .iter()
+                        .map(|s| Json::Arr(vec![
+                            Json::Int(s.start as u64),
+                            Json::Int(s.end as u64),
+                            Json::Int(s.cores),
+                            Json::Str(
+                                match s.core_type {
+                                    CoreType::Big => "B",
+                                    CoreType::Little => "L",
+                                }
+                                .to_string()
+                            ),
+                        ]))
+                        .collect()
+                )
+                .render_compact(),
+                outcome.used_big,
+                outcome.used_little,
+            )
+        );
+        // The energy figure appears if and only if the outcome carries one.
+        let energized = outcome.with_energy_milliwatts(4321);
+        let line = render_response(&ScheduleResponse {
+            id: 3,
+            result: Ok(energized),
+        });
+        assert!(line.contains("\"energy_mw\":4321"));
     }
 }

@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use amp_core::json::Json;
 use amp_net::{QuotaConfig, Server, ServerConfig};
-use amp_service::{EngineConfig, Policy, ScheduleRequest, TaskSpec};
+use amp_service::{EngineConfig, Objective, Policy, ScheduleRequest, TaskSpec};
 
 fn small_server_config() -> ServerConfig {
     ServerConfig {
@@ -53,6 +53,7 @@ fn request(id: u64, spread: u64) -> ScheduleRequest {
         big_cores: 2,
         little_cores: 2,
         policy: Policy::Strategy("FERTAC".to_string()),
+        objective: Objective::Period,
         deadline_us: None,
     }
 }
@@ -369,6 +370,81 @@ fn status_frame_exposes_fleet_and_per_shard_cache_counters() {
             "each shard exposes its own cache hit/miss counters"
         );
     }
+
+    drop(stream);
+    server.shutdown();
+}
+
+/// The energy objective over the socket, against the real sharded fleet:
+/// a period entry warmed for a chain must not answer the energy request
+/// for the same chain and pool (the cache keys on the objective), the
+/// energy response carries the integer `energy_mw`, its repeat is a
+/// cache hit that still carries it, and period responses never grow the
+/// field.
+#[test]
+fn energy_objective_is_cache_separated_over_the_socket() {
+    let server = Server::start(small_server_config()).expect("server");
+    let (mut stream, mut reader) = connect(&server);
+
+    let energy_mw_of = |payload: &Json| -> Option<u64> {
+        payload.as_obj().and_then(|o| o.get("energy_mw")?.as_int())
+    };
+    let cache_hit_of = |payload: &Json| -> bool {
+        payload
+            .as_obj()
+            .and_then(|o| o.get("cache_hit"))
+            .map(|v| matches!(v, Json::Bool(true)))
+            .unwrap_or(false)
+    };
+
+    // Warm a period entry for the chain.
+    send_line(
+        &mut stream,
+        &amp_net::proto::render_request(&request(1, 0), "public"),
+    );
+    let (_, result) = read_response(&mut reader);
+    let payload = result.expect("period request is feasible");
+    assert_eq!(energy_mw_of(&payload), None, "period frames have no energy");
+
+    // The same chain and pool under min_energy: a fresh solve with the
+    // energy figure, not the period cache entry.
+    let energy_request = |id: u64| {
+        let mut req = request(id, 0).with_objective(Objective::MinEnergy {
+            target_period: "100/1".to_string(),
+        });
+        req.policy = Policy::Strategy("EnergyDP".to_string());
+        req
+    };
+    send_line(
+        &mut stream,
+        &amp_net::proto::render_request(&energy_request(2), "public"),
+    );
+    let (id, result) = read_response(&mut reader);
+    assert_eq!(id, Some(2));
+    let payload = result.expect("energy request is feasible");
+    assert!(!cache_hit_of(&payload), "the period entry must not answer");
+    let served = energy_mw_of(&payload).expect("energy_mw present");
+    assert!(served > 0);
+
+    // The identical energy request hits its own entry — figure intact.
+    send_line(
+        &mut stream,
+        &amp_net::proto::render_request(&energy_request(3), "public"),
+    );
+    let (_, result) = read_response(&mut reader);
+    let payload = result.expect("feasible");
+    assert!(cache_hit_of(&payload), "the energy repeat must hit");
+    assert_eq!(energy_mw_of(&payload), Some(served));
+
+    // And the period repeat still hits its own entry, energy-free.
+    send_line(
+        &mut stream,
+        &amp_net::proto::render_request(&request(4, 0), "public"),
+    );
+    let (_, result) = read_response(&mut reader);
+    let payload = result.expect("feasible");
+    assert!(cache_hit_of(&payload));
+    assert_eq!(energy_mw_of(&payload), None);
 
     drop(stream);
     server.shutdown();

@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::request::{Policy, ScheduleOutcome, ScheduleRequest, TaskSpec};
+use crate::request::{Objective, Policy, ScheduleOutcome, ScheduleRequest, TaskSpec};
 
 /// Canonical key material of a scheduling instance.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -36,6 +36,10 @@ pub struct CacheKey {
     pub little_cores: u64,
     /// Strategy policy (distinct policies may produce distinct winners).
     pub policy: Policy,
+    /// Optimization objective. A period-optimal entry must never answer
+    /// an energy request (or vice versa), so the objective — including
+    /// the exact energy target — is full key material.
+    pub objective: Objective,
 }
 
 impl CacheKey {
@@ -49,6 +53,7 @@ impl CacheKey {
             big_cores: req.big_cores,
             little_cores: req.little_cores,
             policy: req.policy.clone(),
+            objective: req.objective.clone(),
         }
     }
 
@@ -97,6 +102,15 @@ impl CacheKey {
                 eat(&[1]);
                 eat(name.as_bytes());
             }
+        }
+        // The default period objective eats no bytes, keeping every
+        // pre-energy fingerprint (and thus shard routing and snapshots)
+        // exactly as it was; the energy objective appends a tag plus its
+        // canonical target string. Full-key equality still separates the
+        // objectives even if the fingerprints were ever to collide.
+        if let Objective::MinEnergy { target_period } = &self.objective {
+            eat(&[2]);
+            eat(target_period.as_bytes());
         }
         h
     }
@@ -268,6 +282,7 @@ mod tests {
             big_cores: 2,
             little_cores: 2,
             policy: Policy::Portfolio,
+            objective: Objective::Period,
         }
     }
 
@@ -282,6 +297,7 @@ mod tests {
             used_little: 0,
             cache_hit: false,
             complete: true,
+            energy_milliwatts: None,
         }
     }
 
@@ -375,6 +391,37 @@ mod tests {
         cache.insert(key(1), outcome("a"));
         assert!(cache.get(&key(1)).is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn objective_is_part_of_the_key() {
+        let cache = SolutionCache::new(8, 1);
+        let k_period = key(4);
+        let mut k_energy = key(4);
+        k_energy.objective = Objective::MinEnergy {
+            target_period: "5/2".to_string(),
+        };
+        let mut k_energy_other = k_energy.clone();
+        k_energy_other.objective = Objective::MinEnergy {
+            target_period: "3/1".to_string(),
+        };
+        // Distinct objectives — and distinct energy targets — never alias.
+        assert_ne!(k_period.fingerprint(), k_energy.fingerprint());
+        assert_ne!(k_energy.fingerprint(), k_energy_other.fingerprint());
+        cache.insert(k_period.clone(), outcome("HeRAD"));
+        assert!(
+            cache.get(&k_energy).is_none(),
+            "a period-optimal entry answered an energy request"
+        );
+        assert!(cache.get(&k_energy_other).is_none());
+        assert!(cache.get(&k_period).is_some());
+        // The period objective's fingerprint bytes are unchanged from the
+        // pre-energy encoding (snapshot/routing stability): hashing the
+        // same material without the field would give the same value.
+        assert_eq!(k_period.fingerprint(), {
+            let k = key(4);
+            k.fingerprint()
+        });
     }
 
     #[test]

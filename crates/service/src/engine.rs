@@ -67,8 +67,11 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use amp_core::sched::batch::schedule_many_with;
-use amp_core::sched::{strategy_by_name, SchedScratch};
-use amp_core::{Resources, Solution, TaskChain};
+use amp_core::sched::{
+    energy_strategy_by_name, strategy_by_name, EnergyDp, EnergyFertac, EnergyScheduler,
+    EnergyTwocatac, SchedScratch,
+};
+use amp_core::{MilliPower, Ratio, Resources, Solution, TaskChain};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 
@@ -747,6 +750,13 @@ fn run_batch(
             respond(reply, request.id, Ok(hit), accepted_at, metrics);
             continue;
         }
+        // Energy-objective members take the sequential single-request
+        // path: their strategy names live in a separate registry and the
+        // batched kernel only speaks the period trait.
+        if !request.objective.is_period() {
+            solos.push(request);
+            continue;
+        }
         match &request.policy {
             Policy::Strategy(name) => match strategy_by_name(name) {
                 // Tier-eligible members run through the sequential
@@ -924,6 +934,21 @@ fn handle(
             )))
         }
     };
+    if !request.objective.is_period() {
+        let outcome = solve_energy(
+            request,
+            &chain,
+            resources,
+            metrics,
+            portfolio_cfg,
+            scratch,
+            &vet,
+        )?;
+        if outcome.complete {
+            cache.insert(key, outcome.clone());
+        }
+        return Ok(outcome);
+    }
     let outcome = match &request.policy {
         Policy::Strategy(name) => {
             let strategy = strategy_by_name(name)
@@ -970,6 +995,105 @@ fn handle(
         cache.insert(key, outcome.clone());
     }
     Ok(outcome)
+}
+
+/// Serves one energy-objective request: minimize steady-state power
+/// subject to the pipeline meeting the request's target period.
+///
+/// The power model is the service-wide [`MilliPower::typical`] figures
+/// (integer milliwatts, so the exact arithmetic and the wire stay
+/// float-free). `Policy::Strategy` resolves against the energy registry
+/// ([`energy_strategy_by_name`]); `Policy::Portfolio` runs an anytime
+/// ladder inline on the worker — greedy `EnergyFERTAC` first (always
+/// finishes), then the budgeted `Energy2CATAC`, then the exact
+/// `EnergyDP` — checking the deadline between members. The outcome is
+/// `complete` (and therefore cacheable) only when the exact DP ran, so
+/// a deadline-truncated answer is never replayed as minimal.
+fn solve_energy(
+    request: &ScheduleRequest,
+    chain: &TaskChain,
+    resources: Resources,
+    metrics: &ServiceMetrics,
+    portfolio_cfg: &PortfolioConfig,
+    scratch: &mut SchedScratch,
+    vet: &dyn Fn(&str, &Solution) -> Result<(), ServiceError>,
+) -> Result<ScheduleOutcome, ServiceError> {
+    let target = request
+        .objective
+        .energy_target()
+        .ok_or(ServiceError::InvalidObjective)?;
+    let power = MilliPower::typical();
+    let (name, solution, complete) = match &request.policy {
+        Policy::Strategy(name) => {
+            let strategy = energy_strategy_by_name(name)
+                .ok_or_else(|| ServiceError::UnknownStrategy { name: name.clone() })?;
+            let mut solution = Solution::empty();
+            strategy
+                .schedule_energy_into(chain, resources, &power, target, scratch, &mut solution)
+                .ok_or(ServiceError::Infeasible)?;
+            (strategy.name(), solution, true)
+        }
+        Policy::Portfolio => {
+            let deadline = request
+                .deadline_us
+                .map(|us| Instant::now() + Duration::from_micros(us));
+            let members: [Box<dyn EnergyScheduler>; 3] = [
+                Box::new(EnergyFertac),
+                Box::new(EnergyTwocatac::with_node_budget(
+                    portfolio_cfg.twocatac_node_budget,
+                )),
+                Box::new(EnergyDp::new()),
+            ];
+            let last = members.len() - 1;
+            let mut best: Option<(&'static str, Solution, Ratio)> = None;
+            let mut complete = false;
+            for (i, member) in members.iter().enumerate() {
+                // The greedy first member always runs, so an expired
+                // deadline still yields a valid schedule; later members
+                // only start while time remains.
+                if i > 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+                    break;
+                }
+                let mut solution = Solution::empty();
+                if let Some(energy) = member.schedule_energy_into(
+                    chain,
+                    resources,
+                    &power,
+                    target,
+                    scratch,
+                    &mut solution,
+                ) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|&(_, _, incumbent)| energy < incumbent)
+                    {
+                        best = Some((member.name(), solution, energy));
+                    }
+                }
+                if i == last {
+                    complete = true;
+                }
+            }
+            metrics.record_portfolio(complete);
+            let (name, solution, _) = best.ok_or(ServiceError::Infeasible)?;
+            (name, solution, complete)
+        }
+    };
+    vet(name, &solution)?;
+    // Defense in depth beyond structural soundness: an energy answer
+    // must actually honor the throughput constraint it was solved under.
+    if solution.period(chain) > target {
+        metrics.record_invalid_solution();
+        return Err(ServiceError::Internal(format!(
+            "energy strategy {name} missed the target period; refusing to serve or cache it"
+        )));
+    }
+    let energy_mw = power.solution_power_milliwatts(chain, &solution, target);
+    metrics.record_energy(energy_mw);
+    Ok(
+        ScheduleOutcome::from_solution(name, &solution, chain, complete)
+            .with_energy_milliwatts(energy_mw),
+    )
 }
 
 #[cfg(test)]
@@ -1644,5 +1768,214 @@ mod tests {
         assert!(sour.schedule_blocking(req).result.is_ok());
         assert_eq!(sour.tier_stats().cold_solves, 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    use crate::request::Objective;
+    use amp_core::sched::{EnergyDp, EnergyScheduler};
+    use amp_core::{MilliPower, Ratio};
+
+    /// A generous target every strategy can meet on `chain()` × (2,2).
+    fn energy_objective() -> Objective {
+        Objective::min_energy(Ratio::from_int(200))
+    }
+
+    #[test]
+    fn energy_request_reports_milliwatts_and_matches_the_dp() {
+        let e = engine(2);
+        let c = chain();
+        let req = ScheduleRequest::from_chain(
+            1,
+            &c,
+            Resources::new(2, 2),
+            Policy::Strategy("EnergyDP".to_string()),
+        )
+        .with_objective(energy_objective());
+        let out = e.schedule_blocking(req).result.expect("feasible");
+        assert_eq!(out.strategy, "EnergyDP");
+        assert!(out.complete);
+        let target = Ratio::from_int(200);
+        let solution = out.solution();
+        assert!(solution.period(&c) <= target);
+        // The served figure is the engine's own model evaluated on the
+        // served stages — and the DP run inside the engine matches a
+        // direct solve.
+        let power = MilliPower::typical();
+        let served = out.energy_milliwatts.expect("energy figure present");
+        assert_eq!(
+            served,
+            power.solution_power_milliwatts(&c, &solution, target)
+        );
+        let (direct, _) = EnergyDp::new()
+            .schedule_energy(&c, Resources::new(2, 2), &power, target)
+            .expect("feasible");
+        assert_eq!(power.solution_power_milliwatts(&c, &direct, target), served);
+        let m = e.metrics();
+        assert_eq!(m.energy_requests, 1);
+        assert_eq!(m.energy_milliwatts_served, served);
+        e.shutdown();
+    }
+
+    #[test]
+    fn energy_portfolio_is_complete_and_minimal() {
+        let e = engine(2);
+        let c = chain();
+        let req = ScheduleRequest::from_chain(1, &c, Resources::new(2, 2), Policy::Portfolio)
+            .with_objective(energy_objective());
+        let out = e.schedule_blocking(req).result.expect("feasible");
+        assert!(out.complete, "the exact DP member must certify the run");
+        let power = MilliPower::typical();
+        let target = Ratio::from_int(200);
+        let (_, optimal) = EnergyDp::new()
+            .schedule_energy(&c, Resources::new(2, 2), &power, target)
+            .expect("feasible");
+        let served = power.solution_power_mw(&c, &out.solution(), target);
+        assert_eq!(
+            served, optimal,
+            "portfolio winner must match the DP optimum"
+        );
+        e.shutdown();
+    }
+
+    /// The cache-correctness satellite: objective is key material, so a
+    /// period entry never answers an energy request (or vice versa), and
+    /// distinct energy targets get distinct entries — while repeats of
+    /// the same energy request do hit.
+    #[test]
+    fn cache_separates_objectives_and_targets() {
+        let e = engine(2);
+        let c = chain();
+        let res = Resources::new(2, 2);
+        // Warm a period entry through the chain tier (HeRAD) and a
+        // plain one (FERTAC).
+        for (id, strat) in [(1, "HeRAD"), (2, "FERTAC")] {
+            let req = ScheduleRequest::from_chain(id, &c, res, Policy::Strategy(strat.to_string()));
+            assert!(!e.schedule_blocking(req).result.expect("ok").cache_hit);
+        }
+        // Same chain and pool under the energy objective: a fresh solve,
+        // never the period entry.
+        let energy_req =
+            ScheduleRequest::from_chain(3, &c, res, Policy::Strategy("EnergyDP".to_string()))
+                .with_objective(energy_objective());
+        let first = e.schedule_blocking(energy_req.clone()).result.expect("ok");
+        assert!(!first.cache_hit, "period entries must not answer energy");
+        assert!(first.energy_milliwatts.is_some());
+        // The repeat hits, and the hit still carries the energy figure.
+        let second = e
+            .schedule_blocking(ScheduleRequest {
+                id: 4,
+                ..energy_req.clone()
+            })
+            .result
+            .expect("ok");
+        assert!(second.cache_hit);
+        assert_eq!(second.energy_milliwatts, first.energy_milliwatts);
+        // A different target is a different instance.
+        let relaxed = e
+            .schedule_blocking(
+                ScheduleRequest {
+                    id: 5,
+                    ..energy_req
+                }
+                .with_objective(Objective::min_energy(Ratio::from_int(400))),
+            )
+            .result
+            .expect("ok");
+        assert!(!relaxed.cache_hit, "targets must not share cache entries");
+        // And the period path still hits its own entry, without energy.
+        let period_again = e
+            .schedule_blocking(ScheduleRequest::from_chain(
+                6,
+                &c,
+                res,
+                Policy::Strategy("FERTAC".to_string()),
+            ))
+            .result
+            .expect("ok");
+        assert!(period_again.cache_hit);
+        assert_eq!(period_again.energy_milliwatts, None);
+        e.shutdown();
+    }
+
+    #[test]
+    fn energy_requests_reject_bad_targets_and_unknown_strategies() {
+        let e = engine(2);
+        let c = chain();
+        // A malformed target is a typed InvalidObjective.
+        for bad in ["nonsense", "inf", "0/1", "3/0"] {
+            let req = ScheduleRequest::from_chain(
+                1,
+                &c,
+                Resources::new(2, 2),
+                Policy::Strategy("EnergyDP".to_string()),
+            )
+            .with_objective(Objective::MinEnergy {
+                target_period: bad.to_string(),
+            });
+            assert_eq!(
+                e.schedule_blocking(req).result.unwrap_err(),
+                ServiceError::InvalidObjective,
+                "target {bad:?}"
+            );
+        }
+        // Period strategy names do not resolve under the energy
+        // objective (and vice versa the registries stay separate).
+        let req = ScheduleRequest::from_chain(
+            2,
+            &c,
+            Resources::new(2, 2),
+            Policy::Strategy("HeRAD".to_string()),
+        )
+        .with_objective(energy_objective());
+        assert_eq!(
+            e.schedule_blocking(req).result.unwrap_err(),
+            ServiceError::UnknownStrategy {
+                name: "HeRAD".to_string()
+            }
+        );
+        // An unmeetable target is Infeasible, not an internal error.
+        let req = ScheduleRequest::from_chain(
+            3,
+            &c,
+            Resources::new(2, 2),
+            Policy::Strategy("EnergyDP".to_string()),
+        )
+        .with_objective(Objective::min_energy(Ratio::new(1, 1000)));
+        assert_eq!(
+            e.schedule_blocking(req).result.unwrap_err(),
+            ServiceError::Infeasible
+        );
+        e.shutdown();
+    }
+
+    /// Batched energy members route through the sequential path and
+    /// answer exactly once each, alongside period members.
+    #[test]
+    fn batches_mix_energy_and_period_members() {
+        let e = engine(2);
+        let c = chain();
+        let res = Resources::new(2, 2);
+        let requests = vec![
+            ScheduleRequest::from_chain(0, &c, res, Policy::Strategy("FERTAC".to_string())),
+            ScheduleRequest::from_chain(1, &c, res, Policy::Strategy("EnergyDP".to_string()))
+                .with_objective(energy_objective()),
+            ScheduleRequest::from_chain(2, &c, res, Policy::Portfolio)
+                .with_objective(energy_objective()),
+            ScheduleRequest::from_chain(3, &c, res, Policy::Strategy("HeRAD".to_string())),
+        ];
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(e.try_submit_batch(requests, tx).expect("accepted"), 4);
+        let mut outcomes: Vec<(u64, ScheduleOutcome)> = (0..4)
+            .map(|_| {
+                let resp = rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+                (resp.id, resp.result.expect("feasible"))
+            })
+            .collect();
+        outcomes.sort_by_key(|(id, _)| *id);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes[1].1.energy_milliwatts.is_some());
+        assert!(outcomes[2].1.energy_milliwatts.is_some());
+        assert_eq!(outcomes[0].1.energy_milliwatts, None);
+        assert_eq!(outcomes[3].1.energy_milliwatts, None);
+        e.shutdown();
     }
 }

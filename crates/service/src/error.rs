@@ -33,6 +33,10 @@ pub enum ServiceError {
     /// could never be answered; it refuses up front instead of
     /// deadlocking.
     NoWorkers,
+    /// The request's objective could not be interpreted — e.g. an energy
+    /// objective whose target period string is malformed, zero or
+    /// infinite (no finite throughput constraint to optimize under).
+    InvalidObjective,
     /// An internal invariant was violated (a worker panicked, a channel
     /// closed unexpectedly, ...). Carries a diagnostic message.
     Internal(String),
@@ -50,6 +54,7 @@ impl ServiceError {
             ServiceError::Overloaded => "OVERLOADED",
             ServiceError::ShuttingDown => "SHUTTING_DOWN",
             ServiceError::NoWorkers => "NO_WORKERS",
+            ServiceError::InvalidObjective => "INVALID_OBJECTIVE",
             ServiceError::Internal(_) => "INTERNAL",
         }
     }
@@ -76,6 +81,12 @@ impl std::fmt::Display for ServiceError {
                     "engine has no workers; a blocking call would never return"
                 )
             }
+            ServiceError::InvalidObjective => {
+                write!(
+                    f,
+                    "objective is malformed (energy target must be a finite nonzero period)"
+                )
+            }
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -99,6 +110,7 @@ mod tests {
             ServiceError::Overloaded,
             ServiceError::ShuttingDown,
             ServiceError::NoWorkers,
+            ServiceError::InvalidObjective,
             ServiceError::Internal("boom".to_string()),
         ];
         let codes: Vec<&str> = all.iter().map(ServiceError::code).collect();
@@ -112,6 +124,7 @@ mod tests {
                 "OVERLOADED",
                 "SHUTTING_DOWN",
                 "NO_WORKERS",
+                "INVALID_OBJECTIVE",
                 "INTERNAL"
             ]
         );

@@ -77,6 +77,7 @@ pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use portfolio::{PortfolioConfig, PortfolioOutcome};
 pub use racer::{solution_is_sound, RacerPool, RacerPoolStats, StrategyWrap};
 pub use request::{
-    format_period, Policy, ScheduleOutcome, ScheduleRequest, ScheduleResponse, TaskSpec,
+    format_period, parse_period, Objective, Policy, ScheduleOutcome, ScheduleRequest,
+    ScheduleResponse, TaskSpec,
 };
 pub use shards::{BatchSubmission, EngineShards};

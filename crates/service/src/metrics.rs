@@ -35,6 +35,12 @@ pub struct ServiceMetrics {
     worker_panics: AtomicU64,
     /// Solutions rejected by the engine's validate-before-cache vet.
     invalid_solutions: AtomicU64,
+    /// Energy-objective requests served with a solution.
+    energy_requests: AtomicU64,
+    /// Sum of the steady-state power figures served on those responses,
+    /// in milliwatts (integer, like the wire; a cumulative total that
+    /// dashboards divide by `energy_requests` for a mean draw).
+    energy_milliwatts_served: AtomicU64,
     /// Worker threads currently in their serve loop.
     workers_alive: AtomicU64,
     /// Worker/racer threads the engine failed to spawn (pool degraded).
@@ -59,6 +65,8 @@ impl ServiceMetrics {
             portfolio_truncated: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             invalid_solutions: AtomicU64::new(0),
+            energy_requests: AtomicU64::new(0),
+            energy_milliwatts_served: AtomicU64::new(0),
             workers_alive: AtomicU64::new(0),
             spawn_failures: AtomicU64::new(0),
             threads_spawned: AtomicU64::new(0),
@@ -118,6 +126,14 @@ impl ServiceMetrics {
         self.invalid_solutions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts an energy-objective request served with a solution drawing
+    /// `milliwatts` of steady-state power.
+    pub fn record_energy(&self, milliwatts: u64) {
+        self.energy_requests.fetch_add(1, Ordering::Relaxed);
+        self.energy_milliwatts_served
+            .fetch_add(milliwatts, Ordering::Relaxed);
+    }
+
     /// Marks one worker as entering its serve loop.
     pub fn record_worker_started(&self) {
         self.workers_alive.fetch_add(1, Ordering::Relaxed);
@@ -155,6 +171,8 @@ impl ServiceMetrics {
             portfolio_truncated: self.portfolio_truncated.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             invalid_solutions: self.invalid_solutions.load(Ordering::Relaxed),
+            energy_requests: self.energy_requests.load(Ordering::Relaxed),
+            energy_milliwatts_served: self.energy_milliwatts_served.load(Ordering::Relaxed),
             workers_alive: self.workers_alive.load(Ordering::Relaxed),
             spawn_failures: self.spawn_failures.load(Ordering::Relaxed),
             threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
@@ -192,6 +210,11 @@ pub struct MetricsSnapshot {
     pub worker_panics: u64,
     /// Solutions refused by the validate-before-cache vet.
     pub invalid_solutions: u64,
+    /// Energy-objective requests served with a solution.
+    pub energy_requests: u64,
+    /// Cumulative steady-state power served on those responses, in
+    /// integer milliwatts.
+    pub energy_milliwatts_served: u64,
     /// Worker threads currently serving.
     pub workers_alive: u64,
     /// Failed thread spawns (worker or racer pool degraded).
@@ -229,6 +252,8 @@ impl MetricsSnapshot {
         self.portfolio_truncated += other.portfolio_truncated;
         self.worker_panics += other.worker_panics;
         self.invalid_solutions += other.invalid_solutions;
+        self.energy_requests += other.energy_requests;
+        self.energy_milliwatts_served += other.energy_milliwatts_served;
         self.workers_alive += other.workers_alive;
         self.spawn_failures += other.spawn_failures;
         self.threads_spawned += other.threads_spawned;
@@ -289,6 +314,12 @@ impl MetricsSnapshot {
         field(&mut s, "racer_panics", self.racer_panics);
         field(&mut s, "racer_invalid", self.racer_invalid);
         field(&mut s, "racer_cancelled", self.racer_cancelled);
+        field(&mut s, "energy_requests", self.energy_requests);
+        field(
+            &mut s,
+            "energy_milliwatts_served",
+            self.energy_milliwatts_served,
+        );
         field(&mut s, "latency_p50_ns", self.latency_quantile_ns(0.50));
         field(&mut s, "latency_p90_ns", self.latency_quantile_ns(0.90));
         field(&mut s, "latency_p99_ns", self.latency_quantile_ns(0.99));

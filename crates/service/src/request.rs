@@ -51,6 +51,53 @@ pub enum Policy {
     Portfolio,
 }
 
+/// What a request optimizes. Defaults to [`Objective::Period`] — the
+/// base paper's objective — so pre-energy clients (which never send the
+/// field) keep their exact semantics and bit-identical responses.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Objective {
+    /// Minimize the pipeline period (the base paper).
+    #[default]
+    Period,
+    /// Minimize steady-state energy subject to the pipeline meeting
+    /// `target_period` (the sequel paper). The target is carried as the
+    /// canonical exact `"num/den"` string — the same encoding as the
+    /// period on the wire — so the objective hashes/compares exactly and
+    /// no float ever enters a cache key.
+    MinEnergy {
+        /// Target operating period as a canonical `"num/den"` string.
+        target_period: String,
+    },
+}
+
+impl Objective {
+    /// Builds the energy objective from an exact target period.
+    #[must_use]
+    pub fn min_energy(target: Ratio) -> Self {
+        Objective::MinEnergy {
+            target_period: format_period(target),
+        }
+    }
+
+    /// `true` for the default period objective.
+    #[must_use]
+    pub fn is_period(&self) -> bool {
+        matches!(self, Objective::Period)
+    }
+
+    /// The parsed energy target, if this is the energy objective and the
+    /// carried string is a well-formed finite nonzero period.
+    #[must_use]
+    pub fn energy_target(&self) -> Option<Ratio> {
+        match self {
+            Objective::Period => None,
+            Objective::MinEnergy { target_period } => {
+                parse_period(target_period).filter(|t| t.is_finite() && !t.is_zero())
+            }
+        }
+    }
+}
+
 /// A scheduling request: a task chain, a resource pool, a policy and an
 /// optional compute deadline.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,6 +112,8 @@ pub struct ScheduleRequest {
     pub little_cores: u64,
     /// Strategy selection policy.
     pub policy: Policy,
+    /// What to optimize; [`Objective::Period`] unless the client opts in.
+    pub objective: Objective,
     /// Optional deadline, in microseconds, for the *compute* phase.
     /// `None` means wait for every portfolio member. Only the portfolio
     /// is deadline-bounded; single strategies always run to completion.
@@ -81,6 +130,7 @@ impl ScheduleRequest {
             big_cores: resources.big,
             little_cores: resources.little,
             policy,
+            objective: Objective::Period,
             deadline_us: None,
         }
     }
@@ -89,6 +139,13 @@ impl ScheduleRequest {
     #[must_use]
     pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
         self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Sets the objective (builder style).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
         self
     }
 
@@ -117,6 +174,30 @@ pub fn format_period(period: Ratio) -> String {
     }
 }
 
+/// Parses the canonical exact period string back into a [`Ratio`]:
+/// `"num/den"` (decimal, no signs or spaces) or `"inf"`. Returns `None`
+/// for anything else — wire handlers turn that into a typed error rather
+/// than guessing.
+#[must_use]
+pub fn parse_period(s: &str) -> Option<Ratio> {
+    if s == "inf" {
+        return Some(Ratio::INFINITY);
+    }
+    let (num, den) = s.split_once('/')?;
+    if num.is_empty() || den.is_empty() {
+        return None;
+    }
+    if !num.bytes().all(|b| b.is_ascii_digit()) || !den.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let num: u128 = num.parse().ok()?;
+    let den: u128 = den.parse().ok()?;
+    if den == 0 {
+        return None; // "n/0" is not the canonical infinity spelling
+    }
+    Some(Ratio::new(num, den))
+}
+
 /// A successful scheduling result.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleOutcome {
@@ -140,6 +221,11 @@ pub struct ScheduleOutcome {
     /// (always `true` for single-strategy requests). Incomplete outcomes
     /// are valid but possibly improvable, and are never cached.
     pub complete: bool,
+    /// Steady-state power of the solution at the requested target period,
+    /// rounded to whole milliwatts — present exactly when the request's
+    /// objective was [`Objective::MinEnergy`]. Integer so the wire stays
+    /// float-free.
+    pub energy_milliwatts: Option<u64>,
 }
 
 impl ScheduleOutcome {
@@ -163,7 +249,15 @@ impl ScheduleOutcome {
             used_little: used.little,
             cache_hit: false,
             complete,
+            energy_milliwatts: None,
         }
+    }
+
+    /// Attaches the served energy figure (builder style).
+    #[must_use]
+    pub fn with_energy_milliwatts(mut self, energy_mw: u64) -> Self {
+        self.energy_milliwatts = Some(energy_mw);
+        self
     }
 
     /// The stages as a core-domain [`Solution`] (for validation).
@@ -214,6 +308,43 @@ mod tests {
         assert_eq!(format_period(Ratio::new(10, 4)), "5/2");
         assert_eq!(format_period(Ratio::from_int(7)), "7/1");
         assert_eq!(format_period(Ratio::new_raw(1, 0)), "inf");
+    }
+
+    #[test]
+    fn parse_period_round_trips_canonical_strings() {
+        for r in [Ratio::new(5, 2), Ratio::from_int(7), Ratio::new(1, 1000)] {
+            assert_eq!(parse_period(&format_period(r)), Some(r));
+        }
+        assert_eq!(parse_period("inf"), Some(Ratio::INFINITY));
+        // Non-canonical but well-formed fractions normalize on parse.
+        assert_eq!(parse_period("10/4"), Some(Ratio::new(5, 2)));
+    }
+
+    #[test]
+    fn parse_period_rejects_malformed_strings() {
+        for bad in [
+            "", "7", "/", "7/", "/2", "7/0", "0x7/2", "-7/2", "7/-2", "7.5/2", " 7/2", "7/2 ",
+            "inf/1", "Inf", "nan",
+        ] {
+            assert_eq!(parse_period(bad), None, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn energy_objective_accessors() {
+        let per = Objective::Period;
+        assert!(per.is_period());
+        assert_eq!(per.energy_target(), None);
+        let e = Objective::min_energy(Ratio::new(5, 2));
+        assert!(!e.is_period());
+        assert_eq!(e.energy_target(), Some(Ratio::new(5, 2)));
+        // Degenerate targets never surface as usable constraints.
+        for bad in ["inf", "0/1", "junk"] {
+            let obj = Objective::MinEnergy {
+                target_period: bad.to_string(),
+            };
+            assert_eq!(obj.energy_target(), None, "target {bad:?}");
+        }
     }
 
     #[test]

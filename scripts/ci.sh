@@ -31,6 +31,21 @@ cargo test --release -q -p amp-service --test panic_safety --test thread_stabili
 cargo run --release -p amp-conformance -- --chain-tier-only --seeds 1000 --max-tasks 8 --max-big 4 --max-little 4
 cargo test --release -q -p amp-service --test snapshot_roundtrip
 
+# Energy gate: the brute-force energy oracle (every interval, core type
+# and replication count scored in exact milliwatts) differentially pins
+# the energy DP, the greedy energy strategies and the Pareto front's
+# structural invariants over a wide seed window. Narrowing to the energy
+# battery keeps 1000 seeds cheap.
+cargo run --release -p amp-conformance -- --energy-only --seeds 1000 --max-tasks 8 --max-big 4 --max-little 4
+
+# Energy-sweep smoke gate: paper-shaped chains (20 tasks, Table I pools)
+# through the Pareto-front driver at a scale the conformance oracle
+# cannot reach. Exits non-zero if any front is empty, unsorted, starts
+# off the HeRAD optimum, relaxing the period ever costs energy, or the
+# median front build blows the wall-clock tripwire. The report lands in
+# BENCH_energy.json.
+cargo run --release -p amp-experiments --bin energy_sweep -- --smoke --out BENCH_energy.json
+
 # Perf gate: a small deterministic sweep through the perf runner. The
 # binary exits non-zero (failing this script) if any of its built-in
 # regression gates trip: warm-scratch HeRAD performing steady-state heap
