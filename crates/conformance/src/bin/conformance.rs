@@ -29,6 +29,9 @@ const USAGE: &str = "usage: conformance [OPTIONS]
                       solve-once cache gate; skips service and chaos)
   --energy-only       run only the energy battery (brute-force energy
                       oracle + Pareto front; skips service and chaos)
+  --reconfig-only     run only the reconfiguration battery (incremental
+                      re-solve equivalence + zero-frame-loss migration;
+                      skips service and chaos)
   --save-failures DIR write shrunken failing instances as JSON into DIR
   --help              print this help";
 
@@ -57,6 +60,7 @@ fn parse_args(args: &[String]) -> Result<RunnerConfig, String> {
             "--no-chaos" => cfg.check_chaos = false,
             "--chain-tier-only" => cfg.chain_tier_only = true,
             "--energy-only" => cfg.energy_only = true,
+            "--reconfig-only" => cfg.reconfig_only = true,
             "--save-failures" => {
                 cfg.save_failures = Some(PathBuf::from(value("--save-failures")?));
             }
@@ -142,6 +146,14 @@ mod tests {
         let cfg = parse_args(&args(&["--energy-only", "--seeds", "1000"])).unwrap();
         assert!(cfg.energy_only);
         assert!(!cfg.chain_tier_only);
+        assert_eq!(cfg.seeds, 1000);
+    }
+
+    #[test]
+    fn reconfig_only_flag_narrows_the_run() {
+        let cfg = parse_args(&args(&["--reconfig-only", "--seeds", "1000"])).unwrap();
+        assert!(cfg.reconfig_only);
+        assert!(!cfg.chain_tier_only && !cfg.energy_only);
         assert_eq!(cfg.seeds, 1000);
     }
 

@@ -823,8 +823,8 @@ pub fn check_parallel(inst: &Instance) -> Vec<Mismatch> {
 }
 
 /// Runs the library-level checks (differential + metamorphic + hot-path +
-/// sweep warm-start + chain-tier + parallel-kernel + energy) on one
-/// instance.
+/// sweep warm-start + chain-tier + parallel-kernel + energy + reconfig)
+/// on one instance.
 #[must_use]
 pub fn check_library(inst: &Instance) -> Vec<Mismatch> {
     let mut out = check_core(inst);
@@ -834,6 +834,7 @@ pub fn check_library(inst: &Instance) -> Vec<Mismatch> {
     out.extend(check_chain_tier(inst));
     out.extend(check_parallel(inst));
     out.extend(crate::energy::check_energy(inst));
+    out.extend(crate::reconfig::check_reconfig(inst));
     out
 }
 

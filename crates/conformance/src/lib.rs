@@ -17,6 +17,10 @@
 //!   type and replication count scored in exact milliwatts) pinning the
 //!   energy-aware strategies and the Pareto front's structural
 //!   invariants;
+//! * [`reconfig`] — the live-reconfiguration battery: incremental
+//!   re-solves over a scripted pool sequence must be bit-identical to
+//!   fresh solves, and the epoch-barrier migration mirror must account
+//!   for every frame exactly once, in order;
 //! * [`chaos`] — fault injection against the amp-service engine: a
 //!   deterministic `Scheduler` wrapper injecting panics, delays and
 //!   invalid solutions, with per-instance invariant checks (one response
@@ -39,6 +43,7 @@ pub mod energy;
 pub mod gen;
 pub mod instance;
 pub mod json;
+pub mod reconfig;
 pub mod runner;
 pub mod shrink;
 
@@ -50,5 +55,6 @@ pub use checks::{
 pub use energy::{check_energy, energy_oracle};
 pub use gen::{instance_for_seed, instance_strategy, task_strategy, GenConfig};
 pub use instance::{Instance, TaskDef};
+pub use reconfig::{check_reconfig, pool_script};
 pub use runner::{run, Report, RunnerConfig};
 pub use shrink::shrink;

@@ -38,6 +38,11 @@ pub struct RunnerConfig {
     /// push the energy oracle through a wide seed window without paying
     /// for the service/chaos layers on every seed.
     pub energy_only: bool,
+    /// Run *only* the reconfiguration battery
+    /// ([`crate::reconfig::check_reconfig`]) — incremental re-solve
+    /// equivalence plus the zero-frame-loss migration contract — so the
+    /// CI gate can push migrations through a wide seed window.
+    pub reconfig_only: bool,
     /// Where to save shrunken failing instances; `None` keeps them
     /// in-memory only.
     pub save_failures: Option<PathBuf>,
@@ -54,6 +59,7 @@ impl Default for RunnerConfig {
             check_chaos: true,
             chain_tier_only: false,
             energy_only: false,
+            reconfig_only: false,
             save_failures: None,
         }
     }
@@ -108,7 +114,7 @@ impl Report {
 /// loaded; check failures are *not* errors — they are reported in the
 /// [`Report`].
 pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corpus::CorpusError> {
-    let narrowed = cfg.chain_tier_only || cfg.energy_only;
+    let narrowed = cfg.chain_tier_only || cfg.energy_only || cfg.reconfig_only;
     let engine = (cfg.check_service && !narrowed).then(|| Engine::start(EngineConfig::default()));
     let check = |inst: &Instance| -> Vec<Mismatch> {
         if cfg.chain_tier_only {
@@ -116,6 +122,9 @@ pub fn run(cfg: &RunnerConfig, log: &mut dyn FnMut(&str)) -> Result<Report, corp
         }
         if cfg.energy_only {
             return crate::energy::check_energy(inst);
+        }
+        if cfg.reconfig_only {
+            return crate::reconfig::check_reconfig(inst);
         }
         let mut found = checks::check_library(inst);
         if let Some(engine) = &engine {
@@ -287,6 +296,23 @@ mod tests {
             check_service: false,
             check_chaos: false,
             energy_only: true,
+            ..RunnerConfig::default()
+        };
+        let report = run(&cfg, &mut |_| {}).expect("no corpus I/O");
+        assert!(report.is_clean(), "failures: {:#?}", report.failures);
+        assert_eq!(report.fuzzed, 25);
+    }
+
+    #[test]
+    fn reconfig_only_small_run_is_clean() {
+        let cfg = RunnerConfig {
+            seeds: 25,
+            seed_start: 0,
+            gen: GenConfig::small(),
+            corpus_dir: None,
+            check_service: false,
+            check_chaos: false,
+            reconfig_only: true,
             ..RunnerConfig::default()
         };
         let report = run(&cfg, &mut |_| {}).expect("no corpus I/O");

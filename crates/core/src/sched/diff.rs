@@ -1,0 +1,198 @@
+//! Dry-run diff between two stage decompositions of one chain.
+//!
+//! Live reconfiguration (amp-runtime) re-solves a chain when the resource
+//! pool or the profiled weights change, then migrates the running pipeline
+//! to the new decomposition. Before touching any worker it wants to know
+//! *what* actually changes: which stages survive untouched, which keep
+//! their task span but change replica count or core type, and which task
+//! intervals are cut differently altogether. [`schedule_diff`] computes
+//! that plan; the runtime reports it per migration and skips the epoch
+//! barrier entirely when the diff is a no-op.
+
+use crate::solution::Stage;
+
+/// How one task span changed between the old and the new decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Same span, same replica count, same core type.
+    Unchanged,
+    /// Same span, but replica count and/or core type differ.
+    Resized,
+    /// The span exists only in the old decomposition (its tasks were
+    /// re-cut into different stages).
+    Removed,
+    /// The span exists only in the new decomposition.
+    Added,
+}
+
+/// One entry of a [`ScheduleDiff`]: a task span `[start, end]` with its
+/// old and new stage (either may be absent for re-cut spans).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageDelta {
+    /// First task of the span.
+    pub start: usize,
+    /// Last task of the span (inclusive).
+    pub end: usize,
+    /// The stage covering this span in the old decomposition, if any.
+    pub old: Option<Stage>,
+    /// The stage covering this span in the new decomposition, if any.
+    pub new: Option<Stage>,
+    /// The change classification.
+    pub kind: DeltaKind,
+}
+
+/// The full migration plan between two decompositions of the same chain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleDiff {
+    /// Every task span of either decomposition, ordered by `start` (ties:
+    /// old spans first).
+    pub deltas: Vec<StageDelta>,
+    /// Spans identical on both sides.
+    pub unchanged: usize,
+    /// Spans kept but with a different replica count or core type.
+    pub resized: usize,
+    /// Spans only the old decomposition cuts.
+    pub removed: usize,
+    /// Spans only the new decomposition cuts.
+    pub added: usize,
+}
+
+impl ScheduleDiff {
+    /// `true` when the decompositions are identical — a migration can be
+    /// skipped outright.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.resized == 0 && self.removed == 0 && self.added == 0
+    }
+
+    /// Number of stages of the *new* decomposition that need migration
+    /// (resized or freshly cut).
+    #[must_use]
+    pub fn migrated_stages(&self) -> usize {
+        self.resized + self.added
+    }
+}
+
+/// Diffs two stage decompositions of the same chain, keyed by task span.
+///
+/// Stages whose `[start, end]` span appears on both sides are compared
+/// field-wise ([`DeltaKind::Unchanged`] / [`DeltaKind::Resized`]); spans
+/// cut by only one side become [`DeltaKind::Removed`] /
+/// [`DeltaKind::Added`]. Both inputs are assumed valid decompositions of
+/// the same chain, so spans are disjoint and sorted within each side.
+#[must_use]
+pub fn schedule_diff(old: &[Stage], new: &[Stage]) -> ScheduleDiff {
+    let mut diff = ScheduleDiff::default();
+    let mut j = 0usize;
+    let mut matched_new = vec![false; new.len()];
+    for o in old {
+        // Advance to the first new stage that could share o's span.
+        while j < new.len() && new[j].start < o.start {
+            j += 1;
+        }
+        let partner =
+            (j < new.len() && new[j].start == o.start && new[j].end == o.end).then(|| {
+                matched_new[j] = true;
+                new[j]
+            });
+        let (kind, new_stage) = match partner {
+            Some(n) if n.cores == o.cores && n.core_type == o.core_type => {
+                diff.unchanged += 1;
+                (DeltaKind::Unchanged, Some(n))
+            }
+            Some(n) => {
+                diff.resized += 1;
+                (DeltaKind::Resized, Some(n))
+            }
+            None => {
+                diff.removed += 1;
+                (DeltaKind::Removed, None)
+            }
+        };
+        diff.deltas.push(StageDelta {
+            start: o.start,
+            end: o.end,
+            old: Some(*o),
+            new: new_stage,
+            kind,
+        });
+    }
+    for (n, matched) in new.iter().zip(&matched_new) {
+        if !matched {
+            diff.added += 1;
+            diff.deltas.push(StageDelta {
+                start: n.start,
+                end: n.end,
+                old: None,
+                new: Some(*n),
+                kind: DeltaKind::Added,
+            });
+        }
+    }
+    diff.deltas
+        .sort_by_key(|d| (d.start, d.old.is_none(), d.end));
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::CoreType;
+
+    fn s(start: usize, end: usize, cores: u64, v: CoreType) -> Stage {
+        Stage::new(start, end, cores, v)
+    }
+
+    #[test]
+    fn identical_decompositions_are_a_noop() {
+        let a = vec![
+            s(0, 1, 1, CoreType::Big),
+            s(2, 4, 3, CoreType::Little),
+            s(5, 5, 1, CoreType::Big),
+        ];
+        let d = schedule_diff(&a, &a);
+        assert!(d.is_noop());
+        assert_eq!(d.unchanged, 3);
+        assert_eq!(d.migrated_stages(), 0);
+        assert!(d.deltas.iter().all(|x| x.kind == DeltaKind::Unchanged));
+    }
+
+    #[test]
+    fn replica_change_on_same_span_is_resized() {
+        let a = vec![s(0, 1, 1, CoreType::Big), s(2, 3, 3, CoreType::Big)];
+        let b = vec![s(0, 1, 1, CoreType::Big), s(2, 3, 2, CoreType::Little)];
+        let d = schedule_diff(&a, &b);
+        assert!(!d.is_noop());
+        assert_eq!((d.unchanged, d.resized, d.removed, d.added), (1, 1, 0, 0));
+        assert_eq!(d.migrated_stages(), 1);
+        let delta = d.deltas.iter().find(|x| x.start == 2).unwrap();
+        assert_eq!(delta.kind, DeltaKind::Resized);
+        assert_eq!(delta.old.unwrap().cores, 3);
+        assert_eq!(delta.new.unwrap().cores, 2);
+    }
+
+    #[test]
+    fn recut_spans_are_removed_plus_added() {
+        // Old cuts [0,2][3,3]; new cuts [0,1][2,3]: nothing matches.
+        let a = vec![s(0, 2, 1, CoreType::Big), s(3, 3, 1, CoreType::Big)];
+        let b = vec![s(0, 1, 1, CoreType::Big), s(2, 3, 1, CoreType::Big)];
+        let d = schedule_diff(&a, &b);
+        assert_eq!((d.unchanged, d.resized, d.removed, d.added), (0, 0, 2, 2));
+        assert_eq!(d.migrated_stages(), 2);
+        assert_eq!(d.deltas.len(), 4);
+        // Ordered by start, old-before-new on ties.
+        let starts: Vec<usize> = d.deltas.iter().map(|x| x.start).collect();
+        assert_eq!(starts, vec![0, 0, 2, 3]);
+    }
+
+    #[test]
+    fn empty_sides_diff_cleanly() {
+        let a = vec![s(0, 0, 1, CoreType::Big)];
+        let d = schedule_diff(&a, &[]);
+        assert_eq!((d.unchanged, d.resized, d.removed, d.added), (0, 0, 1, 0));
+        let d = schedule_diff(&[], &a);
+        assert_eq!((d.unchanged, d.resized, d.removed, d.added), (0, 0, 0, 1));
+        let d = schedule_diff(&[], &[]);
+        assert!(d.is_noop());
+    }
+}

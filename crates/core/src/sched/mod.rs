@@ -5,6 +5,7 @@
 pub mod batch;
 pub mod binary_search;
 pub mod brute;
+pub mod diff;
 pub mod energy;
 pub mod fertac;
 pub mod herad;
@@ -20,6 +21,7 @@ use crate::solution::Solution;
 pub use batch::{schedule_chains, schedule_many, schedule_many_with};
 pub use binary_search::{schedule_binary_search, schedule_binary_search_into, PeriodBounds};
 pub use brute::{all_optimal_solutions, optimal_period, optimal_usage_front, BruteForce};
+pub use diff::{schedule_diff, DeltaKind, ScheduleDiff, StageDelta};
 pub use energy::{
     candidate_periods, energy_strategies, energy_strategy_by_name, min_period_under_energy_cap,
     pareto_front, EnergyDp, EnergyFertac, EnergyScheduler, EnergyTwocatac, ParetoPoint,

@@ -1,0 +1,376 @@
+//! Migration-downtime evaluation of the live reconfiguration path: how
+//! much sink-visible downtime does an epoch-barrier migration cost,
+//! compared to the stop-the-world alternative (drain, tear down, re-solve
+//! from scratch, relaunch)?
+//!
+//! A fixed synthetic chain (8 paced tasks, 90–420 µs big-core weights,
+//! ~60 % replicable) runs on a wide pool, migrates live to a shrunken
+//! pool and back, and the per-event sink departure gap is compared
+//! against the measured gap of a full restart between the same two
+//! pools. The deterministic simulator mirrors the same script so the
+//! pipeline-only cost (drain + re-fill, no thread work) is reported next
+//! to the threaded measurements.
+//!
+//! The run writes a JSON report (default `BENCH_reconfig.json`) and
+//! **exits non-zero** if any gate trips:
+//!
+//! * every live run must account for every frame (zero lost);
+//! * every migration must be observed (two per live run);
+//! * the median live migration gap must stay strictly below the median
+//!   stop-the-world restart gap.
+//!
+//! ```text
+//! reconfig_sweep [--smoke] [--reps N] [--out PATH]
+//! ```
+
+use amp_core::sched::{Herad, Scheduler};
+use amp_core::{CoreType, Resources, Solution, Task, TaskChain};
+use amp_runtime::{FnWork, PipelineSpec, RunConfig, RuntimeTask, VirtualMachine, WeightedWork};
+use amp_sim::{simulate_reconfig, SimConfig};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// Deliberately small pools: the sweep must stay meaningful on 1-2 vCPU
+// CI hosts, where every extra spinning worker adds multi-millisecond
+// scheduler queueing noise to the very gaps under measurement.
+const POOL_WIDE: Resources = Resources { big: 1, little: 1 };
+const POOL_NARROW: Resources = Resources { big: 1, little: 0 };
+
+/// The fixed evaluation chain: weights in microseconds, ~60% replicable.
+fn sweep_chain() -> TaskChain {
+    TaskChain::new(vec![
+        Task::new(120, 260, false),
+        Task::new(420, 900, true),
+        Task::new(180, 400, true),
+        Task::new(90, 200, false),
+        Task::new(300, 640, true),
+        Task::new(150, 330, true),
+        Task::new(240, 520, true),
+        Task::new(110, 240, false),
+    ])
+}
+
+/// Wall clocks of the first and last frame completed by the sink task.
+type SinkProbe = Arc<Mutex<(Option<Instant>, Option<Instant>)>>;
+
+fn new_probe() -> SinkProbe {
+    Arc::new(Mutex::new((None, None)))
+}
+
+/// Pipeline over the chain; the last task records the wall clock of the
+/// first and latest frame it completes. Both measurement paths use the
+/// same probed spec so the (tiny) per-frame probe cost cancels out.
+fn spec_for(chain: &TaskChain, probe: &SinkProbe) -> PipelineSpec<u64> {
+    let last = chain.len() - 1;
+    let tasks = chain
+        .tasks()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let work = WeightedWork::from_task(t);
+            if i == last {
+                let probe = probe.clone();
+                RuntimeTask::new(
+                    &format!("t{i}"),
+                    t.replicable,
+                    FnWork(move |seq: u64, data: &mut u64, core: CoreType| {
+                        amp_runtime::TaskWork::process(&work, seq, data, core);
+                        let now = Instant::now();
+                        let mut seen = probe.lock().unwrap();
+                        seen.0.get_or_insert(now);
+                        seen.1 = Some(now);
+                    }),
+                )
+            } else {
+                RuntimeTask::new(&format!("t{i}"), t.replicable, work)
+            }
+        })
+        .collect();
+    PipelineSpec::new(Arc::new(|seq| seq), tasks)
+}
+
+struct LiveRep {
+    downtimes_us: Vec<f64>,
+    sink_gaps_us: Vec<f64>,
+}
+
+/// One live rep: launch wide, migrate to the narrow pool at ~1/3, back to
+/// the wide pool at ~2/3, join, and read the measured events.
+fn run_live(
+    chain: &TaskChain,
+    wide_solution: &Solution,
+    frames: u64,
+    failures: &mut Vec<String>,
+) -> Option<LiveRep> {
+    let wide = VirtualMachine::new(POOL_WIDE);
+    let narrow = VirtualMachine::new(POOL_NARROW);
+    let spec = spec_for(chain, &new_probe());
+    let live = match spec.launch(chain, wide_solution, &wide, &RunConfig::with_frames(frames)) {
+        Ok(live) => live,
+        Err(e) => {
+            failures.push(format!("live launch failed: {e}"));
+            return None;
+        }
+    };
+    for (target, machine, label) in [
+        (frames / 3, &narrow, "shrink"),
+        (2 * frames / 3, &wide, "grow"),
+    ] {
+        // Sleep-poll: a busy-wait would steal CPU from the workers on
+        // small hosts and skew the live gaps against the live path.
+        while live.frames_done() < target {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        if let Err(e) = live.reconfigure(machine) {
+            failures.push(format!("live {label} migration failed: {e}"));
+        }
+    }
+    let report = live.join();
+    if report.frames != frames {
+        failures.push(format!(
+            "live run lost frames: {} of {frames} departed",
+            report.frames
+        ));
+    }
+    if report.reconfigs.len() != 2 {
+        failures.push(format!(
+            "live run recorded {} migration(s), expected 2",
+            report.reconfigs.len()
+        ));
+        return None;
+    }
+    Some(LiveRep {
+        downtimes_us: report.reconfigs.iter().map(|e| e.downtime_us).collect(),
+        sink_gaps_us: report.reconfigs.iter().map(|e| e.sink_gap_us).collect(),
+    })
+}
+
+/// One stop-the-world rep: the same shrink-then-grow script as the live
+/// path, but each pool change pays the full restart — drain the old
+/// pipeline, join its threads, re-solve the pool from scratch, relaunch
+/// and re-fill. The returned gaps use the same definition as
+/// [`amp_runtime::ReconfigEvent::sink_gap_us`]: last sink departure of
+/// the old pipeline → first sink departure of the new one.
+fn run_restart(chain: &TaskChain, frames: u64) -> Vec<f64> {
+    let segments = [
+        (POOL_WIDE, frames / 3),
+        (POOL_NARROW, 2 * frames / 3 - frames / 3),
+        (POOL_WIDE, frames - 2 * frames / 3),
+    ];
+    let mut gaps = Vec::new();
+    let mut prev_last: Option<Instant> = None;
+    for (pool, seg_frames) in segments {
+        // A real restart re-solves after the old pipeline is gone: the
+        // solve sits inside the measured gap, as does the launch + fill.
+        let solution = Herad::new()
+            .schedule(chain, pool)
+            .expect("sweep pools schedule the sweep chain");
+        let machine = VirtualMachine::new(pool);
+        let probe = new_probe();
+        let spec = spec_for(chain, &probe);
+        let report = spec
+            .run(
+                chain,
+                &solution,
+                &machine,
+                &RunConfig::with_frames(seg_frames),
+            )
+            .expect("restart segment");
+        assert_eq!(report.frames, seg_frames);
+        let (first, last) = *probe.lock().unwrap();
+        let first = first.expect("segment produced frames");
+        if let Some(prev) = prev_last {
+            gaps.push(first.duration_since(prev).as_secs_f64() * 1e6);
+        }
+        prev_last = Some(last.expect("segment produced frames"));
+    }
+    gaps
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+fn render_list(values: &[f64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| format!("{v:.1}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    smoke: bool,
+    reps: usize,
+    frames: u64,
+    live_downtime: &[f64],
+    live_gap: &[f64],
+    live_gap_median: f64,
+    restart_gap: &[f64],
+    restart_gap_median: f64,
+    sim_gaps: &[f64],
+    sim_periods: &[f64],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"amp-experiments/reconfig/v1\",\n");
+    s.push_str(&format!(
+        "  \"config\": {{ \"smoke\": {smoke}, \"reps\": {reps}, \"frames\": {frames}, \
+         \"pool_wide\": {{ \"big\": {}, \"little\": {} }}, \
+         \"pool_narrow\": {{ \"big\": {}, \"little\": {} }} }},\n",
+        POOL_WIDE.big, POOL_WIDE.little, POOL_NARROW.big, POOL_NARROW.little
+    ));
+    s.push_str("  \"live\": {\n");
+    s.push_str(&format!(
+        "    \"downtime_us\": {},\n",
+        render_list(live_downtime)
+    ));
+    s.push_str(&format!(
+        "    \"sink_gap_us\": {},\n",
+        render_list(live_gap)
+    ));
+    s.push_str(&format!(
+        "    \"sink_gap_us_median\": {live_gap_median:.1}\n"
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"stop_the_world\": {\n");
+    s.push_str(&format!("    \"gap_us\": {},\n", render_list(restart_gap)));
+    s.push_str(&format!("    \"gap_us_median\": {restart_gap_median:.1}\n"));
+    s.push_str("  },\n");
+    s.push_str("  \"sim\": {\n");
+    s.push_str(&format!(
+        "    \"boundary_gap_units\": {},\n",
+        render_list(sim_gaps)
+    ));
+    s.push_str(&format!(
+        "    \"epoch_periods_units\": {}\n",
+        render_list(sim_periods)
+    ));
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"gate\": {{ \"live_median_below_restart_median\": {} }}\n",
+        live_gap_median < restart_gap_median
+    ));
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut reps: Option<usize> = None;
+    let mut out_path = String::from("BENCH_reconfig.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--reps" => {
+                reps = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--reps needs a number");
+                    std::process::exit(2);
+                }));
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument: {other}\nusage: reconfig_sweep [--smoke] [--reps N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps = reps.unwrap_or(if smoke { 3 } else { 5 });
+    let frames: u64 = if smoke { 240 } else { 900 };
+
+    let chain = sweep_chain();
+    let wide_solution = Herad::new()
+        .schedule(&chain, POOL_WIDE)
+        .expect("wide pool schedules the sweep chain");
+
+    let mut failures = Vec::new();
+    let mut live_downtime = Vec::new();
+    let mut live_gap = Vec::new();
+    let mut restart_gap = Vec::new();
+    for rep in 0..reps {
+        if let Some(live) = run_live(&chain, &wide_solution, frames, &mut failures) {
+            eprintln!(
+                "rep {rep}: live migration gaps {} µs (controller {} µs)",
+                render_list(&live.sink_gaps_us),
+                render_list(&live.downtimes_us),
+            );
+            live_downtime.extend(live.downtimes_us);
+            live_gap.extend(live.sink_gaps_us);
+        }
+        let gaps = run_restart(&chain, frames);
+        eprintln!(
+            "rep {rep}: stop-the-world restart gaps {} µs",
+            render_list(&gaps)
+        );
+        restart_gap.extend(gaps);
+    }
+    let live_gap_median = median(&mut live_gap.clone());
+    let restart_gap_median = median(&mut restart_gap.clone());
+
+    // Deterministic mirror: same script, same pools, pipeline cost only.
+    let narrow_solution = Herad::new()
+        .schedule(&chain, POOL_NARROW)
+        .expect("narrow pool schedules the sweep chain");
+    let sim = simulate_reconfig(
+        &chain,
+        &wide_solution,
+        &[
+            (frames / 3, narrow_solution),
+            (2 * frames / 3, wide_solution.clone()),
+        ],
+        &SimConfig::with_frames(frames),
+    );
+    let sim_gaps: Vec<f64> = sim.boundaries.iter().map(|b| b.sink_gap as f64).collect();
+    eprintln!(
+        "sim: boundary gaps {} weight-units, epoch periods {}",
+        render_list(&sim_gaps),
+        render_list(&sim.epoch_periods)
+    );
+
+    let json = render_json(
+        smoke,
+        reps,
+        frames,
+        &live_downtime,
+        &live_gap,
+        live_gap_median,
+        &restart_gap,
+        restart_gap_median,
+        &sim_gaps,
+        &sim.epoch_periods,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+    eprintln!(
+        "median live migration gap {live_gap_median:.1} µs vs stop-the-world {restart_gap_median:.1} µs"
+    );
+
+    // NaN medians (empty sample sets) must trip the gate too, so the
+    // pass condition is the strict comparison itself.
+    let gate_passes = live_gap_median < restart_gap_median;
+    if !gate_passes {
+        failures.push(format!(
+            "median live migration gap {live_gap_median:.1} µs is not below the \
+             stop-the-world restart gap {restart_gap_median:.1} µs"
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -63,6 +63,7 @@ fn main() {
             &ProfileConfig {
                 frames: 8,
                 warmup: 2,
+                unit_nanos: 1000,
             },
         );
         println!(

@@ -35,17 +35,30 @@ pub struct OrderedRing<D> {
 }
 
 impl<D> OrderedRing<D> {
-    /// Creates a ring admitting at most `capacity` in-flight frames.
+    /// Creates a ring admitting at most `capacity` in-flight frames,
+    /// starting at sequence number 0.
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
+        OrderedRing::with_base(capacity, 0)
+    }
+
+    /// Creates a ring whose first frame is sequence number `base` — the
+    /// epoch-migration form: after a reconfiguration at frame boundary
+    /// `base`, fresh rings carry frames `base..` and the sliding capacity
+    /// window opens at `base` instead of 0.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_base(capacity: u64, base: u64) -> Self {
         assert!(capacity > 0, "ring capacity must be at least 1");
         OrderedRing {
             state: Mutex::new(RingState {
                 frames: HashMap::new(),
-                next_out: 0,
+                next_out: base,
                 popped_ahead: BTreeSet::new(),
                 closed_total: None,
             }),
@@ -225,6 +238,32 @@ mod tests {
         ring.close(1);
         assert_eq!(ring.pop(0), Some(7));
         assert_eq!(ring.pop(1), None);
+    }
+
+    #[test]
+    fn based_ring_windows_from_its_base() {
+        // An epoch ring starting at frame 1000 must admit 1000 and 1001
+        // immediately (capacity 2) and block 1002 until 1000 is popped.
+        let ring = Arc::new(OrderedRing::with_base(2, 1000));
+        ring.push(1000, "a");
+        ring.push(1001, "b");
+        let r = ring.clone();
+        let producer = thread::spawn(move || {
+            r.push(1002, "c");
+            r.close(1003);
+        });
+        assert_eq!(ring.pop(1000), Some("a"));
+        assert_eq!(ring.pop(1001), Some("b"));
+        assert_eq!(ring.pop(1002), Some("c"));
+        producer.join().unwrap();
+        assert_eq!(ring.pop(1003), None);
+    }
+
+    #[test]
+    fn based_ring_closed_empty_returns_none_at_base() {
+        let ring: OrderedRing<u64> = OrderedRing::with_base(4, 50);
+        ring.close(50);
+        assert_eq!(ring.pop(50), None);
     }
 
     #[test]

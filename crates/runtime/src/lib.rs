@@ -66,9 +66,11 @@ mod vcore;
 mod work;
 
 pub use adaptor::OrderedRing;
-pub use pipeline::{PipelineSpec, RunConfig, RuntimeError, RuntimeTask};
+pub use pipeline::{
+    PipelineSpec, ReconfigPlan, RunConfig, RunningPipeline, RuntimeError, RuntimeTask,
+};
 pub use profiler::{profile_chain, ProfileConfig};
-pub use report::{RunReport, StageRuntimeReport};
+pub use report::{ReconfigEvent, RunReport, StageRuntimeReport};
 pub use spin::{calibrated_spin, spin_for_micros, SpinCalibration};
 pub use vcore::{VirtualCore, VirtualMachine};
 pub use work::{FnWork, TaskWork, WeightedWork};

@@ -1,11 +1,21 @@
-//! Pipeline construction and execution.
+//! Pipeline construction, execution and live elastic reconfiguration.
+//!
+//! A pipeline runs as a sequence of **epochs**. Each epoch executes one
+//! stage decomposition over a contiguous frame range `[base, boundary)`;
+//! a live reconfiguration ends the current epoch at a frame boundary
+//! (quiesce the source, drain every in-flight frame to the sink), re-wires
+//! the adaptors and worker roles to the new decomposition, and resumes at
+//! the boundary. Worker threads are spawned once and *re-assigned* across
+//! epochs — a migration never tears the thread pool down, which is what
+//! makes it cheaper than a stop-the-world restart.
 
 use crate::adaptor::OrderedRing;
-use crate::report::{RunReport, StageRuntimeReport};
+use crate::report::{ReconfigEvent, RunReport, StageRuntimeReport};
 use crate::vcore::VirtualMachine;
 use crate::work::TaskWork;
-use amp_core::{Solution, TaskChain};
-use parking_lot::Mutex;
+use amp_core::sched::{schedule_diff, ChainTable, ScheduleDiff};
+use amp_core::{CoreType, Solution, Stage, TaskChain};
+use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -34,7 +44,8 @@ impl<D> RuntimeTask<D> {
     }
 }
 
-/// Errors reported by [`PipelineSpec::run`].
+/// Errors reported by [`PipelineSpec::run`], [`PipelineSpec::launch`] and
+/// [`RunningPipeline::reconfigure`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
     /// The spec has a different number of tasks than the scheduled chain.
@@ -52,6 +63,11 @@ pub enum RuntimeError {
     Placement,
     /// Neither a frame count nor a duration was requested.
     NoTerminationCondition,
+    /// The chain cannot be scheduled on the offered pool (no cores).
+    Infeasible,
+    /// The pipeline already ran to completion; there is nothing left to
+    /// reconfigure.
+    Terminated,
 }
 
 impl fmt::Display for RuntimeError {
@@ -68,6 +84,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NoTerminationCondition => {
                 write!(f, "run needs a frame count or a duration")
             }
+            RuntimeError::Infeasible => {
+                write!(f, "the chain cannot be scheduled on the offered pool")
+            }
+            RuntimeError::Terminated => write!(f, "the pipeline already ran to completion"),
         }
     }
 }
@@ -120,6 +140,504 @@ pub struct PipelineSpec<D> {
     tasks: Vec<RuntimeTask<D>>,
 }
 
+/// A worker's assignment for one epoch: which stage replica it executes.
+#[derive(Clone, Copy, Debug)]
+struct Role {
+    stage: usize,
+    replica: u64,
+    core_kind: CoreType,
+}
+
+/// Everything one epoch needs: the decomposition, the per-slot roles, the
+/// freshly-based adaptors and the per-epoch counters.
+struct EpochPlan<D> {
+    stages: Vec<Stage>,
+    /// Per worker slot; `None` parks the slot for this epoch.
+    roles: Vec<Option<Role>>,
+    rings: Vec<Arc<OrderedRing<D>>>,
+    /// First frame of this epoch.
+    base: u64,
+    /// Global frame limit (static across epochs; `u64::MAX` = unbounded).
+    limit: u64,
+    /// Epoch start, in nanoseconds since the run started.
+    start_nanos: u64,
+    /// Quiesce request: source replicas stop claiming frames.
+    pause: AtomicBool,
+    /// Per-stage live replica count (last replica out closes downstream).
+    active: Vec<AtomicUsize>,
+    /// Per-stage processing time this epoch.
+    busy_nanos: Vec<AtomicU64>,
+    /// High-water frame count the source stage committed this epoch: every
+    /// frame in `[base, produced)` was claimed *and* fully processed by
+    /// the source stage. This — not the claim counter, which may overshoot
+    /// on a quiesce or a frame limit — is the drain accounting both stop
+    /// paths share: ring close totals and the next epoch's base come from
+    /// it, so in-flight frames are always fully drained and counted.
+    produced: AtomicU64,
+}
+
+struct ControlState<D> {
+    /// Monotonic epoch counter; 0 = not started, 1 = first epoch.
+    epoch: u64,
+    plan: Option<Arc<EpochPlan<D>>>,
+    /// Workers that have not yet parked for the current epoch.
+    running: usize,
+    /// A migration is between quiesce and re-publish.
+    migrating: bool,
+    /// Workers should exit instead of waiting for another epoch.
+    shutdown: bool,
+}
+
+struct Control<D> {
+    state: Mutex<ControlState<D>>,
+    /// Workers wait here for a new epoch (or shutdown).
+    epoch_cv: Condvar,
+    /// The controller waits here for `running == 0`.
+    done_cv: Condvar,
+    /// Hard stop (duration watchdog or [`RunningPipeline::stop`]).
+    stop: AtomicBool,
+    /// Next frame for the source stage to claim.
+    claim: AtomicU64,
+    /// Sink departures `(frame, nanos since start)` across all epochs.
+    sink: Mutex<Vec<(u64, u64)>>,
+}
+
+/// Executes one worker's role for one epoch, then returns so the worker
+/// can park and wait for the next epoch.
+#[allow(clippy::too_many_arguments)]
+fn run_role<D: Send + 'static>(
+    plan: &EpochPlan<D>,
+    role: Role,
+    works: &[Arc<dyn TaskWork<D>>],
+    source: &(dyn Fn(u64) -> D + Send + Sync),
+    control: &Control<D>,
+    start: Instant,
+) {
+    let i = role.stage;
+    let k = plan.stages.len();
+    let stage = plan.stages[i];
+    let (task_lo, task_hi) = (stage.start, stage.end);
+    let replicas = stage.cores;
+    let core_kind = role.core_kind;
+    let ring_in = (i > 0).then(|| plan.rings[i - 1].clone());
+    let ring_out = (i + 1 < k).then(|| plan.rings[i].clone());
+    let process = |seq: u64, data: &mut D| {
+        let t0 = Instant::now();
+        for work in &works[task_lo..=task_hi] {
+            work.process(seq, data, core_kind);
+        }
+        plan.busy_nanos[i].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    };
+    let deliver = |seq: u64, data: D| match &ring_out {
+        Some(out) => out.push(seq, data),
+        None => control
+            .sink
+            .lock()
+            .push((seq, start.elapsed().as_nanos() as u64)),
+    };
+    match &ring_in {
+        None => loop {
+            // Source stage: dynamically claim the next frame. The stop and
+            // pause checks come *before* the claim, so every claimed frame
+            // below the limit is committed — processed and delivered.
+            if control.stop.load(Ordering::Relaxed) || plan.pause.load(Ordering::Relaxed) {
+                break;
+            }
+            let seq = control.claim.fetch_add(1, Ordering::Relaxed);
+            if seq >= plan.limit {
+                break;
+            }
+            let mut data = source(seq);
+            process(seq, &mut data);
+            deliver(seq, data);
+            plan.produced.fetch_max(seq + 1, Ordering::AcqRel);
+        },
+        Some(input) => {
+            let mut seq = plan.base + role.replica;
+            while let Some(mut data) = input.pop(seq) {
+                process(seq, &mut data);
+                deliver(seq, data);
+                seq += replicas;
+            }
+        }
+    }
+    // Last replica out closes the downstream adaptor with the shared
+    // drain total.
+    if plan.active[i].fetch_sub(1, Ordering::AcqRel) == 1 {
+        if let Some(out) = &ring_out {
+            let total = match &ring_in {
+                None => plan.produced.load(Ordering::Acquire),
+                Some(input) => input
+                    .closed_total()
+                    .expect("input closed before this stage finished"),
+            };
+            out.close(total);
+        }
+    }
+}
+
+/// The worker thread body: wait for an epoch, execute the assigned role
+/// (if any), park, repeat — until shutdown.
+fn worker_loop<D: Send + 'static>(
+    slot: usize,
+    mut seen_epoch: u64,
+    control: Arc<Control<D>>,
+    works: Arc<Vec<Arc<dyn TaskWork<D>>>>,
+    source: Arc<dyn Fn(u64) -> D + Send + Sync>,
+    start: Instant,
+) {
+    loop {
+        let plan = {
+            let mut st = control.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.plan.clone().expect("published epoch carries a plan");
+                }
+                control.epoch_cv.wait(&mut st);
+            }
+        };
+        if let Some(role) = plan.roles.get(slot).copied().flatten() {
+            run_role(&plan, role, &works, &*source, &control, start);
+        }
+        let mut st = control.state.lock();
+        st.running -= 1;
+        if st.running == 0 {
+            control.done_cv.notify_all();
+        }
+    }
+}
+
+/// The dry-run preview of a reconfiguration: the current and the proposed
+/// decomposition plus their [`ScheduleDiff`], computed without touching
+/// the running pipeline.
+#[derive(Clone, Debug)]
+pub struct ReconfigPlan {
+    /// The decomposition the pipeline currently executes.
+    pub from: Solution,
+    /// The decomposition an applied reconfiguration would migrate to.
+    pub to: Solution,
+    /// Span-keyed diff between the two.
+    pub diff: ScheduleDiff,
+}
+
+/// The solver/diff state a running pipeline keeps between migrations:
+/// the chain it schedules for, the incremental HeRAD table, and the
+/// decomposition currently executing.
+struct MigrateState {
+    chain: TaskChain,
+    solution: Solution,
+    table: Option<ChainTable>,
+}
+
+impl MigrateState {
+    /// Re-solves for `resources`, incrementally: a covered pool is a pure
+    /// extraction, a larger pool grows the table in place, and only a
+    /// chain change pays a fresh cold solve.
+    fn solve(&mut self, resources: amp_core::Resources) -> Result<Solution, RuntimeError> {
+        let table = match &mut self.table {
+            Some(t) if t.matches(&self.chain) => {
+                if !t.covers(resources) {
+                    t.grow_to(&self.chain, resources);
+                }
+                t
+            }
+            slot => slot.insert(ChainTable::solve(&self.chain, resources)),
+        };
+        let mut out = Solution::empty();
+        if table.extract(&self.chain, resources, &mut out) {
+            Ok(out)
+        } else {
+            Err(RuntimeError::Infeasible)
+        }
+    }
+}
+
+/// A live pipeline launched by [`PipelineSpec::launch`]: the handle for
+/// online reconfiguration, early stop and final result collection.
+pub struct RunningPipeline<D: Send + 'static> {
+    control: Arc<Control<D>>,
+    works: Arc<Vec<Arc<dyn TaskWork<D>>>>,
+    source: Arc<dyn Fn(u64) -> D + Send + Sync>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    watchdog: Mutex<Option<thread::JoinHandle<()>>>,
+    start: Instant,
+    config: RunConfig,
+    frame_limit: u64,
+    replicable: Vec<bool>,
+    migrate: Mutex<MigrateState>,
+    events: Mutex<Vec<ReconfigEvent>>,
+}
+
+impl<D: Send + 'static> RunningPipeline<D> {
+    /// Previews a migration to `machine` without applying it: re-solves
+    /// incrementally and returns the decomposition diff.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Infeasible`] when the pool has no cores.
+    pub fn plan(&self, machine: &VirtualMachine) -> Result<ReconfigPlan, RuntimeError> {
+        let mut mig = self.migrate.lock();
+        let to = mig.solve(machine.resources())?;
+        machine.place(&to).ok_or(RuntimeError::Placement)?;
+        let diff = schedule_diff(mig.solution.stages(), to.stages());
+        Ok(ReconfigPlan {
+            from: mig.solution.clone(),
+            to,
+            diff,
+        })
+    }
+
+    /// Migrates the live pipeline to `machine` (a changed core pool).
+    ///
+    /// Re-solves incrementally via the chain's grown HeRAD table, diffs
+    /// the decompositions, and — unless the diff is a no-op — quiesces
+    /// the source at a frame boundary, drains every in-flight frame to
+    /// the sink, re-wires adaptors and worker roles, and resumes. No
+    /// frame is ever lost, duplicated or reordered across the boundary.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Infeasible`] when the pool has no cores,
+    /// [`RuntimeError::Placement`] when the machine cannot place the new
+    /// solution, [`RuntimeError::Terminated`] when the run already ended.
+    pub fn reconfigure(&self, machine: &VirtualMachine) -> Result<ReconfigEvent, RuntimeError> {
+        self.apply(None, machine)
+    }
+
+    /// Migrates to re-profiled task weights *and* a (possibly unchanged)
+    /// machine: the chain's weights drifted, so the table is re-solved
+    /// for the new chain before extraction. The new chain must describe
+    /// the same tasks (length and replicability) as the running spec.
+    ///
+    /// # Errors
+    /// As [`RunningPipeline::reconfigure`], plus
+    /// [`RuntimeError::ChainMismatch`] /
+    /// [`RuntimeError::ReplicabilityMismatch`] when the chain does not
+    /// match the running spec.
+    pub fn reconfigure_with_chain(
+        &self,
+        chain: &TaskChain,
+        machine: &VirtualMachine,
+    ) -> Result<ReconfigEvent, RuntimeError> {
+        self.apply(Some(chain), machine)
+    }
+
+    /// Requests a stop: the source stops claiming frames and the pipeline
+    /// drains. Useful for unbounded runs; [`RunningPipeline::join`]
+    /// returns once the drain completes.
+    pub fn stop(&self) {
+        self.control.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Completed reconfigurations so far.
+    #[must_use]
+    pub fn reconfig_events(&self) -> Vec<ReconfigEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Frames that have reached the sink so far.
+    #[must_use]
+    pub fn frames_done(&self) -> u64 {
+        self.control.sink.lock().len() as u64
+    }
+
+    fn apply(
+        &self,
+        chain: Option<&TaskChain>,
+        machine: &VirtualMachine,
+    ) -> Result<ReconfigEvent, RuntimeError> {
+        let mut mig = self.migrate.lock();
+        if let Some(new_chain) = chain {
+            if new_chain.len() != self.replicable.len() {
+                return Err(RuntimeError::ChainMismatch {
+                    spec: self.replicable.len(),
+                    chain: new_chain.len(),
+                });
+            }
+            for (i, (t, &rep)) in new_chain.tasks().iter().zip(&self.replicable).enumerate() {
+                if t.replicable != rep {
+                    return Err(RuntimeError::ReplicabilityMismatch(i));
+                }
+            }
+            if !mig.table.as_ref().is_some_and(|t| t.matches(new_chain)) {
+                mig.table = None;
+            }
+            mig.chain = new_chain.clone();
+        }
+        let new_solution = mig.solve(machine.resources())?;
+        let placement = machine
+            .place(&new_solution)
+            .ok_or(RuntimeError::Placement)?;
+        let diff = schedule_diff(mig.solution.stages(), new_solution.stages());
+
+        let (old_plan, cur_epoch) = {
+            let mut st = self.control.state.lock();
+            if st.shutdown {
+                return Err(RuntimeError::Terminated);
+            }
+            if diff.is_noop() {
+                // Identical decomposition: the running epoch already
+                // executes it. Record a zero-cost event without a barrier.
+                let plan = st.plan.clone().expect("running pipeline has a plan");
+                return Ok(ReconfigEvent {
+                    epoch: st.epoch,
+                    boundary_frame: plan.base,
+                    downtime_us: 0.0,
+                    sink_gap_us: 0.0,
+                    migrated_stages: 0,
+                    unchanged_stages: diff.unchanged,
+                    workers_added: 0,
+                    workers_parked: 0,
+                });
+            }
+            st.migrating = true;
+            (
+                st.plan.clone().expect("running pipeline has a plan"),
+                st.epoch,
+            )
+        };
+
+        // Quiesce: stop the source at a frame boundary, drain everything.
+        let t0 = Instant::now();
+        old_plan.pause.store(true, Ordering::SeqCst);
+        {
+            let mut st = self.control.state.lock();
+            while st.running > 0 {
+                self.control.done_cv.wait(&mut st);
+            }
+        }
+        let base = old_plan.produced.load(Ordering::Acquire);
+        if base >= self.frame_limit || self.control.stop.load(Ordering::Relaxed) {
+            // The run completed while quiescing; hand the drained state
+            // to `join` instead of publishing a new epoch.
+            self.control.state.lock().migrating = false;
+            self.control.done_cv.notify_all();
+            return Err(RuntimeError::Terminated);
+        }
+
+        // Re-wire: fresh adaptors based at the boundary, new roles.
+        let stages = new_solution.stages().to_vec();
+        let k = stages.len();
+        let rings: Vec<Arc<OrderedRing<D>>> = (0..k.saturating_sub(1))
+            .map(|_| Arc::new(OrderedRing::with_base(self.config.queue_capacity, base)))
+            .collect();
+        let mut flat_roles = Vec::new();
+        for (i, cores) in placement.iter().enumerate() {
+            for (j, core) in cores.iter().enumerate() {
+                flat_roles.push(Role {
+                    stage: i,
+                    replica: j as u64,
+                    core_kind: core.kind,
+                });
+            }
+        }
+        let needed = flat_roles.len();
+        let mut handles = self.workers.lock();
+        let spawned = handles.len();
+        let workers_added = needed.saturating_sub(spawned);
+        let workers_parked = spawned.saturating_sub(needed);
+        let slot_count = spawned.max(needed);
+        let plan = Arc::new(EpochPlan {
+            active: stages
+                .iter()
+                .map(|s| AtomicUsize::new(s.cores as usize))
+                .collect(),
+            busy_nanos: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            roles: (0..slot_count)
+                .map(|s| flat_roles.get(s).copied())
+                .collect(),
+            stages,
+            rings,
+            base,
+            limit: self.frame_limit,
+            start_nanos: self.start.elapsed().as_nanos() as u64,
+            pause: AtomicBool::new(false),
+            produced: AtomicU64::new(base),
+        });
+        // Pool growth: spawn the extra slots before publishing, waiting on
+        // the epoch about to be announced.
+        for slot in spawned..needed {
+            let control = self.control.clone();
+            let works = self.works.clone();
+            let source = self.source.clone();
+            let start = self.start;
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("amp-w{slot}"))
+                    .spawn(move || worker_loop(slot, cur_epoch, control, works, source, start))
+                    .expect("spawning pipeline worker"),
+            );
+        }
+        drop(handles);
+        self.control.claim.store(base, Ordering::SeqCst);
+        {
+            let mut st = self.control.state.lock();
+            st.plan = Some(plan);
+            st.epoch = cur_epoch + 1;
+            st.running = slot_count;
+            st.migrating = false;
+        }
+        self.control.epoch_cv.notify_all();
+
+        let event = ReconfigEvent {
+            epoch: cur_epoch + 1,
+            boundary_frame: base,
+            downtime_us: t0.elapsed().as_secs_f64() * 1e6,
+            sink_gap_us: 0.0, // filled from sink departures by `join`
+            migrated_stages: diff.migrated_stages(),
+            unchanged_stages: diff.unchanged,
+            workers_added,
+            workers_parked,
+        };
+        self.events.lock().push(event.clone());
+        mig.solution = new_solution;
+        Ok(event)
+    }
+
+    /// Waits for the run to finish (frame limit reached, duration elapsed
+    /// or [`RunningPipeline::stop`]), drains the workers and reports.
+    ///
+    /// # Panics
+    /// Panics if a worker thread panicked.
+    #[must_use]
+    pub fn join(self) -> RunReport {
+        let (epochs, final_plan) = {
+            let mut st = self.control.state.lock();
+            while st.running > 0 || st.migrating {
+                self.control.done_cv.wait(&mut st);
+            }
+            st.shutdown = true;
+            (
+                st.epoch,
+                st.plan.take().expect("launched pipeline has a plan"),
+            )
+        };
+        self.control.epoch_cv.notify_all();
+        for handle in self.workers.into_inner() {
+            handle.join().expect("pipeline worker panicked");
+        }
+        self.control.stop.store(true, Ordering::Relaxed);
+        if let Some(watchdog) = self.watchdog.into_inner() {
+            watchdog.join().expect("watchdog panicked");
+        }
+        let elapsed = self.start.elapsed();
+        let mut departures = std::mem::take(&mut *self.control.sink.lock());
+        departures.sort_unstable();
+        let mut events = self.events.into_inner();
+        fill_sink_gaps(&mut events, &departures);
+        build_report(
+            &departures,
+            elapsed,
+            &final_plan,
+            self.config.warmup_fraction,
+            epochs,
+            events,
+        )
+    }
+}
+
 impl<D: Send + 'static> PipelineSpec<D> {
     /// Builds a spec from a frame factory and the task bodies.
     pub fn new(source: Arc<dyn Fn(u64) -> D + Send + Sync>, tasks: Vec<RuntimeTask<D>>) -> Self {
@@ -132,11 +650,14 @@ impl<D: Send + 'static> PipelineSpec<D> {
         &self.tasks
     }
 
-    /// Executes `solution` over this pipeline on `machine`.
+    /// Executes `solution` over this pipeline on `machine` to completion.
     ///
-    /// Spawns one worker thread per stage replica, wires order-preserving
-    /// bounded adaptors between consecutive stages, runs until the
-    /// termination condition, and reports measured throughput.
+    /// Equivalent to [`PipelineSpec::launch`] followed immediately by
+    /// [`RunningPipeline::join`], with the additional requirement that
+    /// `config` carries a termination condition.
+    ///
+    /// # Errors
+    /// See [`RuntimeError`].
     pub fn run(
         &self,
         chain: &TaskChain,
@@ -144,6 +665,29 @@ impl<D: Send + 'static> PipelineSpec<D> {
         machine: &VirtualMachine,
         config: &RunConfig,
     ) -> Result<RunReport, RuntimeError> {
+        if config.frames.is_none() && config.max_duration.is_none() {
+            return Err(RuntimeError::NoTerminationCondition);
+        }
+        Ok(self.launch(chain, solution, machine, config)?.join())
+    }
+
+    /// Starts `solution` over this pipeline on `machine` and returns the
+    /// live handle without waiting for termination.
+    ///
+    /// Worker threads (one per stage replica) are spawned once and
+    /// re-assigned across reconfigurations. Unlike [`PipelineSpec::run`],
+    /// a config without any termination condition is accepted: the caller
+    /// owns a [`RunningPipeline::stop`] handle.
+    ///
+    /// # Errors
+    /// See [`RuntimeError`].
+    pub fn launch(
+        &self,
+        chain: &TaskChain,
+        solution: &Solution,
+        machine: &VirtualMachine,
+        config: &RunConfig,
+    ) -> Result<RunningPipeline<D>, RuntimeError> {
         if self.tasks.len() != chain.len() {
             return Err(RuntimeError::ChainMismatch {
                 spec: self.tasks.len(),
@@ -159,9 +703,6 @@ impl<D: Send + 'static> PipelineSpec<D> {
             .validate(chain)
             .map_err(RuntimeError::InvalidSolution)?;
         let placement = machine.place(solution).ok_or(RuntimeError::Placement)?;
-        if config.frames.is_none() && config.max_duration.is_none() {
-            return Err(RuntimeError::NoTerminationCondition);
-        }
         let frame_limit = config.frames.unwrap_or(u64::MAX);
         let stages = solution.stages().to_vec();
         let k = stages.len();
@@ -169,140 +710,117 @@ impl<D: Send + 'static> PipelineSpec<D> {
         let rings: Vec<Arc<OrderedRing<D>>> = (0..k.saturating_sub(1))
             .map(|_| Arc::new(OrderedRing::new(config.queue_capacity)))
             .collect();
-        let stop = Arc::new(AtomicBool::new(false));
-        let claim = Arc::new(AtomicU64::new(0));
-        let active: Arc<Vec<AtomicUsize>> = Arc::new(
-            stages
+        let mut flat_roles = Vec::new();
+        for (i, cores) in placement.iter().enumerate() {
+            for (j, core) in cores.iter().enumerate() {
+                flat_roles.push(Role {
+                    stage: i,
+                    replica: j as u64,
+                    core_kind: core.kind,
+                });
+            }
+        }
+        let plan = Arc::new(EpochPlan {
+            active: stages
                 .iter()
                 .map(|s| AtomicUsize::new(s.cores as usize))
                 .collect(),
-        );
-        let busy_nanos: Arc<Vec<AtomicU64>> = Arc::new((0..k).map(|_| AtomicU64::new(0)).collect());
-        let sink: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+            busy_nanos: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            roles: flat_roles.iter().map(|r| Some(*r)).collect(),
+            stages,
+            rings,
+            base: 0,
+            limit: frame_limit,
+            start_nanos: 0,
+            pause: AtomicBool::new(false),
+            produced: AtomicU64::new(0),
+        });
+        let workers = flat_roles.len();
+        let control = Arc::new(Control {
+            state: Mutex::new(ControlState {
+                epoch: 1,
+                plan: Some(plan),
+                running: workers,
+                migrating: false,
+                shutdown: false,
+            }),
+            epoch_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            claim: AtomicU64::new(0),
+            sink: Mutex::new(Vec::new()),
+        });
         let works: Arc<Vec<Arc<dyn TaskWork<D>>>> =
             Arc::new(self.tasks.iter().map(|t| t.work.clone()).collect());
-
         let start = Instant::now();
         let mut handles = Vec::new();
-        for (i, stage) in stages.iter().enumerate() {
-            for (j, core) in placement[i].iter().enumerate() {
-                let ring_in = (i > 0).then(|| rings[i - 1].clone());
-                let ring_out = (i + 1 < k).then(|| rings[i].clone());
-                let works = works.clone();
-                let source = self.source.clone();
-                let stop = stop.clone();
-                let claim = claim.clone();
-                let active = active.clone();
-                let busy_nanos = busy_nanos.clone();
-                let sink = sink.clone();
-                let (task_lo, task_hi) = (stage.start, stage.end);
-                let replicas = stage.cores;
-                let core_kind = core.kind;
-                let worker = move || {
-                    let process = |seq: u64, data: &mut D| {
-                        let t0 = Instant::now();
-                        for t in task_lo..=task_hi {
-                            works[t].process(seq, data, core_kind);
-                        }
-                        busy_nanos[i].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    };
-                    match &ring_in {
-                        None => loop {
-                            // Source stage: dynamically claim the next frame.
-                            if stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let seq = claim.fetch_add(1, Ordering::Relaxed);
-                            if seq >= frame_limit {
-                                break;
-                            }
-                            let mut data = source(seq);
-                            process(seq, &mut data);
-                            match &ring_out {
-                                Some(out) => out.push(seq, data),
-                                None => sink.lock().push((seq, start.elapsed().as_nanos() as u64)),
-                            }
-                        },
-                        Some(input) => {
-                            let mut seq = j as u64;
-                            while let Some(mut data) = input.pop(seq) {
-                                process(seq, &mut data);
-                                match &ring_out {
-                                    Some(out) => out.push(seq, data),
-                                    None => {
-                                        sink.lock().push((seq, start.elapsed().as_nanos() as u64))
-                                    }
-                                }
-                                seq += replicas;
-                            }
-                        }
-                    }
-                    // Last replica out closes the downstream adaptor.
-                    if active[i].fetch_sub(1, Ordering::AcqRel) == 1 {
-                        if let Some(out) = &ring_out {
-                            let total = match &ring_in {
-                                None => claim.load(Ordering::Relaxed).min(frame_limit),
-                                Some(input) => input
-                                    .closed_total()
-                                    .expect("input closed before this stage finished"),
-                            };
-                            out.close(total);
-                        }
-                    }
-                };
-                handles.push(
-                    thread::Builder::new()
-                        .name(format!("amp-s{i}r{j}"))
-                        .spawn(worker)
-                        .expect("spawning pipeline worker"),
-                );
-            }
+        for slot in 0..workers {
+            let control = control.clone();
+            let works = works.clone();
+            let source = self.source.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("amp-w{slot}"))
+                    .spawn(move || worker_loop(slot, 0, control, works, source, start))
+                    .expect("spawning pipeline worker"),
+            );
         }
 
         // Deadline watchdog (duration-based termination).
         let watchdog = config.max_duration.map(|d| {
-            let stop = stop.clone();
+            let control = control.clone();
             let deadline = start + d;
             thread::spawn(move || {
                 while Instant::now() < deadline {
-                    if stop.load(Ordering::Relaxed) {
+                    if control.stop.load(Ordering::Relaxed) {
                         return;
                     }
                     thread::sleep(Duration::from_millis(2));
                 }
-                stop.store(true, Ordering::Relaxed);
+                control.stop.store(true, Ordering::Relaxed);
             })
         });
 
-        for h in handles {
-            h.join().expect("pipeline worker panicked");
-        }
-        stop.store(true, Ordering::Relaxed);
-        if let Some(w) = watchdog {
-            w.join().expect("watchdog panicked");
-        }
-        let elapsed = start.elapsed();
-
-        let mut departures = Arc::try_unwrap(sink)
-            .map(Mutex::into_inner)
-            .unwrap_or_else(|arc| arc.lock().clone());
-        departures.sort_unstable();
-        Ok(build_report(
-            &departures,
-            elapsed,
-            &stages,
-            &busy_nanos,
-            config.warmup_fraction,
-        ))
+        Ok(RunningPipeline {
+            control,
+            works,
+            source: self.source.clone(),
+            workers: Mutex::new(handles),
+            watchdog: Mutex::new(watchdog),
+            start,
+            config: *config,
+            frame_limit,
+            replicable: self.tasks.iter().map(|t| t.replicable).collect(),
+            migrate: Mutex::new(MigrateState {
+                chain: chain.clone(),
+                solution: solution.clone(),
+                table: None,
+            }),
+            events: Mutex::new(Vec::new()),
+        })
     }
 }
 
-fn build_report(
+/// Fills each event's sink-observed downtime: the departure gap between
+/// the last frame of the old epoch and the first frame of the new one.
+fn fill_sink_gaps(events: &mut [ReconfigEvent], departures: &[(u64, u64)]) {
+    for event in events {
+        let b = event.boundary_frame;
+        if b == 0 || b as usize >= departures.len() {
+            continue;
+        }
+        let (before, after) = (departures[b as usize - 1].1, departures[b as usize].1);
+        event.sink_gap_us = after.saturating_sub(before) as f64 / 1e3;
+    }
+}
+
+fn build_report<D>(
     departures: &[(u64, u64)],
     elapsed: Duration,
-    stages: &[amp_core::Stage],
-    busy_nanos: &[AtomicU64],
+    final_plan: &EpochPlan<D>,
     warmup_fraction: f64,
+    epochs: u64,
+    reconfigs: Vec<ReconfigEvent>,
 ) -> RunReport {
     let frames = departures.len() as u64;
     let elapsed_seconds = elapsed.as_secs_f64();
@@ -311,7 +829,18 @@ fn build_report(
     } else {
         0.0
     };
-    let (fps, period_us) = if frames >= 2 {
+    // Whole-run fallback for runs that end inside the warm-up window:
+    // `fps` and `period_us` stay mutually consistent (no 0-period with a
+    // positive fps, which used to blow up downstream `1e6 / period_us`).
+    let fallback = || {
+        let period = if fps_total > 0.0 {
+            1e6 / fps_total
+        } else {
+            0.0
+        };
+        (fps_total, period, false)
+    };
+    let (fps, period_us, steady_state_valid) = if frames >= 2 {
         // Replicated sink stages may complete frames slightly out of
         // sequence order; measure inter-departure gaps over time order.
         let mut times: Vec<u64> = departures.iter().map(|&(_, t)| t).collect();
@@ -322,19 +851,24 @@ fn build_report(
         let n = (times.len() - 1 - warm) as f64;
         if dt_nanos > 0 {
             let period = dt_nanos as f64 / n; // ns per frame
-            (1e9 / period, period / 1e3)
+            (1e9 / period, period / 1e3, true)
         } else {
-            (fps_total, 0.0)
+            fallback()
         }
     } else {
-        (fps_total, 0.0)
+        fallback()
     };
-    let stage_reports = stages
+    // Stage statistics cover the final epoch only (decompositions differ
+    // across epochs), measured against the final epoch's wall-clock.
+    let epoch_seconds =
+        (elapsed.as_nanos() as u64).saturating_sub(final_plan.start_nanos) as f64 / 1e9;
+    let stage_reports = final_plan
+        .stages
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            let busy = busy_nanos[i].load(Ordering::Relaxed) as f64 / 1e9;
-            let denom = s.cores as f64 * elapsed_seconds;
+            let busy = final_plan.busy_nanos[i].load(Ordering::Relaxed) as f64 / 1e9;
+            let denom = s.cores as f64 * epoch_seconds;
             StageRuntimeReport {
                 stage: i,
                 replicas: s.cores,
@@ -354,6 +888,9 @@ fn build_report(
         fps,
         fps_total,
         period_us,
+        steady_state_valid,
+        epochs,
+        reconfigs,
         stages: stage_reports,
     }
 }
@@ -363,6 +900,7 @@ mod tests {
     use super::*;
     use crate::vcore::VirtualMachine;
     use crate::work::{FnWork, WeightedWork};
+    use amp_core::sched::{Herad, Scheduler};
     use amp_core::{CoreType, Resources, Stage, Task};
 
     fn spec_counting(n: usize) -> PipelineSpec<Vec<u64>> {
@@ -397,6 +935,8 @@ mod tests {
             .unwrap();
         assert_eq!(r.frames, 50);
         assert!(r.fps > 0.0);
+        assert_eq!(r.epochs, 1);
+        assert!(r.reconfigs.is_empty());
     }
 
     #[test]
@@ -498,6 +1038,78 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_launch_stops_on_request() {
+        let chain = chain_replicable(2);
+        let spec = spec_counting(2);
+        let solution = Solution::new(vec![Stage::new(0, 1, 1, CoreType::Big)]);
+        let machine = VirtualMachine::new(Resources::new(1, 0));
+        let cfg = RunConfig {
+            frames: None,
+            max_duration: None,
+            queue_capacity: 8,
+            warmup_fraction: 0.2,
+        };
+        // `run` refuses an unbounded config; `launch` accepts it because
+        // the caller holds the stop handle.
+        assert!(matches!(
+            spec.run(&chain, &solution, &machine, &cfg),
+            Err(RuntimeError::NoTerminationCondition)
+        ));
+        let live = spec.launch(&chain, &solution, &machine, &cfg).unwrap();
+        while live.frames_done() < 10 {
+            thread::yield_now();
+        }
+        live.stop();
+        let r = live.join();
+        assert!(r.frames >= 10);
+    }
+
+    #[test]
+    fn steady_state_flag_clears_on_single_frame_runs() {
+        // Frame-limit termination inside the warm-up window.
+        let chain = chain_replicable(2);
+        let spec = spec_counting(2);
+        let solution = Solution::new(vec![Stage::new(0, 1, 1, CoreType::Big)]);
+        let machine = VirtualMachine::new(Resources::new(1, 0));
+        let r = spec
+            .run(&chain, &solution, &machine, &RunConfig::with_frames(1))
+            .unwrap();
+        assert_eq!(r.frames, 1);
+        assert!(!r.steady_state_valid);
+        assert!(r.fps.is_finite() && r.period_us.is_finite());
+        // The fallback stays internally consistent: fps == 1e6/period.
+        if r.fps > 0.0 {
+            assert!((r.fps - 1e6 / r.period_us).abs() / r.fps < 1e-9);
+        }
+    }
+
+    #[test]
+    fn steady_state_flag_clears_on_early_duration_stop() {
+        // Duration termination before a steady window exists: one heavy
+        // frame outlives the deadline, so at most one departure lands.
+        let chain = TaskChain::new(vec![Task::new(50_000, 50_000, false)]);
+        let tasks = vec![RuntimeTask::new(
+            "heavy",
+            false,
+            WeightedWork::new(50_000.0, 50_000.0),
+        )];
+        let spec: PipelineSpec<u64> = PipelineSpec::new(Arc::new(|s| s), tasks);
+        let solution = Solution::new(vec![Stage::new(0, 0, 1, CoreType::Big)]);
+        let machine = VirtualMachine::new(Resources::new(1, 0));
+        let r = spec
+            .run(
+                &chain,
+                &solution,
+                &machine,
+                &RunConfig::with_duration(Duration::from_millis(1)),
+            )
+            .unwrap();
+        assert!(r.frames <= 1, "{} frames", r.frames);
+        assert!(!r.steady_state_valid);
+        assert!(r.fps.is_finite() && r.period_us.is_finite());
+    }
+
+    #[test]
     fn validates_inputs() {
         let chain = chain_replicable(2);
         let machine = VirtualMachine::new(Resources::new(1, 0));
@@ -539,5 +1151,46 @@ mod tests {
             spec.run(&seq_chain, &solution, &machine, &RunConfig::with_frames(1)),
             Err(RuntimeError::ReplicabilityMismatch(0))
         ));
+    }
+
+    #[test]
+    fn reconfigure_after_completion_is_terminated() {
+        let chain = chain_replicable(2);
+        let spec = spec_counting(2);
+        let solution = Solution::new(vec![Stage::new(0, 1, 1, CoreType::Big)]);
+        let machine = VirtualMachine::new(Resources::new(2, 2));
+        let live = spec
+            .launch(&chain, &solution, &machine, &RunConfig::with_frames(5))
+            .unwrap();
+        // Wait for natural completion, then try to migrate.
+        while live.frames_done() < 5 {
+            thread::yield_now();
+        }
+        let shrunk = VirtualMachine::new(Resources::new(0, 1));
+        assert!(matches!(
+            live.reconfigure(&shrunk),
+            Err(RuntimeError::Terminated)
+        ));
+        let r = live.join();
+        assert_eq!(r.frames, 5);
+    }
+
+    #[test]
+    fn noop_reconfigure_skips_the_barrier() {
+        let chain = chain_replicable(3);
+        let spec = spec_counting(3);
+        let machine = VirtualMachine::new(Resources::new(2, 1));
+        let solution = Herad::new().schedule(&chain, machine.resources()).unwrap();
+        let live = spec
+            .launch(&chain, &solution, &machine, &RunConfig::with_frames(400))
+            .unwrap();
+        // Re-offering the same machine re-solves to the same decomposition.
+        let event = live.reconfigure(&machine).unwrap();
+        assert_eq!(event.migrated_stages, 0);
+        assert_eq!(event.downtime_us, 0.0);
+        let r = live.join();
+        assert_eq!(r.frames, 400);
+        assert_eq!(r.epochs, 1);
+        assert!(r.reconfigs.is_empty());
     }
 }

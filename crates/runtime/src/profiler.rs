@@ -1,6 +1,14 @@
 //! Task profiling: measures each task's per-frame latency on each virtual
 //! core type, producing the weight table the schedulers consume (the
 //! paper's Table III workflow: profile first, schedule second).
+//!
+//! Weights are accumulated in nanoseconds and quantized to a configurable
+//! unit ([`ProfileConfig::unit_nanos`]). The schedulers only consume weight
+//! *ratios*, so the unit is free — but it must be fine enough for the
+//! chain at hand: quantizing a 300 ns task and a 900 ns task to whole
+//! microseconds collapses both to weight 1 and erases the very asymmetry
+//! the schedulers balance. The default unit is 1 ns, which preserves
+//! sub-microsecond asymmetry exactly.
 
 use crate::pipeline::RuntimeTask;
 use amp_core::{CoreType, Task, TaskChain};
@@ -13,6 +21,11 @@ pub struct ProfileConfig {
     pub frames: u64,
     /// Leading frames discarded (cache warm-up).
     pub warmup: u64,
+    /// Weight scale: one weight unit equals this many nanoseconds. Mean
+    /// latencies are divided by it, rounded up, floored at 1. Use 1 (the
+    /// default) for nanosecond weights, 1000 for the paper's microsecond
+    /// tables when every task is far above 1 µs.
+    pub unit_nanos: u64,
 }
 
 impl Default for ProfileConfig {
@@ -20,13 +33,18 @@ impl Default for ProfileConfig {
         ProfileConfig {
             frames: 32,
             warmup: 4,
+            unit_nanos: 1,
         }
     }
 }
 
 /// Runs every task of `spec` `config.frames` times on each core type and
-/// returns a [`TaskChain`] whose weights are the measured mean latencies in
-/// microseconds (rounded up, minimum 1).
+/// returns a [`TaskChain`] whose weights are the measured mean latencies
+/// in units of [`ProfileConfig::unit_nanos`] (rounded up, minimum 1).
+///
+/// # Panics
+/// Panics when `config` leaves no measured frames after warm-up or has a
+/// zero `unit_nanos`.
 #[must_use]
 pub fn profile_chain<D>(
     tasks: &[RuntimeTask<D>],
@@ -34,6 +52,7 @@ pub fn profile_chain<D>(
     config: &ProfileConfig,
 ) -> TaskChain {
     assert!(config.frames > config.warmup, "need frames after warm-up");
+    assert!(config.unit_nanos > 0, "weight unit must be at least 1 ns");
     let measured: Vec<Task> = tasks
         .iter()
         .map(|task| {
@@ -49,8 +68,9 @@ pub fn profile_chain<D>(
                         total_nanos += dt;
                     }
                 }
-                let mean_us = total_nanos as f64 / ((config.frames - config.warmup) as f64 * 1e3);
-                weights[slot] = (mean_us.ceil() as u64).max(1);
+                let mean_nanos = total_nanos as f64 / (config.frames - config.warmup) as f64;
+                let units = (mean_nanos / config.unit_nanos as f64).ceil() as u64;
+                weights[slot] = units.max(1);
             }
             Task {
                 name: task.name.clone(),
@@ -74,7 +94,11 @@ mod tests {
             RuntimeTask::<u64>::new("fast", true, WeightedWork::new(200.0, 800.0)),
             RuntimeTask::<u64>::new("slow", false, WeightedWork::new(1000.0, 2000.0)),
         ];
-        let chain = profile_chain(&tasks, |s| s, &ProfileConfig::default());
+        let us = ProfileConfig {
+            unit_nanos: 1000,
+            ..ProfileConfig::default()
+        };
+        let chain = profile_chain(&tasks, |s| s, &us);
         assert_eq!(chain.len(), 2);
         // Within 50% of the configured cost (spin calibration tolerance on
         // noisy CI machines).
@@ -91,5 +115,35 @@ mod tests {
         // The little/big ratio should roughly match the 4x / 2x setup.
         let r0 = t0.weight_little as f64 / t0.weight_big as f64;
         assert!((2.0..=8.0).contains(&r0), "ratio {r0}");
+    }
+
+    #[test]
+    fn sub_microsecond_asymmetry_survives_quantization() {
+        // Regression: microsecond quantization (ceil, floor 1) used to
+        // collapse a 0.3 µs and a 0.9 µs task both to weight 1 on both
+        // core types, hiding a 3x asymmetry from the schedulers. The
+        // default nanosecond unit must keep them distinct.
+        let tasks = vec![
+            RuntimeTask::<u64>::new("tiny", true, WeightedWork::new(0.3, 0.9)),
+            RuntimeTask::<u64>::new("small", true, WeightedWork::new(0.9, 2.7)),
+        ];
+        let chain = profile_chain(&tasks, |s| s, &ProfileConfig::default());
+        let (t0, t1) = (chain.task(0), chain.task(1));
+        assert!(
+            t0.weight_little > t0.weight_big,
+            "big {} vs little {} must stay asymmetric",
+            t0.weight_big,
+            t0.weight_little
+        );
+        assert!(
+            t1.weight_big > t0.weight_big,
+            "0.9us ({}) must outweigh 0.3us ({})",
+            t1.weight_big,
+            t0.weight_big
+        );
+        // The 3x spread should be roughly preserved (loose bounds: spin
+        // granularity and timer overhead dominate at this scale).
+        let ratio = t1.weight_big as f64 / t0.weight_big as f64;
+        assert!((1.5..=10.0).contains(&ratio), "ratio {ratio}");
     }
 }

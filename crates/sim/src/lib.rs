@@ -24,7 +24,9 @@
 //! tests).
 
 mod pipeline;
+mod reconfig;
 mod report;
 
 pub use pipeline::{simulate, SimConfig};
+pub use reconfig::{simulate_reconfig, ReconfigSimReport, SimBoundary};
 pub use report::{SimReport, StageReport};

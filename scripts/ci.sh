@@ -65,3 +65,19 @@ cargo run --release -p amp-bench --bin perf -- --smoke --out BENCH_sched.json
 # zero cold solves. The latency report lands in BENCH_net.json and the
 # tier snapshot in SNAP_chain_tier.json.
 cargo run --release -p amp-net --bin net_loadgen -- --smoke --out BENCH_net.json --snapshot-out SNAP_chain_tier.json
+
+# Reconfiguration gate: the live-migration battery over a wide seed
+# window — incremental re-solves over a scripted pool sequence
+# (shrink/grow/original) must be bit-identical to fresh solves
+# (RECONF_DIVERGE), and the epoch-barrier simulator mirror must account
+# for every frame exactly once, in order (RECONF_LOST). Narrowing to the
+# reconfig battery keeps 1000 seeds cheap.
+cargo run --release -p amp-conformance -- --reconfig-only --seeds 1000 --max-tasks 8 --max-big 4 --max-little 4
+
+# Reconfig-sweep smoke gate: a fixed 8-task chain migrated live
+# (wide -> narrow -> wide) on the threaded runtime versus the same pool
+# script paid as stop-the-world restarts. Exits non-zero if any live run
+# loses a frame, a migration goes unobserved, or the median live
+# sink-departure gap is not strictly below the median restart gap. The
+# report lands in BENCH_reconfig.json.
+cargo run --release -p amp-experiments --bin reconfig_sweep -- --smoke --out BENCH_reconfig.json

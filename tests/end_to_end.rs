@@ -53,6 +53,7 @@ fn profile_schedule_execute_roundtrip() {
         &ProfileConfig {
             frames: 12,
             warmup: 2,
+            unit_nanos: 1000,
         },
     );
     assert_eq!(measured.len(), 3);
