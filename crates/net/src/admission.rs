@@ -139,8 +139,18 @@ impl InflightWindow {
 
     /// Returns a slot (one response left the server).
     pub fn release(&self) {
+        self.release_n(1);
+    }
+
+    /// Returns `n` slots at once — one corked vectored write can retire
+    /// a whole burst of responses, and taking the lock once for the
+    /// batch keeps the release path off the pump's per-frame cost.
+    pub fn release_n(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
         let mut inflight = self.inflight.lock();
-        *inflight = inflight.saturating_sub(1);
+        *inflight = inflight.saturating_sub(n);
         self.freed.notify_all();
     }
 

@@ -24,19 +24,33 @@
 //!   outcomes), exported through the `{"op":"status"}` control frame
 //!   next to the engine fleet's own per-shard metrics and cache
 //!   counters.
+//! * [`wire`] — the corked write path: a vectored frame writer with a
+//!   short-write resume loop (one `writev` per response burst instead
+//!   of one syscall per line) and the bounded buffer pool that keeps
+//!   the steady-state framing path allocation-free.
+//! * [`registry`] — the sharded slab connection registry: conn-id-keyed
+//!   slots across lock shards (no global accept/close bottleneck) plus
+//!   JoinHandle reaping so a long-lived server retains a bounded number
+//!   of finished handles.
 //! * [`loadgen`] — the seeded socket load generator: M pipelined
 //!   connections, id-partitioned audit proving zero lost, duplicated or
-//!   misrouted responses, and a latency/throughput report. The
-//!   `net_loadgen` binary wraps it for the CLI and the CI smoke gate.
+//!   misrouted responses, and a latency/throughput report, with
+//!   fixed-count, sustained `--duration` (open-loop paced) and
+//!   `--scaling` (latency-vs-connections sweep) modes. The `net_loadgen`
+//!   binary wraps it for the CLI and the CI smoke gate.
 
 pub mod admission;
 pub mod loadgen;
 pub mod metrics;
 pub mod proto;
+pub mod registry;
 pub mod server;
+pub mod wire;
 
 pub use admission::{InflightWindow, QuotaConfig, TenantQuotas};
-pub use loadgen::{LoadConfig, LoadReport};
+pub use loadgen::{LoadConfig, LoadReport, ScalingPoint, ScalingReport};
 pub use metrics::{NetMetrics, NetSnapshot};
 pub use proto::{ClientResponse, WireError, WireRequest};
+pub use registry::ConnRegistry;
 pub use server::{Server, ServerConfig};
+pub use wire::{write_frames, BufPool, CORK_MAX};

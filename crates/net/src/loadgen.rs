@@ -24,10 +24,29 @@
 //! instance pool, the per-connection request sequence, and the id
 //! assignment all derive from `StdRng` streams. Timing (and therefore
 //! latency numbers) varies run to run; the *set* of frames does not.
+//! (In `duration` mode the *count* of frames is time-dependent, but the
+//! sequence of instances drawn is still the seeded stream.)
+//!
+//! ## Modes
+//!
+//! * **Fixed-count** (default): each connection pipelines
+//!   `requests_per_connection` frames flat-out, corked
+//!   [`LoadConfig::client_cork`] frames per write so the client's own
+//!   syscall rate cannot become the bottleneck being measured.
+//! * **Sustained** ([`LoadConfig::duration`]): open-loop pacing — the
+//!   sender derives each frame's due time from the offered rate and the
+//!   clock, never from responses, so a slow server faces mounting
+//!   in-flight pressure instead of a politely backing-off client. The
+//!   first [`LoadConfig::warmup`] of samples is excluded from the
+//!   latency percentiles (ramp, cold caches), which is what makes the
+//!   scaling sweep a steady-state measurement.
+//! * **Scaling** ([`run_scaling`]): the sustained mode swept over
+//!   connection counts at a *fixed total offered load*, emitting the
+//!   latency-vs-connections curve the CI gate checks.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use amp_service::{Objective, Policy, ScheduleRequest, TaskSpec};
@@ -57,6 +76,26 @@ pub struct LoadConfig {
     /// How long a receiver waits on a quiet socket before declaring the
     /// remaining responses lost.
     pub read_timeout: Duration,
+    /// Sustained mode: run for this long instead of a fixed request
+    /// count (`requests_per_connection` is ignored when set).
+    pub duration: Option<Duration>,
+    /// Sustained mode: total offered load across all connections,
+    /// requests per second. `None` paces nothing — every connection
+    /// sends flat-out for the duration.
+    pub target_rps: Option<u64>,
+    /// Sustained mode: samples sent inside this initial window are
+    /// excluded from the latency percentiles (ramp/cold-cache
+    /// exclusion). They still count for the audit.
+    pub warmup: Duration,
+    /// Sustained mode: samples sent inside this final window before the
+    /// deadline are excluded from the latency percentiles — their
+    /// responses land amid the fleet-wide half-close/drain storm, which
+    /// measures teardown, not service. They still count for the audit.
+    pub cooldown: Duration,
+    /// Frames per client-side write: senders cork this many frames into
+    /// one syscall so client write overhead doesn't shadow the server's
+    /// numbers.
+    pub client_cork: usize,
 }
 
 impl Default for LoadConfig {
@@ -70,6 +109,11 @@ impl Default for LoadConfig {
             seed: 0xA11CE,
             tenant: "public".to_string(),
             read_timeout: Duration::from_secs(10),
+            duration: None,
+            target_rps: None,
+            warmup: Duration::from_millis(250),
+            cooldown: Duration::from_millis(150),
+            client_cork: 32,
         }
     }
 }
@@ -222,14 +266,103 @@ struct ConnAudit {
     seen: Vec<bool>,
 }
 
-/// Drives one connection: a sender thread pipelines every frame while
-/// this thread audits the response stream.
+impl ConnAudit {
+    fn empty(capacity: usize) -> Self {
+        ConnAudit {
+            answered: 0,
+            ok: 0,
+            cache_hits: 0,
+            rejected: BTreeMap::new(),
+            duplicates: 0,
+            misrouted: 0,
+            unattributed: 0,
+            latencies_us: Vec::with_capacity(capacity),
+            seen: vec![false; capacity],
+        }
+    }
+}
+
+/// Sustained mode grows the audit tables to the sequence numbers it
+/// sees; this caps the growth a corrupt (huge-seq) frame could force.
+const MAX_SEQ: usize = 1 << 26;
+
+/// Attributes one received frame to the audit. `grow` is sustained
+/// mode, where the total frame count isn't known while receiving.
+fn attribute(
+    line: &str,
+    conn: usize,
+    audit: &mut ConnAudit,
+    recv_at: &mut Vec<Option<Duration>>,
+    now: Duration,
+    grow: bool,
+) {
+    // The scanner matches the canonical frame shapes directly and falls
+    // back to the full parse on anything else, so at high rates the
+    // client isn't the JSON-parsing bottleneck in its own measurement.
+    let Ok(response) = proto::scan_response(line) else {
+        // An unparseable frame is still an answer of sorts; it has no
+        // id, so it can only be tallied as unattributed.
+        audit.unattributed += 1;
+        return;
+    };
+    let Some(id) = response.id else {
+        audit.unattributed += 1;
+        return;
+    };
+    if (id >> 32) as usize != conn {
+        audit.misrouted += 1;
+        return;
+    }
+    let seq = (id & 0xFFFF_FFFF) as usize;
+    if grow && seq < MAX_SEQ && seq >= audit.seen.len() {
+        audit.seen.resize(seq + 1, false);
+        recv_at.resize(seq + 1, None);
+    }
+    if seq >= audit.seen.len() || audit.seen[seq] {
+        audit.duplicates += 1;
+        return;
+    }
+    audit.seen[seq] = true;
+    audit.answered += 1;
+    recv_at[seq] = Some(now);
+    match response.outcome {
+        Ok(cached) => {
+            audit.ok += 1;
+            if cached {
+                audit.cache_hits += 1;
+            }
+        }
+        Err(code) => {
+            *audit.rejected.entry(code).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Appends decimal digits to a byte buffer (the id splice).
+fn push_digits(out: &mut Vec<u8>, mut n: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&tmp[i..]);
+}
+
+/// Drives one connection in fixed-count mode: a sender thread pipelines
+/// every frame (corked `client_cork` per write) while this thread
+/// audits the response stream.
 fn drive_connection(
     cfg: &LoadConfig,
     pool: &[ScheduleRequest],
     conn: usize,
 ) -> std::io::Result<ConnAudit> {
     let n = cfg.requests_per_connection;
+    let cork = cfg.client_cork.max(1);
     let stream = TcpStream::connect(cfg.addr)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(cfg.read_timeout))?;
@@ -253,28 +386,23 @@ fn drive_connection(
     let send_clock = Instant::now();
     let sender = std::thread::spawn(move || -> std::io::Result<Vec<Duration>> {
         let mut sent_at = Vec::with_capacity(frames.len());
-        let mut line = String::new();
-        for frame in &frames {
-            line.clear();
-            line.push_str(frame);
-            line.push('\n');
+        let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
+        for (i, frame) in frames.iter().enumerate() {
             sent_at.push(send_clock.elapsed());
-            write_half.write_all(line.as_bytes())?;
+            out.extend_from_slice(frame.as_bytes());
+            out.push(b'\n');
+            if (i + 1) % cork == 0 {
+                write_half.write_all(&out)?;
+                out.clear();
+            }
+        }
+        if !out.is_empty() {
+            write_half.write_all(&out)?;
         }
         Ok(sent_at)
     });
 
-    let mut audit = ConnAudit {
-        answered: 0,
-        ok: 0,
-        cache_hits: 0,
-        rejected: BTreeMap::new(),
-        duplicates: 0,
-        misrouted: 0,
-        unattributed: 0,
-        latencies_us: Vec::with_capacity(n),
-        seen: vec![false; n],
-    };
+    let mut audit = ConnAudit::empty(n);
     let mut recv_at: Vec<Option<Duration>> = vec![None; n];
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -285,39 +413,8 @@ fn drive_connection(
             Ok(_) => {}
             Err(_) => break, // read timeout or socket error
         }
-        let Ok(response) = proto::parse_response(line.trim_end()) else {
-            // An unparseable frame is still an answer of sorts; it has
-            // no id, so it can only be tallied as unattributed.
-            audit.unattributed += 1;
-            continue;
-        };
-        let Some(id) = response.id else {
-            audit.unattributed += 1;
-            continue;
-        };
-        if (id >> 32) as usize != conn {
-            audit.misrouted += 1;
-            continue;
-        }
-        let seq = (id & 0xFFFF_FFFF) as usize;
-        if seq >= n || audit.seen[seq] {
-            audit.duplicates += 1;
-            continue;
-        }
-        audit.seen[seq] = true;
-        audit.answered += 1;
-        recv_at[seq] = Some(send_clock.elapsed());
-        match response.result {
-            Ok(outcome) => {
-                audit.ok += 1;
-                if outcome_was_cached(&outcome) {
-                    audit.cache_hits += 1;
-                }
-            }
-            Err((code, _message)) => {
-                *audit.rejected.entry(code).or_insert(0) += 1;
-            }
-        }
+        let now = send_clock.elapsed();
+        attribute(line.trim_end(), conn, &mut audit, &mut recv_at, now, false);
     }
 
     let sent_at = sender
@@ -334,12 +431,145 @@ fn drive_connection(
     Ok(audit)
 }
 
-fn outcome_was_cached(outcome: &amp_core::json::Json) -> bool {
-    use amp_core::json::Json;
-    match outcome {
-        Json::Obj(fields) => fields.get("cache_hit") == Some(&Json::Bool(true)),
-        _ => false,
+/// Drives one connection in sustained mode: the sender open-loop paces
+/// frames off the clock for `cfg.duration`, half-closes its write side,
+/// and the receiver audits until the server's drain closes the socket.
+/// Returns the audit plus how many frames were actually sent.
+fn drive_sustained(
+    cfg: &LoadConfig,
+    pool: &[ScheduleRequest],
+    conn: usize,
+) -> std::io::Result<(ConnAudit, u64)> {
+    let duration = cfg.duration.expect("sustained mode requires a duration");
+    let per_conn_rate = cfg
+        .target_rps
+        .map(|total| (total / cfg.connections.max(1) as u64).max(1));
+    let cork = cfg.client_cork.max(1);
+    let stream = TcpStream::connect(cfg.addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    let mut write_half = stream.try_clone()?;
+
+    // Pre-render each pool instance once with a placeholder id and keep
+    // the split, so building a frame is two memcpys and a digit write —
+    // the client must not be the allocation-bound side of the bench.
+    let templates: Vec<(String, String)> = pool
+        .iter()
+        .map(|req| {
+            let mut request = req.clone();
+            request.id = 0;
+            let line = proto::render_request(&request, &cfg.tenant);
+            let pos = line
+                .find("\"id\":0")
+                .expect("rendered request carries its id");
+            let split = pos + "\"id\":".len();
+            (line[..split].to_string(), line[split + 1..].to_string())
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9));
+
+    let connections = cfg.connections.max(1) as u64;
+    let send_clock = Instant::now();
+    let sender = std::thread::spawn(move || -> std::io::Result<Vec<Duration>> {
+        let interval_ns = per_conn_rate.map(|r| (1_000_000_000u64 / r).max(1));
+        // Phase-offset each connection's tick schedule so the fleet's
+        // arrivals spread evenly over the interval instead of every
+        // connection bursting on the same clock edge.
+        let phase_ns = interval_ns.map_or(0, |iv| {
+            iv.wrapping_mul(conn as u64 % connections) / connections
+        });
+        let mut sent_at: Vec<Duration> = Vec::new();
+        let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
+        loop {
+            let now = send_clock.elapsed();
+            if now >= duration {
+                break;
+            }
+            let seq = sent_at.len();
+            // Open loop: how many frames the clock says should have
+            // been sent by now, regardless of what came back. The burst
+            // cap bounds catch-up after a scheduler hiccup.
+            let due = match interval_ns {
+                Some(iv) => {
+                    let t = u64::try_from(now.as_nanos()).unwrap_or(u64::MAX);
+                    let due = (t.saturating_sub(phase_ns) / iv) as usize + 1;
+                    due.clamp(seq, seq + 4096)
+                }
+                None => seq + cork,
+            };
+            for s in seq..due {
+                let (prefix, suffix) = &templates[rng.gen_range(0..templates.len())];
+                out.extend_from_slice(prefix.as_bytes());
+                push_digits(&mut out, compose_id(conn, s));
+                out.extend_from_slice(suffix.as_bytes());
+                out.push(b'\n');
+                sent_at.push(send_clock.elapsed());
+                if out.len() >= 64 * 1024 {
+                    write_half.write_all(&out)?;
+                    out.clear();
+                }
+            }
+            if !out.is_empty() {
+                write_half.write_all(&out)?;
+                out.clear();
+            }
+            if let Some(iv) = interval_ns {
+                // Sleep the full gap to the next tick (bounded by the
+                // deadline): with hundreds of paced connections on few
+                // cores, capped catnaps turn into a wakeup storm that
+                // costs more latency than the pacing saves.
+                let next = Duration::from_nanos(phase_ns.saturating_add(sent_at.len() as u64 * iv));
+                let now = send_clock.elapsed();
+                if next > now {
+                    std::thread::sleep((next - now).min(duration.saturating_sub(now)));
+                }
+            }
+        }
+        // Half-close: the server reader sees EOF, drains what it
+        // accepted, and the connection closes once every response is
+        // out — which is the receiver's termination signal.
+        write_half.shutdown(Shutdown::Write)?;
+        Ok(sent_at)
+    });
+
+    let mut audit = ConnAudit::empty(0);
+    let mut recv_at: Vec<Option<Duration>> = Vec::new();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // drain complete: server closed the socket
+            Ok(_) => {}
+            Err(_) => break, // read timeout or socket error
+        }
+        let now = send_clock.elapsed();
+        attribute(line.trim_end(), conn, &mut audit, &mut recv_at, now, true);
     }
+
+    let sent_at = sender
+        .join()
+        .map_err(|_| std::io::Error::other("sender thread panicked"))??;
+    if audit.seen.len() < sent_at.len() {
+        audit.seen.resize(sent_at.len(), false);
+    }
+    let cutoff = duration.saturating_sub(cfg.cooldown);
+    for (seq, sent) in sent_at.iter().enumerate() {
+        // Warmup/cooldown exclusion: the ramp (cold caches, first-touch
+        // pages) and the drain (every connection tearing down at once)
+        // are real but neither is the steady state the percentiles
+        // claim to describe.
+        if *sent < cfg.warmup || *sent >= cutoff {
+            continue;
+        }
+        if let Some(Some(received)) = recv_at.get(seq) {
+            let us = received.saturating_sub(*sent).as_micros();
+            audit
+                .latencies_us
+                .push(u64::try_from(us).unwrap_or(u64::MAX));
+        }
+    }
+    Ok((audit, sent_at.len() as u64))
 }
 
 fn percentile(sorted_us: &[u64], pct: u64) -> u64 {
@@ -353,16 +583,25 @@ fn percentile(sorted_us: &[u64], pct: u64) -> u64 {
 
 /// Runs the configured workload and audits every response. Connection
 /// setup errors surface as `Err`; protocol-level anomalies land in the
-/// report's audit counters instead.
+/// report's audit counters instead. With [`LoadConfig::duration`] set
+/// this is the sustained open-loop mode; otherwise fixed-count.
 pub fn run(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     let pool = instance_pool(cfg);
+    let sustained = cfg.duration.is_some();
     let started = Instant::now();
-    let audits: Vec<std::io::Result<ConnAudit>> = std::thread::scope(|scope| {
+    let audits: Vec<std::io::Result<(ConnAudit, u64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.connections)
             .map(|conn| {
                 let cfg = &*cfg;
                 let pool = &pool[..];
-                scope.spawn(move || drive_connection(cfg, pool, conn))
+                scope.spawn(move || {
+                    if sustained {
+                        drive_sustained(cfg, pool, conn)
+                    } else {
+                        drive_connection(cfg, pool, conn)
+                            .map(|audit| (audit, cfg.requests_per_connection as u64))
+                    }
+                })
             })
             .collect();
         handles
@@ -376,13 +615,13 @@ pub fn run(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     let elapsed = started.elapsed();
 
     let mut report = LoadReport {
-        sent: (cfg.connections * cfg.requests_per_connection) as u64,
         elapsed_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
         ..LoadReport::default()
     };
     let mut latencies: Vec<u64> = Vec::new();
     for audit in audits {
-        let audit = audit?;
+        let (audit, sent) = audit?;
+        report.sent += sent;
         report.answered += audit.answered;
         report.ok += audit.ok;
         report.cache_hits += audit.cache_hits;
@@ -407,6 +646,97 @@ pub fn run(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         report.answered
     };
     Ok(report)
+}
+
+/// One connection count's measurement in a [`run_scaling`] sweep.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Connections driven at this point.
+    pub connections: usize,
+    /// The full audited report for this point.
+    pub report: LoadReport,
+}
+
+/// The latency-vs-connections curve: the same offered load pushed
+/// through more and more connections.
+#[derive(Clone, Debug, Default)]
+pub struct ScalingReport {
+    /// Total offered load, req/s (0 = unpaced/flat-out).
+    pub offered_rps: u64,
+    /// Per-point run length, milliseconds.
+    pub duration_ms: u64,
+    /// Warmup excluded from each point's percentiles, milliseconds.
+    pub warmup_ms: u64,
+    /// One entry per swept connection count, in sweep order.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingReport {
+    /// The point measured at exactly `connections`, if the sweep held
+    /// one.
+    #[must_use]
+    pub fn point(&self, connections: usize) -> Option<&ScalingPoint> {
+        self.points.iter().find(|p| p.connections == connections)
+    }
+
+    /// `true` when every point's audit came back clean and every sent
+    /// frame was answered.
+    #[must_use]
+    pub fn all_clean(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.report.clean() && p.report.answered == p.report.sent)
+    }
+
+    /// Renders the curve as one JSON object (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"offered_rps\":");
+        s.push_str(&self.offered_rps.to_string());
+        s.push_str(",\"duration_ms\":");
+        s.push_str(&self.duration_ms.to_string());
+        s.push_str(",\"warmup_ms\":");
+        s.push_str(&self.warmup_ms.to_string());
+        s.push_str(",\"points\":[");
+        for (i, point) in self.points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"connections\":");
+            s.push_str(&point.connections.to_string());
+            s.push_str(",\"report\":");
+            s.push_str(&point.report.to_json());
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Sweeps connection counts at the `cfg`-fixed offered load (sustained
+/// mode: `cfg.duration` and usually `cfg.target_rps` should be set) and
+/// returns the latency-vs-connections curve. Points run sequentially so
+/// they never contend with each other.
+pub fn run_scaling(cfg: &LoadConfig, sweep: &[usize]) -> std::io::Result<ScalingReport> {
+    let mut points = Vec::with_capacity(sweep.len());
+    for &connections in sweep {
+        let point_cfg = LoadConfig {
+            connections: connections.max(1),
+            ..cfg.clone()
+        };
+        let report = run(&point_cfg)?;
+        points.push(ScalingPoint {
+            connections: connections.max(1),
+            report,
+        });
+    }
+    Ok(ScalingReport {
+        offered_rps: cfg.target_rps.unwrap_or(0),
+        duration_ms: u64::try_from(cfg.duration.unwrap_or_default().as_millis()).unwrap_or(0),
+        warmup_ms: u64::try_from(cfg.warmup.as_millis()).unwrap_or(0),
+        points,
+    })
 }
 
 #[cfg(test)]

@@ -3,27 +3,80 @@
 //! Engine-side counters (latency histogram, worker panics, per-shard
 //! cache hits) live in the engine's own metrics; these cover what only
 //! the wire layer can see — connections, frames and admission outcomes.
+//!
+//! ## False sharing
+//!
+//! The hot counters (`frames_in`, `accepted`, `frames_out`, the batch
+//! pair) are bumped on every frame by every connection's reader and
+//! pump. Packed as plain `AtomicU64`s they share cache lines, so under
+//! many connections each increment ping-pongs the line between cores.
+//! Two fixes, both cheap:
+//!
+//! * every hot counter lives in its own [`Pad`] — a 64-byte-aligned
+//!   cell, one cache line each, so distinct counters never collide;
+//! * the per-frame counters are additionally [`Striped`] across
+//!   [`STRIPES`] lines keyed by connection id, so two *connections*
+//!   bumping the *same* logical counter usually hit different lines
+//!   too. Snapshots sum the stripes.
+//!
+//! The in-flight gauge and its high-water mark stay single (padded)
+//! atomics: the peak must be exact (`fetch_max` over the true global
+//! gauge), which striping cannot provide.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Wire-layer counters. All methods are callable from any thread.
+/// One counter, alone on its cache line.
+#[derive(Default)]
+#[repr(align(64))]
+struct Pad(AtomicU64);
+
+impl Pad {
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Stripe count for per-frame counters. Power of two: the stripe key is
+/// `conn_id & (STRIPES - 1)`.
+const STRIPES: usize = 8;
+
+/// A logical counter spread over [`STRIPES`] cache lines.
+#[derive(Default)]
+struct Striped([Pad; STRIPES]);
+
+impl Striped {
+    fn add(&self, stripe: usize, n: u64) {
+        self.0[stripe & (STRIPES - 1)].add(n);
+    }
+
+    fn sum(&self) -> u64 {
+        self.0.iter().map(Pad::get).sum()
+    }
+}
+
+/// Wire-layer counters. All methods are callable from any thread; the
+/// hot ones take the caller's connection id as the stripe key.
 #[derive(Default)]
 pub struct NetMetrics {
-    connections_opened: AtomicU64,
-    connections_closed: AtomicU64,
-    connections_refused: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    parse_errors: AtomicU64,
-    oversized_frames: AtomicU64,
-    accepted: AtomicU64,
-    rejected_overload: AtomicU64,
-    rejected_quota: AtomicU64,
-    rejected_shutdown: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-    inflight: AtomicU64,
-    peak_inflight: AtomicU64,
+    connections_opened: Pad,
+    connections_closed: Pad,
+    connections_refused: Pad,
+    frames_in: Striped,
+    frames_out: Striped,
+    parse_errors: Pad,
+    oversized_frames: Pad,
+    accepted: Striped,
+    rejected_overload: Pad,
+    rejected_quota: Pad,
+    rejected_shutdown: Pad,
+    batches: Striped,
+    batched_requests: Striped,
+    inflight: Pad,
+    peak_inflight: Pad,
 }
 
 /// Point-in-time copy of [`NetMetrics`].
@@ -71,59 +124,64 @@ impl NetMetrics {
     }
 
     pub(crate) fn connection_opened(&self) {
-        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+        self.connections_opened.add(1);
     }
     pub(crate) fn connection_closed(&self) {
-        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+        self.connections_closed.add(1);
     }
     pub(crate) fn connection_refused(&self) {
-        self.connections_refused.fetch_add(1, Ordering::Relaxed);
+        self.connections_refused.add(1);
     }
-    pub(crate) fn frame_in(&self) {
-        self.frames_in.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn frame_in(&self, stripe: usize) {
+        self.frames_in.add(stripe, 1);
     }
-    pub(crate) fn frame_out(&self) {
-        self.frames_out.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn frame_out(&self, stripe: usize) {
+        self.frames_out.add(stripe, 1);
     }
     pub(crate) fn parse_error(&self) {
-        self.parse_errors.fetch_add(1, Ordering::Relaxed);
+        self.parse_errors.add(1);
     }
     pub(crate) fn oversized_frame(&self) {
-        self.oversized_frames.fetch_add(1, Ordering::Relaxed);
+        self.oversized_frames.add(1);
     }
     pub(crate) fn rejected_overload(&self) {
-        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+        self.rejected_overload.add(1);
     }
     pub(crate) fn rejected_quota(&self) {
-        self.rejected_quota.fetch_add(1, Ordering::Relaxed);
+        self.rejected_quota.add(1);
     }
     pub(crate) fn rejected_shutdown(&self) {
-        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+        self.rejected_shutdown.add(1);
     }
-    pub(crate) fn batch_submitted(&self, members: u64) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests.fetch_add(members, Ordering::Relaxed);
+    pub(crate) fn batch_submitted(&self, stripe: usize, members: u64) {
+        self.batches.add(stripe, 1);
+        self.batched_requests.add(stripe, members);
     }
     /// Counts `n` requests as admitted. MUST be called *before* the
     /// batch reaches the engine: a reply can arrive (and decrement the
     /// in-flight gauge) the instant the hand-off happens, so counting
     /// afterwards would race the gauge below zero.
-    pub(crate) fn requests_admitted(&self, n: u64) {
-        self.accepted.fetch_add(n, Ordering::Relaxed);
-        let now = self.inflight.fetch_add(n, Ordering::Relaxed) + n;
-        self.peak_inflight.fetch_max(now, Ordering::Relaxed);
+    pub(crate) fn requests_admitted(&self, stripe: usize, n: u64) {
+        self.accepted.add(stripe, n);
+        let now = self.inflight.0.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak_inflight.0.fetch_max(now, Ordering::Relaxed);
     }
 
     /// Undoes [`requests_admitted`](Self::requests_admitted) for batch
     /// members the engine bounced (they were provisionally admitted,
     /// then answered with a typed error by the caller instead).
-    pub(crate) fn requests_bounced(&self, n: u64) {
-        self.accepted.fetch_sub(n, Ordering::Relaxed);
-        self.inflight.fetch_sub(n, Ordering::Relaxed);
+    pub(crate) fn requests_bounced(&self, stripe: usize, n: u64) {
+        self.accepted.0[stripe & (STRIPES - 1)]
+            .0
+            .fetch_sub(n, Ordering::Relaxed);
+        self.inflight.0.fetch_sub(n, Ordering::Relaxed);
     }
-    pub(crate) fn response_out(&self) {
-        self.frame_out();
-        self.inflight.fetch_sub(1, Ordering::Relaxed);
+
+    /// Counts `n` engine responses written by one cork: `n` frames out
+    /// plus `n` off the in-flight gauge.
+    pub(crate) fn responses_out(&self, stripe: usize, n: u64) {
+        self.frames_out.add(stripe, n);
+        self.inflight.0.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// A consistent-enough point-in-time copy (each counter atomic; the
@@ -131,21 +189,21 @@ impl NetMetrics {
     #[must_use]
     pub fn snapshot(&self) -> NetSnapshot {
         NetSnapshot {
-            connections_opened: self.connections_opened.load(Ordering::Relaxed),
-            connections_closed: self.connections_closed.load(Ordering::Relaxed),
-            connections_refused: self.connections_refused.load(Ordering::Relaxed),
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            frames_out: self.frames_out.load(Ordering::Relaxed),
-            parse_errors: self.parse_errors.load(Ordering::Relaxed),
-            oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
-            rejected_quota: self.rejected_quota.load(Ordering::Relaxed),
-            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            inflight: self.inflight.load(Ordering::Relaxed),
-            peak_inflight: self.peak_inflight.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.get(),
+            connections_closed: self.connections_closed.get(),
+            connections_refused: self.connections_refused.get(),
+            frames_in: self.frames_in.sum(),
+            frames_out: self.frames_out.sum(),
+            parse_errors: self.parse_errors.get(),
+            oversized_frames: self.oversized_frames.get(),
+            accepted: self.accepted.sum(),
+            rejected_overload: self.rejected_overload.get(),
+            rejected_quota: self.rejected_quota.get(),
+            rejected_shutdown: self.rejected_shutdown.get(),
+            batches: self.batches.sum(),
+            batched_requests: self.batched_requests.sum(),
+            inflight: self.inflight.get(),
+            peak_inflight: self.peak_inflight.get(),
         }
     }
 }
@@ -194,10 +252,10 @@ mod tests {
     fn snapshot_counts_and_json_parses() {
         let m = NetMetrics::new();
         m.connection_opened();
-        m.frame_in();
-        m.requests_admitted(3);
-        m.batch_submitted(3);
-        m.response_out();
+        m.frame_in(1);
+        m.requests_admitted(1, 3);
+        m.batch_submitted(1, 3);
+        m.responses_out(1, 1);
         m.rejected_quota();
         let s = m.snapshot();
         assert_eq!(s.accepted, 3);
@@ -212,5 +270,26 @@ mod tests {
         };
         assert_eq!(fields.get("accepted"), Some(&Json::Int(3)));
         assert_eq!(fields.get("peak_inflight"), Some(&Json::Int(3)));
+    }
+
+    /// Stripes are an implementation detail: sums must agree no matter
+    /// which stripe each event lands on, and the padded cells must
+    /// actually occupy distinct cache lines.
+    #[test]
+    fn stripes_sum_and_pads_are_line_sized() {
+        let m = NetMetrics::new();
+        for conn in 0..37u64 {
+            m.frame_in(conn as usize);
+            m.requests_admitted(conn as usize, 2);
+            m.responses_out(conn as usize, 2);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.frames_in, 37);
+        assert_eq!(s.accepted, 74);
+        assert_eq!(s.frames_out, 74);
+        assert_eq!(s.inflight, 0);
+        assert_eq!(std::mem::size_of::<Pad>(), 64);
+        assert_eq!(std::mem::align_of::<Pad>(), 64);
+        assert_eq!(std::mem::size_of::<Striped>(), 64 * STRIPES);
     }
 }

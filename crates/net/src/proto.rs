@@ -341,6 +341,197 @@ pub fn render_response(response: &ScheduleResponse) -> String {
     }
 }
 
+/// Appends one response frame *plus its newline* to `out` without
+/// building a `Json` tree — the pump's allocation-free framing path.
+///
+/// Byte-identical to [`render_response`] + `'\n'` (canonical key order
+/// is hard-coded; the equality is pinned by tests and the conformance
+/// service checks). With a warm, pre-grown `out` this performs zero
+/// heap allocations for success frames.
+pub fn render_response_line(response: &ScheduleResponse, out: &mut String) {
+    match &response.result {
+        Ok(outcome) => {
+            // Keys in canonical (sorted) order: id < ok; inside ok:
+            // cache_hit < complete < decomposition < energy_mw < period
+            // < stages < strategy < used_big < used_little.
+            out.push_str("{\"id\":");
+            push_u64(out, response.id);
+            out.push_str(",\"ok\":{\"cache_hit\":");
+            out.push_str(bool_str(outcome.cache_hit));
+            out.push_str(",\"complete\":");
+            out.push_str(bool_str(outcome.complete));
+            out.push_str(",\"decomposition\":");
+            push_escaped(out, &outcome.decomposition);
+            if let Some(mw) = outcome.energy_milliwatts {
+                out.push_str(",\"energy_mw\":");
+                push_u64(out, mw);
+            }
+            out.push_str(",\"period\":");
+            push_escaped(out, &outcome.period);
+            out.push_str(",\"stages\":[");
+            for (i, s) in outcome.stages.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                push_u64(out, s.start as u64);
+                out.push(',');
+                push_u64(out, s.end as u64);
+                out.push(',');
+                push_u64(out, s.cores);
+                out.push_str(match s.core_type {
+                    CoreType::Big => ",\"B\"]",
+                    CoreType::Little => ",\"L\"]",
+                });
+            }
+            out.push_str("],\"strategy\":");
+            push_escaped(out, &outcome.strategy);
+            out.push_str(",\"used_big\":");
+            push_u64(out, outcome.used_big);
+            out.push_str(",\"used_little\":");
+            push_u64(out, outcome.used_little);
+            out.push_str("}}\n");
+        }
+        Err(e) => render_error_line(Some(response.id), e.code(), &e.to_string(), out),
+    }
+}
+
+/// Appends one error frame plus its newline to `out`; byte-identical to
+/// [`render_error`] + `'\n'` (canonical key order: err < id).
+pub fn render_error_line(id: Option<u64>, code: &str, message: &str, out: &mut String) {
+    out.push_str("{\"err\":{\"code\":");
+    push_escaped(out, code);
+    out.push_str(",\"message\":");
+    push_escaped(out, message);
+    out.push('}');
+    if let Some(id) = id {
+        out.push_str(",\"id\":");
+        push_u64(out, id);
+    }
+    out.push_str("}\n");
+}
+
+fn bool_str(b: bool) -> &'static str {
+    if b {
+        "true"
+    } else {
+        "false"
+    }
+}
+
+/// Appends decimal digits without going through `core::fmt` (and
+/// without allocating).
+fn push_u64(out: &mut String, mut n: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    // The buffer holds only ASCII digits.
+    out.push_str(std::str::from_utf8(&tmp[i..]).expect("digits are UTF-8"));
+}
+
+/// Mirrors the canonical codec's string escaping exactly (pinned by the
+/// bit-identity tests below).
+fn push_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// What [`scan_response`] recovers from a frame without building a
+/// `Json` tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScannedResponse {
+    /// Echoed correlation id, when present.
+    pub id: Option<u64>,
+    /// `Ok(cache_hit)` for success frames, `Err(code)` for errors.
+    pub outcome: Result<bool, String>,
+}
+
+/// Parses a response frame by shape instead of by grammar — the load
+/// generator's high-rate client path.
+///
+/// Canonical server frames always start `{"id":` (success; keys sort id
+/// < ok) or `{"err":` (errors; a trailing `,"id":N` when correlatable).
+/// Because the canonical renderer escapes every `"` inside string
+/// values, the byte sequences this scanner matches cannot occur inside
+/// message text — the scan is exact on server-rendered frames, and
+/// anything shaped differently falls back to the full codec parse, so
+/// the scanner is never *less* correct than [`parse_response`].
+/// Equivalence is pinned by proptests in this module.
+pub fn scan_response(line: &str) -> Result<ScannedResponse, WireError> {
+    if let Some(rest) = line.strip_prefix("{\"id\":") {
+        let digits = rest.bytes().take_while(u8::is_ascii_digit).count();
+        if digits > 0 {
+            if let Ok(id) = rest[..digits].parse::<u64>() {
+                if rest[digits..].starts_with(",\"ok\":{\"cache_hit\":") {
+                    let cached = rest[digits..].starts_with(",\"ok\":{\"cache_hit\":true");
+                    return Ok(ScannedResponse {
+                        id: Some(id),
+                        outcome: Ok(cached),
+                    });
+                }
+            }
+        }
+    } else if let Some(rest) = line.strip_prefix("{\"err\":{\"code\":\"") {
+        let code_len = rest
+            .bytes()
+            .take_while(|b| b.is_ascii_uppercase() || *b == b'_')
+            .count();
+        if code_len > 0 && rest[code_len..].starts_with('"') {
+            let code = rest[..code_len].to_string();
+            // A correlatable error carries its id last: `...},"id":N}`.
+            // `,"id":` cannot occur inside a rendered string (quotes are
+            // escaped there), so a raw match is exact.
+            let body = &line[..line.len().saturating_sub(1)];
+            let id = body.rfind(",\"id\":").and_then(|p| {
+                let digits = &body[p + 6..];
+                (!digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()))
+                    .then(|| digits.parse().ok())
+                    .flatten()
+            });
+            if line.ends_with('}') {
+                return Ok(ScannedResponse {
+                    id,
+                    outcome: Err(code),
+                });
+            }
+        }
+    }
+    // Unrecognized shape: fall back to the full parse.
+    let parsed = parse_response(line)?;
+    Ok(ScannedResponse {
+        id: parsed.id,
+        outcome: match parsed.result {
+            Ok(payload) => Ok(payload
+                .as_obj()
+                .and_then(|o| o.get("cache_hit"))
+                .and_then(Json::as_bool)
+                .unwrap_or(false)),
+            Err((code, _)) => Err(code),
+        },
+    })
+}
+
 /// Renders an error frame (no trailing newline). `id` is echoed when
 /// the offending frame carried one.
 #[must_use]
@@ -618,5 +809,154 @@ mod tests {
             result: Ok(energized),
         });
         assert!(line.contains("\"energy_mw\":4321"));
+    }
+
+    /// Every response the streaming renderer can produce must be
+    /// byte-identical to the tree renderer plus a newline — including
+    /// energy frames, errors with and without ids, and strings needing
+    /// every escape class.
+    #[test]
+    fn streaming_renderer_matches_tree_renderer_bit_for_bit() {
+        let req = request();
+        let chain = req.chain();
+        let solution = amp_core::sched::Fertac
+            .schedule(&chain, req.resources())
+            .expect("feasible");
+        let base = ScheduleOutcome::from_solution("FERTAC", &solution, &chain, true);
+        let mut cached = base.clone();
+        cached.cache_hit = true;
+        let mut nasty = base.clone();
+        nasty.strategy = "we\"ird\\str\nat\regy\tname\u{1}".to_string();
+        nasty.decomposition = "π→∞ \u{7}".to_string();
+        let responses = vec![
+            ScheduleResponse {
+                id: 0,
+                result: Ok(base.clone()),
+            },
+            ScheduleResponse {
+                id: u64::MAX,
+                result: Ok(cached),
+            },
+            ScheduleResponse {
+                id: 1234567890123,
+                result: Ok(base.clone().with_energy_milliwatts(98765)),
+            },
+            ScheduleResponse {
+                id: 17,
+                result: Ok(nasty),
+            },
+            ScheduleResponse {
+                id: 9,
+                result: Err(amp_service::ServiceError::Overloaded),
+            },
+        ];
+        let mut out = String::new();
+        for resp in &responses {
+            out.clear();
+            render_response_line(resp, &mut out);
+            assert_eq!(out, format!("{}\n", render_response(resp)), "{resp:?}");
+        }
+        // Error frames, with and without ids, through the error path.
+        for (id, code, msg) in [
+            (
+                Some(42),
+                "QUOTA_EXCEEDED",
+                "tenant \"acme\" is\nover\tbudget",
+            ),
+            (None, "FRAME_TOO_LARGE", "line exceeded 65536 bytes"),
+        ] {
+            out.clear();
+            render_error_line(id, code, msg, &mut out);
+            assert_eq!(out, format!("{}\n", render_error(id, code, msg)));
+        }
+    }
+
+    /// The warm streaming renderer reuses its buffer: rendering the same
+    /// frame twice into a pre-grown `String` must not reallocate.
+    #[test]
+    fn streaming_renderer_reuses_a_warm_buffer() {
+        let req = request();
+        let chain = req.chain();
+        let solution = amp_core::sched::Fertac
+            .schedule(&chain, req.resources())
+            .expect("feasible");
+        let resp = ScheduleResponse {
+            id: 7,
+            result: Ok(ScheduleOutcome::from_solution(
+                "FERTAC", &solution, &chain, true,
+            )),
+        };
+        let mut out = String::new();
+        render_response_line(&resp, &mut out);
+        let warm_cap = out.capacity();
+        out.clear();
+        render_response_line(&resp, &mut out);
+        assert_eq!(out.capacity(), warm_cap, "warm render must not regrow");
+    }
+
+    /// The fast scanner must agree with the full parser on every frame
+    /// the server can emit, and fall back (not misparse) on anything
+    /// shaped differently.
+    #[test]
+    fn scanner_agrees_with_parser() {
+        let req = request();
+        let chain = req.chain();
+        let solution = amp_core::sched::Fertac
+            .schedule(&chain, req.resources())
+            .expect("feasible");
+        let base = ScheduleOutcome::from_solution("FERTAC", &solution, &chain, true);
+        let mut cached = base.clone();
+        cached.cache_hit = true;
+        let mut frames = vec![
+            render_response(&ScheduleResponse {
+                id: 7,
+                result: Ok(base.clone()),
+            }),
+            render_response(&ScheduleResponse {
+                id: u64::MAX,
+                result: Ok(cached),
+            }),
+            render_response(&ScheduleResponse {
+                id: 0,
+                result: Ok(base.with_energy_milliwatts(5)),
+            }),
+            render_response(&ScheduleResponse {
+                id: 11,
+                result: Err(amp_service::ServiceError::Overloaded),
+            }),
+            render_error(Some(3), "QUOTA_EXCEEDED", "tenant over budget"),
+            render_error(None, "FRAME_TOO_LARGE", "line exceeded 65536 bytes"),
+            // Adversarial: error messages that *mention* scanner
+            // landmarks — escaping keeps them unambiguous on the wire.
+            render_error(Some(8), "BAD_REQUEST", "literal \",\\\"id\\\":9\" inside"),
+            render_error(None, "PARSE_ERROR", "{\"id\":5,\"ok\":{\"cache_hit\":true"),
+            // Non-canonical but valid frames must take the fallback.
+            "{\"ok\":{\"cache_hit\":true},\"id\":4}".to_string(),
+            "{ \"id\" : 6 , \"ok\" : { \"cache_hit\" : false } }".to_string(),
+        ];
+        // Pong/status-style frames also flow through client readers.
+        frames.push("{\"ok\":\"pong\"}".to_string());
+        for frame in &frames {
+            let scanned = scan_response(frame).expect("scan accepts valid frames");
+            let parsed = parse_response(frame).expect("parser accepts valid frames");
+            assert_eq!(scanned.id, parsed.id, "id mismatch on {frame}");
+            match (&scanned.outcome, &parsed.result) {
+                (Ok(cached), Ok(payload)) => {
+                    let expect = payload
+                        .as_obj()
+                        .and_then(|o| o.get("cache_hit"))
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false);
+                    assert_eq!(*cached, expect, "cache_hit mismatch on {frame}");
+                }
+                (Err(code), Err((expect, _))) => {
+                    assert_eq!(code, expect, "code mismatch on {frame}");
+                }
+                other => panic!("outcome class mismatch on {frame}: {other:?}"),
+            }
+        }
+        // Garbage errors in both.
+        assert!(scan_response("not json").is_err());
+        assert!(scan_response("{\"neither\":1}").is_err());
     }
 }

@@ -1,0 +1,320 @@
+//! The sharded slab connection registry.
+//!
+//! The first wire put every live connection in one global
+//! `Mutex<HashMap<u64, TcpStream>>` and pushed every reader's
+//! `JoinHandle` into a `Mutex<Vec<_>>` that was only drained at
+//! shutdown — so accept/close serialized on a single lock, and a
+//! long-running server retained one finished handle per connection it
+//! had *ever* accepted. This registry fixes both:
+//!
+//! * **Sharding** — slots live in [`SHARDS`] independently locked
+//!   slabs, picked by connection id, so concurrent accepts and closes
+//!   contend only 1/[`SHARDS`]th of the time. Within a shard, slots are
+//!   a free-list slab (`Vec<Option<Entry>>`): registration is a pop +
+//!   write, deregistration a take + push — no hashing, no rebalancing.
+//! * **Slot reuse safety** — a [`ConnToken`] carries `(shard, slot,
+//!   conn_id)` and every slot records the id it was issued to; a stale
+//!   token (its slot since recycled for a newer connection) is detected
+//!   by the id check and refused instead of evicting the newcomer.
+//! * **Handle reaping** — a closing reader deregisters itself and
+//!   *buries* its own `JoinHandle` in a small graveyard; the acceptor
+//!   (and anyone else) [`ConnRegistry::reap`]s the graveyard
+//!   opportunistically, joining threads that have already announced
+//!   their exit. Retained handles are therefore bounded by the burst of
+//!   closes since the last reap, not by the server's lifetime — pinned
+//!   by the 1k open/close regression test in `tests/handle_reap.rs`.
+
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+/// Lock shards. Power of two so the id → shard map is a mask.
+pub const SHARDS: usize = 16;
+
+/// Proof of registration: names the slot a connection occupies. The
+/// holder uses it to attach its reader handle and to deregister.
+/// Clonable so the acceptor can keep one to attach the reader handle
+/// while the reader thread owns another; the id check makes stale
+/// copies inert.
+#[derive(Clone, Debug)]
+pub struct ConnToken {
+    shard: usize,
+    slot: usize,
+    /// The registry-assigned connection id (unique for the server's
+    /// lifetime; also the metrics stripe key).
+    pub conn_id: u64,
+}
+
+struct Entry {
+    conn_id: u64,
+    /// A clone of the connection's stream, retained so shutdown can
+    /// half-close every live reader.
+    stream: TcpStream,
+    /// The reader thread's handle, once the acceptor attaches it.
+    reader: Option<JoinHandle<()>>,
+}
+
+#[derive(Default)]
+struct Shard {
+    slots: Vec<Option<Entry>>,
+    free: Vec<usize>,
+}
+
+/// See the module docs.
+pub struct ConnRegistry {
+    shards: [Mutex<Shard>; SHARDS],
+    /// Finished (or about-to-finish) reader handles awaiting a join.
+    graveyard: Mutex<Vec<JoinHandle<()>>>,
+    live: AtomicUsize,
+    max: usize,
+    next_id: AtomicUsize,
+}
+
+impl ConnRegistry {
+    /// A registry admitting at most `max` simultaneous connections.
+    #[must_use]
+    pub fn new(max: usize) -> Self {
+        ConnRegistry {
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            graveyard: Mutex::new(Vec::new()),
+            live: AtomicUsize::new(0),
+            max,
+            next_id: AtomicUsize::new(1),
+        }
+    }
+
+    /// Registers a connection, assigning it an id. `stream` should be a
+    /// clone retained for shutdown half-close. Fails (returning the
+    /// stream) when the connection cap is reached.
+    pub fn register(&self, stream: TcpStream) -> Result<ConnToken, TcpStream> {
+        if self
+            .live
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.max).then_some(n + 1)
+            })
+            .is_err()
+        {
+            return Err(stream);
+        }
+        let conn_id = self.next_id.fetch_add(1, Ordering::Relaxed) as u64;
+        let shard_idx = (conn_id as usize) & (SHARDS - 1);
+        let mut shard = self.shards[shard_idx].lock();
+        let entry = Entry {
+            conn_id,
+            stream,
+            reader: None,
+        };
+        let slot = match shard.free.pop() {
+            Some(slot) => {
+                shard.slots[slot] = Some(entry);
+                slot
+            }
+            None => {
+                shard.slots.push(Some(entry));
+                shard.slots.len() - 1
+            }
+        };
+        Ok(ConnToken {
+            shard: shard_idx,
+            slot,
+            conn_id,
+        })
+    }
+
+    /// Attaches the reader thread's handle to its slot. If the
+    /// connection already deregistered (the reader can finish before
+    /// the acceptor gets here), the handle comes back so the caller can
+    /// [`Self::bury`] it instead.
+    pub fn attach_reader(
+        &self,
+        token: &ConnToken,
+        handle: JoinHandle<()>,
+    ) -> Option<JoinHandle<()>> {
+        let mut shard = self.shards[token.shard].lock();
+        match shard.slots.get_mut(token.slot) {
+            Some(Some(entry)) if entry.conn_id == token.conn_id => {
+                entry.reader = Some(handle);
+                None
+            }
+            _ => Some(handle),
+        }
+    }
+
+    /// Removes the connection, returning its attached reader handle (if
+    /// the acceptor got around to attaching one). The retained stream
+    /// clone drops here. Stale tokens (slot recycled) are a no-op.
+    pub fn deregister(&self, token: &ConnToken) -> Option<JoinHandle<()>> {
+        let mut shard = self.shards[token.shard].lock();
+        let reader = match shard.slots.get_mut(token.slot) {
+            Some(slot @ Some(_)) if slot.as_ref().is_some_and(|e| e.conn_id == token.conn_id) => {
+                let entry = slot.take().expect("checked above");
+                shard.free.push(token.slot);
+                entry.reader
+            }
+            _ => return None,
+        };
+        drop(shard);
+        self.live.fetch_sub(1, Ordering::AcqRel);
+        reader
+    }
+
+    /// Parks a finished thread's handle for a later [`Self::reap`].
+    /// Readers bury *their own* handle on the way out, so everything in
+    /// the graveyard is joinable without blocking meaningfully.
+    pub fn bury(&self, handle: JoinHandle<()>) {
+        self.graveyard.lock().push(handle);
+    }
+
+    /// Joins every buried handle. Called opportunistically (each
+    /// accept, each close) so retained handles stay bounded by close
+    /// bursts, not server lifetime. Returns how many were joined.
+    pub fn reap(&self) -> usize {
+        let dead = std::mem::take(&mut *self.graveyard.lock());
+        let n = dead.len();
+        for handle in dead {
+            let _ = handle.join();
+        }
+        n
+    }
+
+    /// Half-closes every live connection (shutdown of the read side),
+    /// nudging readers toward EOF without dropping queued responses —
+    /// the first step of drain-then-close.
+    pub fn half_close_all(&self) {
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for entry in shard.slots.iter().flatten() {
+                let _ = entry.stream.shutdown(Shutdown::Read);
+            }
+        }
+    }
+
+    /// Removes every entry and returns all attached reader handles (the
+    /// shutdown join set). Locks are released before the caller joins.
+    pub fn take_reader_handles(&self) -> Vec<JoinHandle<()>> {
+        let mut handles = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            for slot in 0..shard.slots.len() {
+                if let Some(entry) = shard.slots[slot].take() {
+                    shard.free.push(slot);
+                    self.live.fetch_sub(1, Ordering::AcqRel);
+                    handles.extend(entry.reader);
+                }
+            }
+        }
+        handles
+    }
+
+    /// Live registered connections.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Handles currently retained anywhere in the registry: buried but
+    /// not yet reaped, plus those still attached to live connections.
+    /// The handle-leak regression test asserts this stays bounded.
+    #[must_use]
+    pub fn retained_handles(&self) -> usize {
+        let buried = self.graveyard.lock().len();
+        let attached: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .slots
+                    .iter()
+                    .flatten()
+                    .filter(|e| e.reader.is_some())
+                    .count()
+            })
+            .sum();
+        buried + attached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair(listener: &TcpListener) -> TcpStream {
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        drop(client);
+        server
+    }
+
+    #[test]
+    fn cap_refuses_and_returns_the_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let reg = ConnRegistry::new(2);
+        let a = reg.register(pair(&listener)).expect("first fits");
+        let _b = reg.register(pair(&listener)).expect("second fits");
+        assert!(reg.register(pair(&listener)).is_err(), "third refused");
+        assert_eq!(reg.live(), 2);
+        assert!(reg.deregister(&a).is_none(), "no reader was attached");
+        assert_eq!(reg.live(), 1);
+        let _c = reg.register(pair(&listener)).expect("slot freed");
+    }
+
+    #[test]
+    fn stale_tokens_cannot_evict_slot_reusers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let reg = ConnRegistry::new(64);
+        let a = reg.register(pair(&listener)).expect("register");
+        reg.deregister(&a);
+        // Register a full shard cycle so conn id 1 + SHARDS lands back
+        // on the freed slot of the same shard.
+        let tokens: Vec<_> = (0..SHARDS)
+            .map(|_| reg.register(pair(&listener)))
+            .filter_map(Result::ok)
+            .collect();
+        assert!(
+            tokens
+                .iter()
+                .any(|t| t.shard == a.shard && t.slot == a.slot),
+            "the freed slot must have been recycled for this test to bite"
+        );
+        // The stale token must be inert now.
+        assert!(reg.deregister(&a).is_none());
+        assert_eq!(reg.live(), tokens.len());
+        // And attaching through it must hand the handle back.
+        let handle = std::thread::spawn(|| {});
+        let returned = reg.attach_reader(&a, handle);
+        assert!(returned.is_some(), "stale attach must refuse");
+        returned.expect("returned").join().expect("join");
+    }
+
+    #[test]
+    fn reap_joins_buried_handles() {
+        let reg = ConnRegistry::new(4);
+        for _ in 0..3 {
+            reg.bury(std::thread::spawn(|| {}));
+        }
+        assert_eq!(reg.retained_handles(), 3);
+        assert_eq!(reg.reap(), 3);
+        assert_eq!(reg.retained_handles(), 0);
+    }
+
+    #[test]
+    fn take_reader_handles_drains_everything() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let reg = ConnRegistry::new(4);
+        let a = reg.register(pair(&listener)).expect("register");
+        let b = reg.register(pair(&listener)).expect("register");
+        assert!(reg.attach_reader(&a, std::thread::spawn(|| {})).is_none());
+        assert!(reg.attach_reader(&b, std::thread::spawn(|| {})).is_none());
+        let handles = reg.take_reader_handles();
+        assert_eq!(handles.len(), 2);
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert_eq!(reg.live(), 0);
+        assert_eq!(reg.retained_handles(), 0);
+    }
+}

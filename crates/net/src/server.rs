@@ -21,27 +21,41 @@
 //!
 //! The *reader* thread owns framing (newline-delimited canonical JSON),
 //! parse/quota admission, and batching: it greedily drains every
-//! complete frame already buffered before touching the socket again, so
-//! a pipelined burst becomes one [`EngineShards::try_submit_batch`]
-//! hand-off. The *pump* thread drains the connection's reply channel
-//! and writes response frames. Both write whole lines under one mutex,
-//! so frames never interleave mid-line. A full in-flight window parks
-//! the reader — TCP backpressure, not an error; see
+//! complete frame already buffered before touching the socket again —
+//! scanning lines *in place* and compacting the read buffer once per
+//! read, so framing allocates nothing in steady state — and a pipelined
+//! burst becomes one [`EngineShards::try_submit_batch`] hand-off. The
+//! *pump* thread drains the connection's reply channel with a **corked
+//! vectored write**: every response already queued (up to
+//! [`CORK_MAX`]) is rendered into pooled buffers and shipped in one
+//! `writev`, so a burst of N responses costs one syscall and one writer
+//! lock instead of N of each. The cork only holds frames that were
+//! already waiting — the moment the queue runs dry the batch flushes,
+//! so an isolated response still leaves immediately (the quiescence
+//! bound; see DESIGN.md). Both sides write whole frames under one
+//! mutex, so frames never interleave mid-line. A full in-flight window
+//! parks the reader — TCP backpressure, not an error; see
 //! [`admission`](crate::admission).
+//!
+//! Connections live in the sharded slab [`ConnRegistry`]; finished
+//! reader handles are buried there and reaped opportunistically, so a
+//! long-running server retains a bounded number of handles (see
+//! [`registry`](crate::registry)).
 //!
 //! ## Shutdown
 //!
 //! `shutdown` is drain-then-close: stop accepting, half-close every
 //! connection's read side (readers wind down after their current
 //! batch), drain the engine shards (every accepted request reaches its
-//! reply channel), then join the pumps — which exit only after writing
-//! out everything the engine produced. No accepted request is dropped.
+//! reply channel), then join the readers — each of which joins its own
+//! pump, which exits only after writing out everything the engine
+//! produced. No accepted request is dropped.
 
-use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
+use std::thread;
 use std::time::{Duration, Instant};
 
 use amp_service::{EngineConfig, EngineShards, ScheduleRequest, ServiceError};
@@ -51,6 +65,8 @@ use parking_lot::Mutex;
 use crate::admission::{InflightWindow, QuotaConfig, TenantQuotas};
 use crate::metrics::{NetMetrics, NetSnapshot};
 use crate::proto::{self, WireRequest};
+use crate::registry::{ConnRegistry, ConnToken};
+use crate::wire::{self, BufPool, CORK_MAX};
 
 /// Sizing and limits of a [`Server`].
 #[derive(Clone, Debug)]
@@ -111,14 +127,11 @@ struct Shared {
     quotas: TenantQuotas,
     cfg: ServerConfig,
     closing: AtomicBool,
-    /// Live connections, for read-side half-close during drain.
-    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
-    /// Every reader/pump handle ever spawned, joined at shutdown.
-    threads: Mutex<Vec<JoinHandle<()>>>,
-    next_conn: AtomicU64,
+    /// Live connections (sharded slab) + the JoinHandle graveyard.
+    registry: ConnRegistry,
 }
 
-/// One line-oriented socket writer; whole frames only, shared between
+/// One frame-oriented socket writer; whole frames only, shared between
 /// the reader (direct rejections, control responses) and the pump.
 struct ConnWriter {
     stream: TcpStream,
@@ -128,14 +141,24 @@ struct ConnWriter {
 }
 
 impl ConnWriter {
+    /// Writes one frame (no trailing newline in `line`); the newline
+    /// rides in the same vectored write, so nothing is copied.
     fn write_line(&mut self, line: &str) {
         if self.broken {
             return;
         }
-        let mut framed = String::with_capacity(line.len() + 1);
-        framed.push_str(line);
-        framed.push('\n');
-        if self.stream.write_all(framed.as_bytes()).is_err() {
+        if wire::write_frames(&mut self.stream, &[line.as_bytes(), b"\n"]).is_err() {
+            self.broken = true;
+        }
+    }
+
+    /// Writes a cork of already-newline-terminated frames in one
+    /// vectored write.
+    fn write_cork(&mut self, frames: &[String]) {
+        if self.broken {
+            return;
+        }
+        if wire::write_frames(&mut self.stream, frames).is_err() {
             self.broken = true;
         }
     }
@@ -145,7 +168,7 @@ impl ConnWriter {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    acceptor: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -157,11 +180,9 @@ impl Server {
             shards: EngineShards::start(cfg.shards, &cfg.per_shard),
             net: NetMetrics::new(),
             quotas: TenantQuotas::new(cfg.quota),
+            registry: ConnRegistry::new(cfg.max_connections),
             cfg,
             closing: AtomicBool::new(false),
-            conns: Mutex::new(std::collections::HashMap::new()),
-            threads: Mutex::new(Vec::new()),
-            next_conn: AtomicU64::new(0),
         });
         let acceptor_shared = Arc::clone(&shared);
         let acceptor = thread::Builder::new()
@@ -200,6 +221,14 @@ impl Server {
         &self.shared.shards
     }
 
+    /// JoinHandles currently retained for connection threads (buried
+    /// awaiting reap + attached to live connections). The handle-leak
+    /// regression test asserts this stays bounded as connections churn.
+    #[must_use]
+    pub fn retained_reader_handles(&self) -> usize {
+        self.shared.registry.retained_handles()
+    }
+
     /// Graceful drain-then-close shutdown; dropping does the same.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -215,17 +244,16 @@ impl Server {
         let _ = acceptor.join();
         // Half-close every connection: readers see EOF after finishing
         // the frames already buffered, so admissions stop per-socket.
-        for stream in self.shared.conns.lock().values() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
+        self.shared.registry.half_close_all();
         // Fleet drain: every accepted request reaches its reply channel.
         self.shared.shards.drain();
-        // Pumps write out the drained responses, then exit when the
-        // last reply sender (reader's, or a queued job's) drops.
-        let handles = std::mem::take(&mut *self.shared.threads.lock());
-        for handle in handles {
+        // Readers join their own pumps (which write out the drained
+        // responses) before exiting; joining the readers joins it all.
+        for handle in self.shared.registry.take_reader_handles() {
             let _ = handle.join();
         }
+        // Readers that closed concurrently buried their own handles.
+        self.shared.registry.reap();
     }
 }
 
@@ -259,31 +287,48 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         if shared.closing.load(Ordering::SeqCst) {
             return;
         }
-        if shared.conns.lock().len() >= shared.cfg.max_connections {
+        // Opportunistic reap: join readers that finished since the last
+        // accept, so retained handles track churn, not lifetime.
+        shared.registry.reap();
+        let Ok(registered) = stream.try_clone() else {
             shared.net.connection_refused();
-            let mut writer = ConnWriter {
-                stream,
-                broken: false,
-            };
-            writer.write_line(&proto::render_error(
-                None,
-                "TOO_MANY_CONNECTIONS",
-                &format!(
-                    "server serves at most {} concurrent connections",
-                    shared.cfg.max_connections
-                ),
-            ));
             continue;
-        }
-        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        };
+        let token = match shared.registry.register(registered) {
+            Ok(token) => token,
+            Err(_stream_back) => {
+                shared.net.connection_refused();
+                let mut writer = ConnWriter {
+                    stream,
+                    broken: false,
+                };
+                writer.write_line(&proto::render_error(
+                    None,
+                    "TOO_MANY_CONNECTIONS",
+                    &format!(
+                        "server serves at most {} concurrent connections",
+                        shared.cfg.max_connections
+                    ),
+                ));
+                continue;
+            }
+        };
         let conn_shared = Arc::clone(shared);
+        let reader_token = token.clone();
         let spawned = thread::Builder::new()
-            .name(format!("amp-net-conn-{conn_id}"))
-            .spawn(move || serve_connection(&conn_shared, stream, conn_id));
+            .name(format!("amp-net-conn-{}", token.conn_id))
+            .spawn(move || serve_connection(&conn_shared, stream, reader_token));
         match spawned {
-            Ok(handle) => shared.threads.lock().push(handle),
+            Ok(handle) => {
+                // If the reader already finished and deregistered, the
+                // handle comes back — bury it for the next reap.
+                if let Some(handle) = shared.registry.attach_reader(&token, handle) {
+                    shared.registry.bury(handle);
+                }
+            }
             Err(_) => {
                 // Spawn failure degrades to a refused connection.
+                shared.registry.deregister(&token);
                 shared.net.connection_refused();
             }
         }
@@ -296,6 +341,8 @@ struct Conn<'a> {
     writer: &'a Arc<Mutex<ConnWriter>>,
     window: &'a Arc<InflightWindow>,
     reply_tx: &'a Sender<amp_service::ScheduleResponse>,
+    /// Metrics stripe key (the connection id).
+    stripe: usize,
 }
 
 impl Conn<'_> {
@@ -303,7 +350,7 @@ impl Conn<'_> {
     /// control responses).
     fn write_direct(&self, line: &str) {
         self.writer.lock().write_line(line);
-        self.shared.net.frame_out();
+        self.shared.net.frame_out(self.stripe);
     }
 
     /// Hands the pending batch to the engine; bounced members are
@@ -316,16 +363,16 @@ impl Conn<'_> {
         // Admission is counted *before* the hand-off: the engine can
         // answer a member the instant it is enqueued, and the response
         // pump's decrement must never beat this increment.
-        self.shared.net.requests_admitted(n);
+        self.shared.net.requests_admitted(self.stripe, n);
         let submission = self
             .shared
             .shards
             .try_submit_batch(std::mem::take(batch), self.reply_tx);
-        self.shared.net.batch_submitted(n);
+        self.shared.net.batch_submitted(self.stripe, n);
         if !submission.rejected.is_empty() {
             self.shared
                 .net
-                .requests_bounced(submission.rejected.len() as u64);
+                .requests_bounced(self.stripe, submission.rejected.len() as u64);
         }
         for (request, error) in submission.rejected {
             // The slot acquired for this member frees now; accepted
@@ -350,7 +397,7 @@ impl Conn<'_> {
         let text = match std::str::from_utf8(line) {
             Ok(t) => t.trim_end_matches('\r'),
             Err(_) => {
-                self.shared.net.frame_in();
+                self.shared.net.frame_in(self.stripe);
                 self.shared.net.parse_error();
                 self.write_direct(&proto::render_error(
                     None,
@@ -364,7 +411,7 @@ impl Conn<'_> {
             // Blank lines are tolerated (interactive clients, netcat).
             return;
         }
-        self.shared.net.frame_in();
+        self.shared.net.frame_in(self.stripe);
         match proto::parse_request(text, self.shared.cfg.max_tasks) {
             Err((id, err)) => {
                 self.shared.net.parse_error();
@@ -401,58 +448,93 @@ impl Conn<'_> {
     }
 }
 
-fn serve_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+/// The response pump: engine replies → wire frames, in arrival order,
+/// corked. `recv` blocks for the first response; everything else
+/// already queued (up to [`CORK_MAX`]) joins the same vectored write.
+/// Quiescence is the flush: `try_recv` running dry ends the cork, so a
+/// lone response is never held back waiting for company.
+fn pump_loop(
+    reply_rx: &channel::Receiver<amp_service::ScheduleResponse>,
+    writer: &Mutex<ConnWriter>,
+    window: &InflightWindow,
+    shared: &Shared,
+    stripe: usize,
+) {
+    let mut pool = BufPool::new(CORK_MAX);
+    let mut cork: Vec<String> = Vec::with_capacity(CORK_MAX);
+    while let Ok(first) = reply_rx.recv() {
+        let mut buf = pool.rent();
+        proto::render_response_line(&first, &mut buf);
+        cork.push(buf);
+        while cork.len() < CORK_MAX {
+            match reply_rx.try_recv() {
+                Ok(response) => {
+                    let mut buf = pool.rent();
+                    proto::render_response_line(&response, &mut buf);
+                    cork.push(buf);
+                }
+                Err(_) => break,
+            }
+        }
+        writer.lock().write_cork(&cork);
+        shared.net.responses_out(stripe, cork.len() as u64);
+        window.release_n(cork.len());
+        for buf in cork.drain(..) {
+            pool.give(buf);
+        }
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream, token: ConnToken) {
     shared.net.connection_opened();
+    let stripe = token.conn_id as usize;
     let _ = stream.set_nodelay(true);
     // A dead-slow client blocks the pump at most this long per frame;
     // after that the writer goes `broken` and drains become no-ops.
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let Ok(write_half) = stream.try_clone() else {
+    let close = |shared: &Arc<Shared>, token: &ConnToken| {
+        // Join other finished readers first, then bury our own handle
+        // (never reap after burying self — that would be a self-join).
+        shared.registry.reap();
+        if let Some(own) = shared.registry.deregister(token) {
+            shared.registry.bury(own);
+        }
         shared.net.connection_closed();
+    };
+    let Ok(write_half) = stream.try_clone() else {
+        close(shared, &token);
         return;
     };
-    if let Ok(registered) = stream.try_clone() {
-        shared.conns.lock().insert(conn_id, registered);
-    }
     let writer = Arc::new(Mutex::new(ConnWriter {
         stream: write_half,
         broken: false,
     }));
     let window = Arc::new(InflightWindow::new(shared.cfg.window));
     let (reply_tx, reply_rx) = channel::unbounded();
-    // The response pump: engine replies → wire frames, in arrival order.
     let pump_writer = Arc::clone(&writer);
     let pump_window = Arc::clone(&window);
     let pump_shared = Arc::clone(shared);
     let pump = thread::Builder::new()
-        .name(format!("amp-net-pump-{conn_id}"))
+        .name(format!("amp-net-pump-{}", token.conn_id))
         .spawn(move || {
-            while let Ok(response) = reply_rx.recv() {
-                let line = proto::render_response(&response);
-                pump_writer.lock().write_line(&line);
-                pump_shared.net.response_out();
-                pump_window.release();
-            }
+            pump_loop(&reply_rx, &pump_writer, &pump_window, &pump_shared, stripe);
         });
-    match pump {
-        Ok(handle) => shared.threads.lock().push(handle),
-        Err(_) => {
-            // Without a pump no response can ever leave; refuse the
-            // connection instead of accepting requests into a void.
-            shared.conns.lock().remove(&conn_id);
-            shared.net.connection_closed();
-            return;
-        }
-    }
+    let Ok(pump) = pump else {
+        // Without a pump no response can ever leave; refuse the
+        // connection instead of accepting requests into a void.
+        close(shared, &token);
+        return;
+    };
 
     let conn = Conn {
         shared,
         writer: &writer,
         window: &window,
         reply_tx: &reply_tx,
+        stripe,
     };
     let mut stream = stream;
-    let mut buf: Vec<u8> = Vec::new();
+    let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
     let mut chunk = [0u8; 16 * 1024];
     let mut batch: Vec<ScheduleRequest> = Vec::new();
     // When a line overruns `max_line_bytes` we answer once, then
@@ -461,17 +543,18 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
     loop {
         // Greedy drain: consume every complete frame already buffered
         // before the next syscall — this is what turns a pipelined
-        // burst into one batch.
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
+        // burst into one batch. Lines are scanned in place (no per-line
+        // buffer) and the read buffer is compacted once per pass.
+        let mut consumed = 0;
+        while let Some(pos) = buf[consumed..].iter().position(|&b| b == b'\n') {
+            let line = &buf[consumed..consumed + pos];
             if discarding {
                 discarding = false;
-                continue;
-            }
-            // The size limit applies to complete lines too, not just
-            // lines still accumulating — whether an oversized frame
-            // arrived in one read or many must not change its answer.
-            if line.len() - 1 > shared.cfg.max_line_bytes {
+            } else if line.len() > shared.cfg.max_line_bytes {
+                // The size limit applies to complete lines too, not
+                // just lines still accumulating — whether an oversized
+                // frame arrived in one read or many must not change its
+                // answer.
                 shared.net.oversized_frame();
                 conn.write_direct(&proto::render_error(
                     None,
@@ -481,12 +564,17 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
                         shared.cfg.max_line_bytes
                     ),
                 ));
-                continue;
+            } else {
+                conn.handle_line(line, &mut batch);
+                if batch.len() >= shared.cfg.batch_max {
+                    conn.flush_batch(&mut batch);
+                }
             }
-            conn.handle_line(&line[..line.len() - 1], &mut batch);
-            if batch.len() >= shared.cfg.batch_max {
-                conn.flush_batch(&mut batch);
-            }
+            consumed += pos + 1;
+        }
+        if consumed > 0 {
+            buf.copy_within(consumed.., 0);
+            buf.truncate(buf.len() - consumed);
         }
         if !discarding && buf.len() > shared.cfg.max_line_bytes {
             shared.net.oversized_frame();
@@ -514,8 +602,13 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
     }
     conn.flush_batch(&mut batch);
     // Dropping the reader's sender lets the pump exit once the engine
-    // has answered everything this connection submitted.
+    // has answered everything this connection submitted; joining it
+    // guarantees every response was written before we tear down.
+    // (`conn` is not `Drop`, but it borrows `reply_tx`, so its lifetime
+    // must end before the sender can be dropped.)
+    #[allow(clippy::drop_non_drop)]
+    drop(conn);
     drop(reply_tx);
-    shared.conns.lock().remove(&conn_id);
-    shared.net.connection_closed();
+    let _ = pump.join();
+    close(shared, &token);
 }

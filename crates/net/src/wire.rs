@@ -1,0 +1,245 @@
+//! The corked write path: vectored frame writes and reusable frame
+//! buffers.
+//!
+//! ## Why vectored writes
+//!
+//! The response pump used to push every frame through its own
+//! `write_all` — one syscall per line, serialized under the connection's
+//! writer mutex. A pipelined burst of N cache hits therefore paid N
+//! syscalls and N lock round-trips on the hottest path in the server.
+//! [`write_frames`] instead hands the kernel a whole batch of frames as
+//! one `writev`: the pump corks every response already queued (bounded
+//! by [`CORK_MAX`]), writes them with a single call, and only then
+//! releases the window slots. Quiescence bounds the added latency: the
+//! cork only holds frames that were *already waiting* — the moment the
+//! reply queue runs dry the batch is flushed, so an isolated response
+//! still leaves in one write.
+//!
+//! ## Short writes
+//!
+//! `writev` may stop mid-frame (socket buffer full). The resume loop in
+//! [`write_frames`] tracks a `(frame, offset)` cursor and rebuilds the
+//! slice table from the cursor after every partial write, so frames are
+//! never torn, reordered or duplicated no matter how adversarially the
+//! kernel splits them — pinned by the short-writer shim tests below and
+//! the end-to-end interleave test in `tests/wire_order.rs`.
+//!
+//! ## Zero steady-state allocations
+//!
+//! The slice table lives on the stack (a fixed [`CORK_MAX`]-wide array;
+//! empty tail slices are legal and contribute nothing), and frame
+//! buffers recycle through [`BufPool`], so a warm connection frames and
+//! writes responses without touching the heap — pinned by the
+//! counting-allocator gate in `tests/wire_alloc.rs`.
+
+use std::io::{self, IoSlice, Write};
+
+/// Most frames one vectored write may carry. Also the cork bound: a
+/// pump drains at most this many queued responses per syscall. Safely
+/// under Linux's `IOV_MAX` (1024) and wide enough that a pipelined
+/// burst amortizes to a fraction of a syscall per response.
+pub const CORK_MAX: usize = 64;
+
+/// Writes every frame in `frames`, in order, completely.
+///
+/// One `write_vectored` per [`CORK_MAX`] frames in the common case; on a
+/// short write the cursor advances exactly as many bytes as the kernel
+/// took and the remainder is retried from the tear point. Interrupted
+/// writes are retried; a zero-length write with bytes outstanding is
+/// reported as [`io::ErrorKind::WriteZero`].
+pub fn write_frames<W: Write + ?Sized>(w: &mut W, frames: &[impl AsRef<[u8]>]) -> io::Result<()> {
+    let mut idx = 0; // first frame not yet fully written
+    let mut off = 0; // bytes of `frames[idx]` already written
+    while idx < frames.len() {
+        let chunk_end = (idx + CORK_MAX).min(frames.len());
+        let mut remaining = 0usize;
+        let slices: [IoSlice; CORK_MAX] = std::array::from_fn(|i| {
+            let j = idx + i;
+            if j < chunk_end {
+                let frame = frames[j].as_ref();
+                let part = if j == idx { &frame[off..] } else { frame };
+                remaining += part.len();
+                IoSlice::new(part)
+            } else {
+                IoSlice::new(&[])
+            }
+        });
+        if remaining == 0 {
+            // Nothing but empty frames in this chunk.
+            idx = chunk_end;
+            off = 0;
+            continue;
+        }
+        let written = match w.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "vectored write made no progress",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        // Advance the cursor over exactly `written` bytes.
+        let mut n = written;
+        while n > 0 {
+            let avail = frames[idx].as_ref().len() - off;
+            if n >= avail {
+                n -= avail;
+                idx += 1;
+                off = 0;
+            } else {
+                off += n;
+                n = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A free-list of reusable frame buffers.
+///
+/// The pump rents a buffer per response, renders into it, writes the
+/// cork, and returns every buffer — so after the first few corks the
+/// per-response wire path performs no heap allocation at all. The pool
+/// is bounded: it never retains more than `cap` buffers, so a one-off
+/// burst cannot pin memory forever.
+pub struct BufPool {
+    free: Vec<String>,
+    cap: usize,
+}
+
+impl BufPool {
+    /// A pool retaining at most `cap` idle buffers.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        BufPool {
+            free: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Rents a cleared buffer (recycled when available).
+    #[must_use]
+    pub fn rent(&mut self) -> String {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a buffer to the free list (dropped when the pool is
+    /// full, so capacity stays bounded).
+    pub fn give(&mut self, buf: String) {
+        if self.free.len() < self.cap {
+            self.free.push(buf);
+        }
+    }
+
+    /// Idle buffers currently pooled (tests).
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts at most `limit` bytes per call and only
+    /// ever consumes the *first* non-empty slice of a vectored write —
+    /// the most adversarial legal short-write behavior.
+    struct ShortWriter {
+        out: Vec<u8>,
+        limit: usize,
+        calls: usize,
+    }
+
+    impl Write for ShortWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            let n = buf.len().min(self.limit).max(usize::from(!buf.is_empty()));
+            let n = n.min(buf.len());
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn write_vectored(&mut self, bufs: &[IoSlice]) -> io::Result<usize> {
+            for b in bufs {
+                if !b.is_empty() {
+                    return self.write(b);
+                }
+            }
+            Ok(0)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frames_survive_single_byte_writes() {
+        let frames: Vec<Vec<u8>> = (0..10)
+            .map(|i| format!("{{\"id\":{i},\"payload\":\"abcdef\"}}\n").into_bytes())
+            .collect();
+        let mut w = ShortWriter {
+            out: Vec::new(),
+            limit: 1,
+            calls: 0,
+        };
+        write_frames(&mut w, &frames).expect("writes complete");
+        let expect: Vec<u8> = frames.concat();
+        assert_eq!(w.out, expect, "byte-exact, in order, no tears");
+        assert_eq!(w.calls, expect.len(), "one byte per call");
+    }
+
+    #[test]
+    fn more_frames_than_one_chunk_still_write_in_order() {
+        let frames: Vec<Vec<u8>> = (0..CORK_MAX * 3 + 7)
+            .map(|i| format!("frame-{i}\n").into_bytes())
+            .collect();
+        let mut out = Vec::new();
+        write_frames(&mut out, &frames).expect("writes complete");
+        assert_eq!(out, frames.concat());
+    }
+
+    #[test]
+    fn empty_frames_are_skipped_not_looped() {
+        let frames: Vec<Vec<u8>> = vec![b"a\n".to_vec(), Vec::new(), b"b\n".to_vec(), Vec::new()];
+        let mut out = Vec::new();
+        write_frames(&mut out, &frames).expect("writes complete");
+        assert_eq!(out, b"a\nb\n");
+    }
+
+    #[test]
+    fn write_zero_is_an_error_not_a_spin() {
+        struct Zero;
+        impl Write for Zero {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_frames(&mut Zero, &[b"frame\n".as_slice()]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn pool_recycles_and_stays_bounded() {
+        let mut pool = BufPool::new(2);
+        let mut a = pool.rent();
+        a.push_str("dirty");
+        let b = pool.rent();
+        pool.give(b);
+        pool.give(a);
+        pool.give(String::from("overflow"));
+        assert_eq!(pool.idle(), 2, "cap bounds retained buffers");
+        let rented = pool.rent();
+        assert!(rented.is_empty(), "rented buffers come back cleared");
+        assert!(rented.capacity() > 0, "and recycled, not reallocated");
+    }
+}

@@ -1,0 +1,132 @@
+//! The zero-steady-state-allocation gate for the wire hot path.
+//!
+//! The response pump's per-response work is: rent a pooled buffer,
+//! stream-render the frame into it, cork it into one vectored write,
+//! return the buffer. After warmup (buffers grown to frame size, pool
+//! populated, cork vector at capacity) that cycle must not touch the
+//! heap at all — the same discipline PR 3 pinned for the scheduler's
+//! solve path, now extended to the wire in front of it.
+//!
+//! The counting allocator tracks per-thread allocation counts, so
+//! `cargo test`'s parallel test threads cannot pollute the delta.
+
+use std::io::{self, IoSlice, Write};
+
+use amp_bench::alloc_track::{count_thread_allocs, TrackingAllocator};
+use amp_core::sched::Scheduler;
+use amp_core::{Resources, Task, TaskChain};
+use amp_net::proto::{render_error_line, render_response_line};
+use amp_net::{write_frames, BufPool, CORK_MAX};
+use amp_service::{Policy, ScheduleOutcome, ScheduleRequest, ScheduleResponse};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+/// Accepts every byte without storing (or allocating) anything — the
+/// gate measures the framing path, not the kernel.
+struct NullSink;
+
+impl Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Ok(buf.len())
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice]) -> io::Result<usize> {
+        Ok(bufs.iter().map(|b| b.len()).sum())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn sample_response() -> ScheduleResponse {
+    let chain = TaskChain::new(vec![
+        Task::new(10, 25, false),
+        Task::new(40, 90, true),
+        Task::new(5, 12, false),
+    ]);
+    let request = ScheduleRequest::from_chain(
+        7,
+        &chain,
+        Resources::new(2, 2),
+        Policy::Strategy("FERTAC".to_string()),
+    );
+    let solution = amp_core::sched::Fertac
+        .schedule(&chain, request.resources())
+        .expect("feasible");
+    ScheduleResponse {
+        id: 0,
+        result: Ok(ScheduleOutcome::from_solution(
+            "FERTAC", &solution, &chain, true,
+        )),
+    }
+}
+
+/// One pump cycle: render a full cork of responses into pooled buffers,
+/// vector-write them, recycle the buffers.
+fn pump_cycle(
+    response: &mut ScheduleResponse,
+    pool: &mut BufPool,
+    cork: &mut Vec<String>,
+    sink: &mut NullSink,
+) {
+    for _ in 0..CORK_MAX {
+        response.id = response.id.wrapping_add(1);
+        let mut buf = pool.rent();
+        render_response_line(response, &mut buf);
+        cork.push(buf);
+    }
+    write_frames(sink, cork).expect("sink never fails");
+    for buf in cork.drain(..) {
+        pool.give(buf);
+    }
+}
+
+#[test]
+fn steady_state_response_path_allocates_nothing() {
+    let mut response = sample_response();
+    let mut pool = BufPool::new(CORK_MAX);
+    let mut cork: Vec<String> = Vec::with_capacity(CORK_MAX);
+    let mut sink = NullSink;
+    // Warmup: grow every buffer to frame size and fill the pool.
+    for _ in 0..4 {
+        pump_cycle(&mut response, &mut pool, &mut cork, &mut sink);
+    }
+    let (_, allocs) = count_thread_allocs(|| {
+        for _ in 0..256 {
+            pump_cycle(&mut response, &mut pool, &mut cork, &mut sink);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm framing+write path must not allocate (got {allocs} allocations \
+         over 256 corks of {CORK_MAX} responses)"
+    );
+}
+
+#[test]
+fn steady_state_error_framing_allocates_nothing() {
+    let mut pool = BufPool::new(4);
+    let mut sink = NullSink;
+    let cycle = |pool: &mut BufPool, sink: &mut NullSink| {
+        let mut buf = pool.rent();
+        render_error_line(
+            Some(41),
+            "OVERLOADED",
+            "service queue is full; retry with backoff",
+            &mut buf,
+        );
+        write_frames(sink, &[buf.as_bytes()]).expect("sink never fails");
+        pool.give(buf);
+    };
+    for _ in 0..4 {
+        cycle(&mut pool, &mut sink);
+    }
+    let (_, allocs) = count_thread_allocs(|| {
+        for _ in 0..1024 {
+            cycle(&mut pool, &mut sink);
+        }
+    });
+    assert_eq!(allocs, 0, "warm error framing must not allocate");
+}

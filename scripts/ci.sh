@@ -53,6 +53,15 @@ cargo run --release -p amp-experiments --bin energy_sweep -- --smoke --out BENCH
 # HeRAD's batched median exceeding the cold median.
 cargo run --release -p amp-bench --bin perf -- --smoke --out BENCH_sched.json
 
+# Wire hot-path gates, release mode: the zero-steady-state-allocation
+# gate (a warm pump cycle — rent pooled buffer, stream-render, corked
+# vectored write, recycle — must perform zero heap allocations under the
+# counting allocator), the corked-write ordering gate (pipelined
+# valid/malformed mix over one socket: no torn frames, engine order
+# preserved), and the JoinHandle-reap gate (1000 connection churns must
+# not accumulate reader handles).
+cargo test --release -q -p amp-net --test wire_alloc --test wire_order --test handle_reap
+
 # Network smoke gate: the seeded load generator boots a 4-shard server on
 # loopback and audits the wire end to end. Steady phase: every pipelined
 # request answered, zero lost/duplicated/misrouted by id, cache hit rate
@@ -62,9 +71,14 @@ cargo run --release -p amp-bench --bin perf -- --smoke --out BENCH_sched.json
 # one chain must pay exactly one cold HeRAD solve (chain-tier counters
 # split out per tier in the status frame). Warm-restart phase: a second
 # server loads the saved tier snapshot at boot and serves the sweep with
-# zero cold solves. The latency report lands in BENCH_net.json and the
-# tier snapshot in SNAP_chain_tier.json.
-cargo run --release -p amp-net --bin net_loadgen -- --smoke --out BENCH_net.json --snapshot-out SNAP_chain_tier.json
+# zero cold solves. Throughput phase: a sustained open-loop run over the
+# corked vectored wire must answer at least 140k req/s (2x the
+# per-line-syscall wire's checked-in number). Scaling phase: the same
+# offered load through 1/8/64/256 connections, audit-clean at every
+# point, with p99 at 256 connections within 5x of p99 at 8. The combined
+# report lands in BENCH_net.json, the latency-vs-connections curve in
+# BENCH_net_scaling.json and the tier snapshot in SNAP_chain_tier.json.
+cargo run --release -p amp-net --bin net_loadgen -- --smoke --out BENCH_net.json --scaling-out BENCH_net_scaling.json --snapshot-out SNAP_chain_tier.json
 
 # Reconfiguration gate: the live-migration battery over a wide seed
 # window — incremental re-solves over a scripted pool sequence
